@@ -1,0 +1,109 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **Ack timing** — ack on processor accept (the paper's choice) vs ack
+//!    on arrivals-FIFO insert (footnote 2: "surprisingly less effective").
+//! 2. **Window ack policy** — one combined ack per `W/2` packets (Equation
+//!    3) vs an ack per bulk packet (§2.4.2's alternative).
+//! 3. **Outgoing pool vs strict FIFO** — NIFDY's rank/eligibility pool vs
+//!    the same buffering as a head-of-line FIFO (the buffers-only NIC).
+//!
+//! Each ablation prints the measured figures (packets delivered / acks
+//! sent) and times both variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nifdy::NifdyConfig;
+use nifdy_harness::{fig23, NetworkKind, Scale};
+use nifdy_net::Fabric;
+use nifdy_traffic::{CShiftConfig, Driver, NicChoice, SoftwareModel};
+
+const SCALE: Scale = Scale::Smoke;
+const SEED: u64 = 1;
+
+/// C-shift completion cycles and total acks with a given NIFDY config.
+fn cshift_run(cfg: NifdyConfig) -> (u64, u64) {
+    let kind = NetworkKind::Cm5;
+    let nodes = 32;
+    let fab = Fabric::new(kind.topology(nodes, SEED), kind.fabric_config(SEED));
+    let sw = SoftwareModel::cm5_library(false);
+    let wl = CShiftConfig::new(45, sw);
+    let mut d = Driver::new(fab, &NicChoice::Nifdy(cfg), sw, wl.build(nodes));
+    assert!(d.run_until_quiet(10_000_000), "C-shift stuck");
+    let acks: u64 = (0..nodes).map(|n| d.nic(n).stats().acks_sent.get()).sum();
+    (d.fabric().now().as_u64(), acks)
+}
+
+fn ablation_ack_timing(c: &mut Criterion) {
+    let kind = NetworkKind::Mesh2D;
+    let on_accept = kind.nifdy_preset();
+    let on_insert = kind.nifdy_preset().with_ack_on_insert(true);
+    let a = fig23::run_cell(kind, &NicChoice::Nifdy(on_accept.clone()), true, SCALE, SEED);
+    let b = fig23::run_cell(kind, &NicChoice::Nifdy(on_insert.clone()), true, SCALE, SEED);
+    println!("== ablation: ack timing (heavy mesh, packets delivered) ==");
+    println!("ack on processor accept : {a}");
+    println!("ack on FIFO insert      : {b}  (the paper found this variant weaker)");
+    c.bench_function("ablation/ack-on-accept", |bch| {
+        bch.iter(|| fig23::run_cell(kind, &NicChoice::Nifdy(on_accept.clone()), true, SCALE, SEED))
+    });
+    c.bench_function("ablation/ack-on-insert", |bch| {
+        bch.iter(|| fig23::run_cell(kind, &NicChoice::Nifdy(on_insert.clone()), true, SCALE, SEED))
+    });
+}
+
+fn ablation_window_acks(c: &mut Criterion) {
+    // W = 8 so the combined policy acks every 4 packets; the CM-5 preset's
+    // W = 2 would make the two policies identical.
+    let combined = NifdyConfig::new(8, 8, 1, 8);
+    let per_packet = NifdyConfig::new(8, 8, 1, 8).with_bulk_ack_every_packet(true);
+    let (t_comb, acks_comb) = cshift_run(combined.clone());
+    let (t_pp, acks_pp) = cshift_run(per_packet.clone());
+    println!("== ablation: combined vs per-packet bulk acks (C-shift, CM-5) ==");
+    println!("combined (W/2)   : {t_comb} cycles, {acks_comb} acks");
+    println!("per-packet       : {t_pp} cycles, {acks_pp} acks");
+    assert!(
+        acks_pp > acks_comb,
+        "per-packet acks must generate more ack traffic"
+    );
+    c.bench_function("ablation/combined-acks", |b| {
+        b.iter(|| cshift_run(combined.clone()).0)
+    });
+    c.bench_function("ablation/per-packet-acks", |b| {
+        b.iter(|| cshift_run(per_packet.clone()).0)
+    });
+}
+
+fn ablation_pool_vs_fifo(c: &mut Criterion) {
+    let kind = NetworkKind::FatTree;
+    let preset = kind.nifdy_preset();
+    let pool = fig23::run_cell(kind, &NicChoice::Nifdy(preset.clone()), false, SCALE, SEED);
+    let fifo = fig23::run_cell(
+        kind,
+        &NicChoice::BuffersOnly(preset.clone()),
+        false,
+        SCALE,
+        SEED,
+    );
+    println!("== ablation: eligibility pool vs strict FIFO (light fat tree) ==");
+    println!("NIFDY pool (rank/eligibility): {pool}");
+    println!("same buffers, strict FIFO    : {fifo}");
+    c.bench_function("ablation/pool", |b| {
+        b.iter(|| fig23::run_cell(kind, &NicChoice::Nifdy(preset.clone()), false, SCALE, SEED))
+    });
+    c.bench_function("ablation/fifo", |b| {
+        b.iter(|| {
+            fig23::run_cell(
+                kind,
+                &NicChoice::BuffersOnly(preset.clone()),
+                false,
+                SCALE,
+                SEED,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_ack_timing, ablation_window_acks, ablation_pool_vs_fifo
+}
+criterion_main!(ablations);

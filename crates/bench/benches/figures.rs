@@ -1,0 +1,143 @@
+//! One Criterion benchmark per paper figure. Each benchmark first prints
+//! its figure's table (smoke scale) so `cargo bench` regenerates every
+//! result the paper reports, then times one representative cell so
+//! regressions in simulation throughput are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nifdy_harness::{fig23, fig4, fig5, fig6, fig78, fig9, NetworkKind, Scale};
+use nifdy_traffic::NicChoice;
+
+const SCALE: Scale = Scale::Smoke;
+const SEED: u64 = 1;
+
+fn bench_fig2(c: &mut Criterion) {
+    let (table, _) = fig23::run(true, SCALE, SEED);
+    println!("{table}");
+    let preset = NetworkKind::Mesh2D.nifdy_preset();
+    c.bench_function("fig2/mesh-2d/nifdy", |b| {
+        b.iter(|| {
+            fig23::run_cell(
+                NetworkKind::Mesh2D,
+                &NicChoice::Nifdy(preset.clone()),
+                true,
+                SCALE,
+                SEED,
+            )
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let (table, _) = fig23::run(false, SCALE, SEED);
+    println!("{table}");
+    let preset = NetworkKind::FatTree.nifdy_preset();
+    c.bench_function("fig3/fat-tree/nifdy", |b| {
+        b.iter(|| {
+            fig23::run_cell(
+                NetworkKind::FatTree,
+                &NicChoice::Nifdy(preset.clone()),
+                false,
+                SCALE,
+                SEED,
+            )
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let (b_panel, o_panel, _) = fig4::run(SCALE, SEED);
+    println!("{b_panel}");
+    println!("{o_panel}");
+    // Time a single cell (the full sweep above is printed once; timing it
+    // per-iteration would take minutes per sample).
+    let cfg = nifdy::NifdyConfig::new(8, 8, 0, 2);
+    c.bench_function("fig4/one-cell-64-nodes", |b| {
+        b.iter(|| {
+            fig23::run_cell(
+                NetworkKind::FatTree,
+                &NicChoice::Nifdy(cfg.clone()),
+                true,
+                SCALE,
+                SEED,
+            )
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let (maps, _, _) = fig5::run(SCALE, SEED);
+    println!("{maps}");
+    c.bench_function("fig5/cshift-congestion-trace", |b| {
+        b.iter(|| fig5::run_one(&NicChoice::Plain, SCALE, SEED).finish)
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let (table, _) = fig6::run(SCALE, SEED);
+    println!("{table}");
+    c.bench_function("fig6/one-config", |b| {
+        b.iter(|| fig5::run_one(&NicChoice::Plain, SCALE, SEED).finish)
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let (table, _) = fig78::run(true, SCALE, SEED);
+    println!("{table}");
+    let preset = NetworkKind::FatTree.nifdy_preset();
+    c.bench_function("fig7/fat-tree/nifdy", |b| {
+        b.iter(|| {
+            fig78::run_cell(
+                NetworkKind::FatTree,
+                &NicChoice::Nifdy(preset.clone()),
+                true,
+                true,
+                SCALE,
+                SEED,
+            )
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let (table, _) = fig78::run(false, SCALE, SEED);
+    println!("{table}");
+    let preset = NetworkKind::Mesh2D.nifdy_preset();
+    c.bench_function("fig8/mesh-2d/nifdy", |b| {
+        b.iter(|| {
+            fig78::run_cell(
+                NetworkKind::Mesh2D,
+                &NicChoice::Nifdy(preset.clone()),
+                true,
+                false,
+                SCALE,
+                SEED,
+            )
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let (scan, coalesce, _) = fig9::run(SCALE, SEED);
+    println!("{scan}");
+    println!("{coalesce}");
+    let preset = NetworkKind::SfFatTree.nifdy_preset();
+    c.bench_function("fig9/sf-fat-tree/scan/nifdy", |b| {
+        b.iter(|| {
+            fig9::run_scan(
+                NetworkKind::SfFatTree,
+                &NicChoice::Nifdy(preset.clone()),
+                0,
+                SCALE,
+                SEED,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6,
+              bench_fig7, bench_fig8, bench_fig9
+}
+criterion_main!(figures);

@@ -1,0 +1,79 @@
+//! Microbenchmarks of the simulation substrate itself: cycles simulated per
+//! second for each fabric (idle and loaded) and the cost of one NIFDY unit
+//! step. These guard the simulator's performance, which bounds how much of
+//! the paper-scale evaluation is practical.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nifdy::{Nic, NifdyConfig, NifdyUnit, OutboundPacket};
+use nifdy_harness::NetworkKind;
+use nifdy_net::Fabric;
+use nifdy_sim::NodeId;
+
+fn loaded_fabric(kind: NetworkKind) -> Fabric {
+    let mut fab = Fabric::new(kind.topology(64, 1), kind.fabric_config(1));
+    // Prime with traffic so the benchmark measures busy routers.
+    for i in 0..32 {
+        let src = NodeId::new(i);
+        let dst = NodeId::new(63 - i);
+        let pkt = nifdy_net::Packet::data(nifdy_sim::PacketId::new(i as u64), src, dst, 8);
+        fab.inject(src, pkt);
+    }
+    fab
+}
+
+fn bench_fabric_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric-step");
+    group.throughput(Throughput::Elements(1_000));
+    for kind in [
+        NetworkKind::Mesh2D,
+        NetworkKind::FatTree,
+        NetworkKind::Cm5,
+        NetworkKind::Butterfly,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched_ref(
+                || loaded_fabric(kind),
+                |fab| {
+                    for _ in 0..1_000 {
+                        fab.step();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_nifdy_unit_step(c: &mut Criterion) {
+    c.bench_function("nifdy-unit-step-with-pool", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut fab = Fabric::new(
+                    NetworkKind::Mesh2D.topology(64, 1),
+                    NetworkKind::Mesh2D.fabric_config(1),
+                );
+                let mut nic = NifdyUnit::new(NodeId::new(0), NifdyConfig::default());
+                for i in 1..9 {
+                    let _ = nic.try_send(OutboundPacket::new(NodeId::new(i), 8), fab.now());
+                }
+                nic.step(&mut fab); // warm the first injection
+                (fab, nic)
+            },
+            |(fab, nic)| {
+                for _ in 0..1_000 {
+                    nic.step(fab);
+                    fab.step();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fabric_step, bench_nifdy_unit_step
+}
+criterion_main!(micro);

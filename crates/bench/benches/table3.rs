@@ -1,0 +1,26 @@
+//! Regenerates Table 3 and times the zero-load latency probe that supplies
+//! its `T_lat` column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nifdy_harness::{table3, NetworkKind};
+
+fn bench_table3(c: &mut Criterion) {
+    let (table, _) = table3::run(1);
+    println!("{table}");
+    c.bench_function("table3/probe-latency/mesh-2d", |b| {
+        b.iter(|| table3::probe_latency(NetworkKind::Mesh2D, 1))
+    });
+    c.bench_function("table3/probe-latency/fat-tree", |b| {
+        b.iter(|| table3::probe_latency(NetworkKind::FatTree, 1))
+    });
+    c.bench_function("table3/full-profile", |b| {
+        b.iter(|| table3::run(1).1.len())
+    });
+}
+
+criterion_group! {
+    name = table3_bench;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(table3_bench);

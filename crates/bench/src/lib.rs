@@ -1,0 +1,10 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench target
+//! regenerates part of the paper's evaluation:
+//!
+//! * `figures` — Figures 2–9 (prints each table, times one cell each),
+//! * `table3` — Table 3 profiles and the zero-load latency probe,
+//! * `ablations` — the design-choice ablations called out in DESIGN.md
+//!   (ack timing, combined vs per-packet bulk acks, pool vs FIFO),
+//! * `microbench` — raw fabric and NIC stepping throughput.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,272 @@
+//! The paper's analytic performance model (§2.4, Table 1, Equations 1–3).
+//!
+//! Symbols follow Table 1 of the paper:
+//!
+//! | symbol | meaning |
+//! |---|---|
+//! | `N` | number of nodes |
+//! | `d` | distance to destination in hops |
+//! | `L` | packet payload in bytes |
+//! | `T_send` | processor software overhead to send a packet |
+//! | `T_receive` | processor software overhead to receive a packet |
+//! | `T_link` | time for one packet to cross a link without contention |
+//! | `T_ackproc` | latency to generate and process an ack (both ends) |
+//! | `T_roundtrip` | header departure to ack processed |
+//!
+//! These functions are used to derive the per-network NIFDY parameters of
+//! §2.4.3 and are unit-tested against the worked examples in the paper.
+
+/// Software/hardware timing characteristics of one network + host pair
+/// (Table 1).
+///
+/// # Examples
+///
+/// The paper's running example: `T_ackproc = 4`, `T_send = 40`,
+/// `T_receive = 60`.
+///
+/// ```
+/// use nifdy::analysis::Timing;
+///
+/// let t = Timing {
+///     t_send: 40,
+///     t_receive: 60,
+///     t_link: 32,
+///     t_ackproc: 4,
+/// };
+/// assert_eq!(t.bottleneck(), 60);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// `T_send`: total cycles for the processor to send a packet.
+    pub t_send: u64,
+    /// `T_receive`: total cycles for the processor to receive a packet.
+    pub t_receive: u64,
+    /// `T_link`: cycles for one packet to cross a link along the path,
+    /// absent contention (the hardware limit on inter-packet arrival).
+    pub t_link: u64,
+    /// `T_ackproc`: total ack generation + processing latency (both ends).
+    pub t_ackproc: u64,
+}
+
+impl Timing {
+    /// The per-packet bottleneck `max(T_send, T_receive, T_link)` that
+    /// appears in the denominator of Equation 1.
+    pub fn bottleneck(&self) -> u64 {
+        self.t_send.max(self.t_receive).max(self.t_link)
+    }
+}
+
+/// Equation 1: maximum pairwise bandwidth without a NIFDY unit, in payload
+/// bytes per cycle: `L / max(T_send, T_receive, T_link)`.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy::analysis::{pairwise_bandwidth, Timing};
+///
+/// let t = Timing { t_send: 40, t_receive: 60, t_link: 32, t_ackproc: 4 };
+/// let bw = pairwise_bandwidth(24, t);
+/// assert!((bw - 0.4).abs() < 1e-12); // 24 bytes / 60 cycles
+/// ```
+///
+/// # Panics
+///
+/// Panics if all three overheads are zero.
+pub fn pairwise_bandwidth(payload_bytes: u64, t: Timing) -> f64 {
+    let b = t.bottleneck();
+    assert!(b > 0, "at least one overhead must be nonzero");
+    payload_bytes as f64 / b as f64
+}
+
+/// Equation 2: `T_roundtrip(d) = 2·T_lat(d) + T_ackproc` — the time from
+/// when a packet starts leaving until its ack has been processed.
+///
+/// # Examples
+///
+/// The paper's mesh example: `T_lat(d) = 4d + 14`, maximum distance 14 hops,
+/// `T_ackproc = 4` gives a 144-cycle round trip.
+///
+/// ```
+/// use nifdy::analysis::roundtrip;
+///
+/// assert_eq!(roundtrip(4 * 14 + 14, 4), 144);
+/// ```
+pub fn roundtrip(t_lat: u64, t_ackproc: u64) -> u64 {
+    2 * t_lat + t_ackproc
+}
+
+/// Scalar-mode full-bandwidth criterion (§2.4.1): the basic protocol
+/// sustains full pairwise bandwidth iff
+/// `T_roundtrip(d) <= max(T_send, T_receive, T_link)`.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy::analysis::{scalar_mode_sufficient, Timing};
+///
+/// let t = Timing { t_send: 40, t_receive: 60, t_link: 32, t_ackproc: 4 };
+/// // Fat tree: T_lat = 5·6 + 2 = 32, round trip 68 > 60: marginal.
+/// assert!(!scalar_mode_sufficient(68, t));
+/// assert!(scalar_mode_sufficient(60, t));
+/// ```
+pub fn scalar_mode_sufficient(t_roundtrip: u64, t: Timing) -> bool {
+    t_roundtrip <= t.bottleneck()
+}
+
+/// Equation 3: minimum even window size for the combined-ack sliding-window
+/// protocol (one ack per `W/2` packets):
+/// `W >= 2·(T_roundtrip / T_limit - 1)`, where `T_limit` is the per-packet
+/// bottleneck.
+///
+/// Returns the smallest *even* window at least 2.
+///
+/// # Examples
+///
+/// The paper's mesh: hiding the maximum 144-cycle round trip against a
+/// 60-cycle receive overhead needs `W >= 2·(144/60 − 1) = 2.8`, i.e. 4
+/// buffers rounded to the next even integer ("at least 2 packets, possibly
+/// 3 or 4 if we can afford to be generous").
+///
+/// ```
+/// use nifdy::analysis::min_window_combined_acks;
+///
+/// assert_eq!(min_window_combined_acks(144, 60), 4);
+/// assert_eq!(min_window_combined_acks(68, 60), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `t_limit` is zero.
+pub fn min_window_combined_acks(t_roundtrip: u64, t_limit: u64) -> u16 {
+    assert!(t_limit > 0, "bottleneck time must be nonzero");
+    let w = 2.0 * (t_roundtrip as f64 / t_limit as f64 - 1.0);
+    let w = w.max(2.0).ceil() as u16;
+    if w.is_multiple_of(2) {
+        w
+    } else {
+        w + 1
+    }
+}
+
+/// Per-packet-ack sliding-window sizing (§2.4.2's alternative): every packet
+/// is acknowledged individually, so the window must cover a full
+/// bandwidth-delay product: `W >= ceil(T_roundtrip / T_limit)`.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy::analysis::min_window_per_packet_acks;
+///
+/// assert_eq!(min_window_per_packet_acks(144, 60), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `t_limit` is zero.
+pub fn min_window_per_packet_acks(t_roundtrip: u64, t_limit: u64) -> u16 {
+    assert!(t_limit > 0, "bottleneck time must be nonzero");
+    (t_roundtrip as f64 / t_limit as f64).ceil().max(1.0) as u16
+}
+
+/// Linear latency model `T_lat(d) = slope·d + intercept`, the form the paper
+/// fits to each simulated network (mesh: `4d + 14`; full fat tree:
+/// `5d + 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cycles per hop.
+    pub slope: u64,
+    /// Fixed cycles (injection, interface crossing).
+    pub intercept: u64,
+}
+
+impl LatencyModel {
+    /// One-way latency at distance `d` hops.
+    pub fn latency(&self, d: u64) -> u64 {
+        self.slope * d + self.intercept
+    }
+
+    /// Round-trip time at distance `d` (Equation 2).
+    pub fn roundtrip(&self, d: u64, t_ackproc: u64) -> u64 {
+        roundtrip(self.latency(d), t_ackproc)
+    }
+}
+
+/// The paper's simulated-mesh latency fit, `T_lat(d) = 4d + 14`.
+pub const MESH_LATENCY: LatencyModel = LatencyModel {
+    slope: 4,
+    intercept: 14,
+};
+
+/// The paper's simulated full-fat-tree latency fit, `T_lat(d) = 5d + 2`.
+pub const FAT_TREE_LATENCY: LatencyModel = LatencyModel {
+    slope: 5,
+    intercept: 2,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Timing = Timing {
+        t_send: 40,
+        t_receive: 60,
+        t_link: 32,
+        t_ackproc: 4,
+    };
+
+    #[test]
+    fn equation_1_picks_the_bottleneck() {
+        // Receive overhead dominates at 60 cycles.
+        assert_eq!(T.bottleneck(), 60);
+        let bw = pairwise_bandwidth(32, T);
+        assert!((bw - 32.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_worked_example_matches_the_paper() {
+        // "Our simulated mesh had a one-way latency of TLat(d) = 4d + 14.
+        // ... maximum and average internode distances are 14 and 6 hops;
+        // hence Equation 2 gives maximum and average roundtrip latencies of
+        // 144 and 80 cycles respectively."
+        assert_eq!(MESH_LATENCY.roundtrip(14, 4), 144);
+        assert_eq!(MESH_LATENCY.roundtrip(6, 4), 80);
+        // "we will need a bulk window size of W >= 2(144/60 - 1)", i.e.
+        // "at least 2 packets, possibly 3 or 4".
+        assert_eq!(min_window_combined_acks(144, 60), 4);
+        assert_eq!(min_window_combined_acks(80, 60), 2);
+    }
+
+    #[test]
+    fn fat_tree_worked_example_matches_the_paper() {
+        // "In this case Tlat = 5d + 2, giving a round-trip latency of
+        // 32 + 32 + 4 = 68 cycles. Thus it appears that the basic NIFDY
+        // protocol may be sufficient."
+        assert_eq!(FAT_TREE_LATENCY.latency(6), 32);
+        assert_eq!(FAT_TREE_LATENCY.roundtrip(6, 4), 68);
+        // 68 is barely above the 60-cycle receive bottleneck: bulk dialogs
+        // "will help only marginally".
+        assert!(!scalar_mode_sufficient(68, T));
+        assert_eq!(min_window_combined_acks(68, 60), 2);
+    }
+
+    #[test]
+    fn per_packet_acks_need_a_full_bdp() {
+        assert_eq!(min_window_per_packet_acks(144, 60), 3);
+        assert_eq!(min_window_per_packet_acks(60, 60), 1);
+        assert!(min_window_per_packet_acks(1, 60) >= 1);
+    }
+
+    #[test]
+    fn window_is_always_even_and_at_least_two() {
+        for rt in [1u64, 10, 59, 60, 61, 144, 1000] {
+            let w = min_window_combined_acks(rt, 60);
+            assert!(w >= 2 && w.is_multiple_of(2), "rt={rt} w={w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bottleneck_rejected() {
+        let _ = min_window_combined_acks(100, 0);
+    }
+}

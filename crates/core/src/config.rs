@@ -1,0 +1,261 @@
+//! NIFDY unit configuration: the four paper parameters plus extensions.
+
+/// Configuration of a [`NifdyUnit`](crate::NifdyUnit).
+///
+/// The paper tunes NIFDY to each network with four parameters:
+///
+/// * `O` — size of the outstanding packet table (OPT),
+/// * `B` — size of the outgoing buffer pool,
+/// * `D` — maximum concurrent incoming bulk dialogs per receiver,
+/// * `W` — receiver window size per bulk dialog.
+///
+/// Presets matching the paper's per-network best values are provided (e.g.
+/// [`NifdyConfig::mesh`], [`NifdyConfig::fat_tree`]).
+///
+/// # Examples
+///
+/// ```
+/// use nifdy::NifdyConfig;
+///
+/// let cfg = NifdyConfig::fat_tree();
+/// assert_eq!((cfg.opt_entries, cfg.pool_entries), (8, 8));
+/// let custom = NifdyConfig::new(4, 4, 1, 2);
+/// assert_eq!(custom.window, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NifdyConfig {
+    /// `O`: maximum outstanding scalar packets (OPT entries).
+    pub opt_entries: u8,
+    /// `B`: outgoing buffer-pool entries.
+    pub pool_entries: u8,
+    /// `D`: incoming bulk dialogs this node will grant. Zero disables bulk
+    /// mode entirely (best for the butterfly, per §4.1).
+    pub max_dialogs: u8,
+    /// `W`: sliding-window size (and reorder buffers) per bulk dialog.
+    /// Must be even and at least 2 when `max_dialogs > 0`, because combined
+    /// acks cover half-windows.
+    pub window: u8,
+    /// Arrivals FIFO capacity in packets ("with the NIFDY protocol, the
+    /// capacity of the arrivals queue is at most two packets").
+    pub arrivals_capacity: u8,
+    /// Cycles of NIFDY processing charged per ack end ("we will assume that
+    /// the NIFDY processing takes 2 cycles at each end, for a total of
+    /// `T_ackproc = 4`").
+    pub ack_proc_cycles: u16,
+    /// Acknowledge scalar packets when they are *inserted* into the arrivals
+    /// FIFO instead of when the processor accepts them — the paper's
+    /// footnote 2 calls this "surprisingly less effective"; kept for the
+    /// ablation benchmark.
+    pub ack_on_insert: bool,
+    /// Acknowledge every bulk packet individually instead of one combined
+    /// ack per `W/2` packets — the §2.4.2 alternative sliding-window
+    /// protocol; kept for the ablation benchmark.
+    pub bulk_ack_every_packet: bool,
+    /// §6.1 extension: piggyback pending acknowledgments on data packets
+    /// headed to the same node instead of sending a standalone ack packet,
+    /// "which should reduce network traffic". Costs one header bit plus the
+    /// ack fields.
+    pub piggyback_acks: bool,
+    /// How long a pending ack may wait for a same-destination data packet
+    /// before it is sent standalone anyway (piggyback mode only). Bounds the
+    /// extra round-trip latency the optimization can introduce.
+    pub piggyback_hold_cycles: u64,
+    /// §6.2 lossy-network extension: retransmit unacknowledged packets after
+    /// this many cycles. `None` assumes the reliable fabrics of §1.1.
+    pub retx_timeout: Option<u64>,
+    /// Threshold (in queued packets for the same destination, beyond the
+    /// current one) above which a software `want_bulk` request is actually
+    /// put on the wire. Guards against dialogs granted to senders with
+    /// nothing left to send.
+    pub bulk_request_min_backlog: u8,
+}
+
+impl NifdyConfig {
+    /// Creates a configuration with the four paper parameters and defaults
+    /// for everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (see
+    /// [`NifdyConfig::validate`]).
+    pub fn new(opt_entries: u8, pool_entries: u8, max_dialogs: u8, window: u8) -> Self {
+        let cfg = NifdyConfig {
+            opt_entries,
+            pool_entries,
+            max_dialogs,
+            window,
+            arrivals_capacity: 2,
+            ack_proc_cycles: 2,
+            ack_on_insert: false,
+            bulk_ack_every_packet: false,
+            piggyback_acks: false,
+            piggyback_hold_cycles: 64,
+            retx_timeout: None,
+            bulk_request_min_backlog: 1,
+        };
+        if let Err(e) = cfg.validate() {
+            panic!("invalid NIFDY config: {e}");
+        }
+        cfg
+    }
+
+    /// Conservative preset for low-volume, low-bisection wormhole meshes
+    /// (§2.4.3: `O = 4, B = 4, D = 1, W = 2`).
+    pub fn mesh() -> Self {
+        NifdyConfig::new(4, 4, 1, 2)
+    }
+
+    /// Generous preset for the full 4-ary fat tree (§2.4.3: "making the OPT
+    /// large (O = 8) and the buffer pool large (B = 8)"; window sized by
+    /// Equation 3).
+    pub fn fat_tree() -> Self {
+        NifdyConfig::new(8, 8, 1, 4)
+    }
+
+    /// Preset for the CM-5-like fat tree: "smaller bulk windows than the
+    /// full fat tree even though the round-trip latency is twice as great",
+    /// because of its smaller volume and bisection bandwidth.
+    pub fn cm5() -> Self {
+        NifdyConfig::new(8, 8, 1, 2)
+    }
+
+    /// Preset for the store-and-forward fat tree: per-hop latency of a full
+    /// packet store makes the round trip enormous (~400 cycles), so Equation
+    /// 3 calls for a deep window: `W >= 2·(400/60 − 1) ≈ 12`.
+    pub fn store_and_forward_fat_tree() -> Self {
+        NifdyConfig::new(8, 16, 1, 12)
+    }
+
+    /// Preset for the butterfly: "the only network where it is best to have
+    /// no bulk dialogs" (three-hop round trips, no alternative paths).
+    pub fn butterfly() -> Self {
+        NifdyConfig::new(8, 8, 0, 2)
+    }
+
+    /// Preset for tori: mesh-like volume with wraparound links.
+    pub fn torus() -> Self {
+        NifdyConfig::new(4, 4, 1, 2)
+    }
+
+    /// Builder: acknowledge on FIFO insert (ablation of footnote 2).
+    pub fn with_ack_on_insert(mut self, on: bool) -> Self {
+        self.ack_on_insert = on;
+        self
+    }
+
+    /// Builder: piggyback acks on same-destination data packets (§6.1).
+    pub fn with_piggyback_acks(mut self, on: bool) -> Self {
+        self.piggyback_acks = on;
+        self
+    }
+
+    /// Builder: acknowledge every bulk packet (§2.4.2 ablation).
+    pub fn with_bulk_ack_every_packet(mut self, on: bool) -> Self {
+        self.bulk_ack_every_packet = on;
+        self
+    }
+
+    /// Builder: enable the §6.2 retransmission extension.
+    pub fn with_retx_timeout(mut self, cycles: u64) -> Self {
+        self.retx_timeout = Some(cycles);
+        self
+    }
+
+    /// Builder: override the arrivals FIFO capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_arrivals_capacity(mut self, cap: u8) -> Self {
+        assert!(cap > 0, "arrivals FIFO needs at least one slot");
+        self.arrivals_capacity = cap;
+        self
+    }
+
+    /// Total hardware packet buffers this configuration implies
+    /// (`B + D·W + arrivals`) — the figure the buffering-only baseline must
+    /// match for a fair comparison (§3).
+    pub fn total_buffers(&self) -> u16 {
+        u16::from(self.pool_entries)
+            + u16::from(self.max_dialogs) * u16::from(self.window)
+            + u16::from(self.arrivals_capacity)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.opt_entries == 0 {
+            return Err("the OPT needs at least one entry".into());
+        }
+        if self.pool_entries == 0 {
+            return Err("the outgoing pool needs at least one buffer".into());
+        }
+        if self.arrivals_capacity == 0 {
+            return Err("the arrivals FIFO needs at least one slot".into());
+        }
+        if self.max_dialogs > 0 {
+            if self.window < 2 {
+                return Err("bulk dialogs need a window of at least 2".into());
+            }
+            if !self.window.is_multiple_of(2) {
+                return Err("the window must be even (acks cover half-windows)".into());
+            }
+            if self.window > 64 {
+                return Err("window too large for the wire sequence space".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for NifdyConfig {
+    /// The paper's summary recommendation: "an outstanding packet table of
+    /// size 8 combined with a packet pool of 16 and a single bulk dialog
+    /// with a window of 8 were more than enough resources for even large
+    /// machines".
+    fn default() -> Self {
+        NifdyConfig::new(8, 16, 1, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            NifdyConfig::default(),
+            NifdyConfig::mesh(),
+            NifdyConfig::fat_tree(),
+            NifdyConfig::cm5(),
+            NifdyConfig::store_and_forward_fat_tree(),
+            NifdyConfig::butterfly(),
+            NifdyConfig::torus(),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn total_buffers_counts_pool_window_and_arrivals() {
+        let cfg = NifdyConfig::new(4, 4, 1, 2);
+        assert_eq!(cfg.total_buffers(), 4 + 2 + 2);
+        let no_bulk = NifdyConfig::new(8, 8, 0, 2);
+        assert_eq!(no_bulk.total_buffers(), 8 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be even")]
+    fn odd_windows_rejected() {
+        let _ = NifdyConfig::new(4, 4, 1, 3);
+    }
+
+    #[test]
+    fn butterfly_disables_bulk() {
+        assert_eq!(NifdyConfig::butterfly().max_dialogs, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The processor-facing network-interface abstraction.
+//!
+//! All three interface models the paper compares — no-NIFDY
+//! ([`PlainNic`](crate::PlainNic)), buffering-only
+//! ([`BufferedNic`](crate::BufferedNic)), and the NIFDY unit itself
+//! ([`NifdyUnit`](crate::NifdyUnit)) — implement [`Nic`]. The processor
+//! model drives them identically: offer outbound packets with
+//! [`Nic::try_send`], poll for arrivals with [`Nic::poll`], and give the
+//! interface its per-cycle slice of work with [`Nic::step`].
+
+use nifdy_net::{Fabric, UserData};
+use nifdy_sim::metrics::Counter;
+use nifdy_sim::{Cycle, NodeId};
+
+/// A packet the processor wants transmitted, before the NIC adds protocol
+/// headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutboundPacket {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Packet length in words, including the header word.
+    pub size_words: u16,
+    /// Software requests a bulk dialog for this transfer (§2.2: "the
+    /// processor must initiate bulk mode requests; NIFDY won't attempt bulk
+    /// mode on its own").
+    pub want_bulk: bool,
+    /// Cleared to bypass the protocol entirely (§6.1 no-ack extension).
+    pub needs_ack: bool,
+    /// Workload annotation carried to the receiver.
+    pub user: UserData,
+}
+
+impl OutboundPacket {
+    /// A plain scalar packet of `size_words` words to `dst`.
+    pub fn new(dst: NodeId, size_words: u16) -> Self {
+        OutboundPacket {
+            dst,
+            size_words,
+            want_bulk: false,
+            needs_ack: true,
+            user: UserData::default(),
+        }
+    }
+
+    /// Sets the bulk-request preference.
+    pub fn with_bulk(mut self, want: bool) -> Self {
+        self.want_bulk = want;
+        self
+    }
+
+    /// Attaches workload metadata.
+    pub fn with_user(mut self, user: UserData) -> Self {
+        self.user = user;
+        self
+    }
+}
+
+/// A packet delivered to the processor by [`Nic::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// Sending node — exposed to receive handlers from the packet header, so
+    /// "the source node never needs to be included in the data portion".
+    pub src: NodeId,
+    /// Packet length in words.
+    pub size_words: u16,
+    /// Workload annotation from the sender.
+    pub user: UserData,
+}
+
+/// Counters every NIC model keeps.
+#[derive(Debug, Clone, Default)]
+pub struct NicStats {
+    /// Data packets handed to the fabric.
+    pub sent: Counter,
+    /// Data packets sent inside bulk dialogs.
+    pub sent_bulk: Counter,
+    /// Acknowledgments transmitted.
+    pub acks_sent: Counter,
+    /// Acknowledgments consumed.
+    pub acks_received: Counter,
+    /// Data packets delivered to the processor.
+    pub delivered: Counter,
+    /// Packets refused by [`Nic::try_send`] because buffering was full.
+    pub send_rejected: Counter,
+    /// Retransmissions triggered by the §6.2 timeout extension.
+    pub retransmitted: Counter,
+    /// Duplicate packets discarded at the receiver (§6.2).
+    pub duplicates_dropped: Counter,
+    /// Bulk dialogs granted to remote senders (receiver side).
+    pub dialogs_granted: Counter,
+    /// Acknowledgments delivered by piggybacking on data packets (§6.1).
+    pub acks_piggybacked: Counter,
+    /// Bulk packets that arrived out of order and waited in the reorder
+    /// window (receiver side) — evidence the fabric actually reordered.
+    pub bulk_out_of_order: Counter,
+    /// Bulk-mode requests this node had rejected by receivers.
+    pub dialogs_rejected: Counter,
+}
+
+/// A network interface attached to one node of a [`Fabric`].
+///
+/// Call order within a simulated cycle: the processor first interacts
+/// ([`try_send`](Nic::try_send) / [`poll`](Nic::poll)), then the NIC runs
+/// [`step`](Nic::step), then the fabric steps.
+pub trait Nic {
+    /// The node this interface serves.
+    fn node(&self) -> NodeId;
+
+    /// Offers a packet for transmission. Returns `false` (and leaves the
+    /// packet with the caller) when the interface's outgoing buffering is
+    /// full; the processor retries later.
+    fn try_send(&mut self, pkt: OutboundPacket, now: Cycle) -> bool;
+
+    /// True when [`poll`](Nic::poll) would return a packet. Processors use
+    /// this to charge the cheap "poll, no message" overhead instead of the
+    /// full receive overhead.
+    fn has_deliverable(&self) -> bool;
+
+    /// Removes and returns the next packet for the processor, in the order
+    /// the interface guarantees (NIFDY: sender order per source).
+    fn poll(&mut self, now: Cycle) -> Option<Delivered>;
+
+    /// One cycle of interface work: drain ejections, process acks, choose
+    /// and inject eligible packets.
+    fn step(&mut self, fab: &mut Fabric);
+
+    /// True when the interface holds no queued outbound work (used by
+    /// drain/termination checks; in-flight fabric packets are tracked by the
+    /// fabric itself).
+    fn is_idle(&self) -> bool;
+
+    /// Interface counters.
+    fn stats(&self) -> &NicStats;
+}

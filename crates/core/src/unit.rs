@@ -1,0 +1,1053 @@
+//! The NIFDY unit: admission control and in-order delivery at the network
+//! edge.
+//!
+//! Protocol summary (§2 of the paper):
+//!
+//! * **Scalar mode.** At most one unacknowledged packet per destination.
+//!   Destinations with an outstanding packet are held in the *outstanding
+//!   packet table* (OPT, `O` entries). Outbound packets wait in a pool of
+//!   `B` buffers; a packet is *eligible* when no earlier packet to the same
+//!   destination is waiting or outstanding (the paper's rank/eligibility
+//!   unit, realized here as FIFO-per-destination ordering — observably
+//!   identical behaviour).
+//! * **Bulk dialogs.** A sender piggybacks a bulk request on a scalar
+//!   packet; the receiver grants at most `D` dialogs, each with `W` reorder
+//!   buffers. Bulk packets carry `{seq, dialog}`; in-order packets stream
+//!   through, out-of-order ones wait in the window. One combined ack per
+//!   `W/2` delivered packets. The sender exits by flagging the last packet.
+//! * **Acks** travel on the reply network and are consumed by the NIFDY
+//!   unit. Scalar packets are acked when the processor *accepts* them
+//!   (footnote 2's ack-on-insert variant is available for ablation).
+//! * **§6.2 extension.** With a retransmission timeout configured, the unit
+//!   keeps a copy and a timer per outstanding packet, retransmits on
+//!   timeout, and receivers discard duplicates via an alternating header bit
+//!   (scalar) or the window sequence numbers (bulk).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use nifdy_net::{AckInfo, BulkGrant, BulkTag, Fabric, Lane, Packet, Wire};
+use nifdy_sim::{Cycle, NodeId, PacketId};
+
+use crate::config::NifdyConfig;
+use crate::nic::{Delivered, Nic, NicStats, OutboundPacket};
+
+/// Sequence numbers travel on the wire modulo this space (the paper notes
+/// they "need only be as large as W"; we carry a byte and document that
+/// hardware would use `log2(2W)` bits).
+const SEQ_SPACE: u64 = 256;
+
+/// An entry in the outstanding packet table.
+#[derive(Debug)]
+struct OptEntry {
+    dst: NodeId,
+    sent_at: Cycle,
+    /// Copy kept for retransmission (§6.2 only).
+    copy: Option<Packet>,
+}
+
+/// Sender-side state of the single outgoing bulk dialog.
+#[derive(Debug)]
+struct OutDialog {
+    peer: NodeId,
+    dialog: u8,
+    window: u8,
+    /// Absolute count of bulk packets sent.
+    next_seq: u64,
+    /// Absolute count of bulk packets acknowledged.
+    acked: u64,
+    /// The exit packet has been sent; no further traffic to `peer` until the
+    /// dialog fully drains (preserves pairwise order).
+    exiting: bool,
+    /// Unacked copies for retransmission: (abs seq, packet, last sent).
+    copies: VecDeque<(u64, Packet, Cycle)>,
+}
+
+/// Receiver-side state of one granted dialog slot.
+#[derive(Debug)]
+struct InDialog {
+    peer: NodeId,
+    /// Absolute count of packets delivered in order (== next expected seq).
+    expected: u64,
+    /// Out-of-order packets buffered in the window, by absolute seq.
+    buf: BTreeMap<u64, Packet>,
+    /// Delivered count as of the last window ack sent.
+    last_acked: u64,
+}
+
+/// Tombstone for a recently closed dialog slot (lossy-network robustness:
+/// late retransmissions of the tail still get their final ack re-sent).
+#[derive(Debug, Clone, Copy)]
+struct ClosedDialog {
+    peer: NodeId,
+    final_count: u64,
+    until: Cycle,
+}
+
+/// A queued acknowledgment, charged the NIFDY processing latency.
+#[derive(Debug)]
+struct PendingAck {
+    dst: NodeId,
+    info: AckInfo,
+    ready_at: Cycle,
+}
+
+/// The NIFDY network interface unit.
+///
+/// # Examples
+///
+/// Two units exchanging a packet over a small mesh:
+///
+/// ```
+/// use nifdy::{Nic, NifdyConfig, NifdyUnit, OutboundPacket};
+/// use nifdy_net::topology::Mesh;
+/// use nifdy_net::{Fabric, FabricConfig};
+/// use nifdy_sim::NodeId;
+///
+/// let mut fab = Fabric::new(Box::new(Mesh::d2(2, 2)), FabricConfig::default());
+/// let mut a = NifdyUnit::new(NodeId::new(0), NifdyConfig::mesh());
+/// let mut b = NifdyUnit::new(NodeId::new(3), NifdyConfig::mesh());
+/// assert!(a.try_send(OutboundPacket::new(NodeId::new(3), 8), fab.now()));
+/// let got = loop {
+///     a.step(&mut fab);
+///     b.step(&mut fab);
+///     fab.step();
+///     if let Some(d) = b.poll(fab.now()) {
+///         break d;
+///     }
+///     assert!(fab.now().as_u64() < 10_000);
+/// };
+/// assert_eq!(got.src, NodeId::new(0));
+/// ```
+#[derive(Debug)]
+pub struct NifdyUnit {
+    node: NodeId,
+    cfg: NifdyConfig,
+    now: Cycle,
+    pkt_counter: u64,
+
+    // Sender side.
+    pool: VecDeque<OutboundPacket>,
+    opt: Vec<OptEntry>,
+    out_dialog: Option<OutDialog>,
+    bulk_request_pending: Option<NodeId>,
+    retx_queue: VecDeque<Packet>,
+    alt_bits: HashMap<NodeId, bool>,
+
+    // Receiver side.
+    arrivals: VecDeque<Packet>,
+    dialogs: Vec<Option<InDialog>>,
+    closed: Vec<Option<ClosedDialog>>,
+    peer_dialog: HashMap<NodeId, u8>,
+    ack_queue: VecDeque<PendingAck>,
+    ack_delay: VecDeque<(Cycle, NodeId, AckInfo)>,
+    last_insert_bit: HashMap<NodeId, bool>,
+    last_acked_bit: HashMap<NodeId, bool>,
+
+    stats: NicStats,
+}
+
+impl NifdyUnit {
+    /// Creates a NIFDY unit for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NifdyConfig::validate`].
+    pub fn new(node: NodeId, cfg: NifdyConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid NIFDY config: {e}");
+        }
+        let d = cfg.max_dialogs as usize;
+        NifdyUnit {
+            node,
+            now: Cycle::ZERO,
+            pkt_counter: 0,
+            pool: VecDeque::with_capacity(cfg.pool_entries as usize),
+            opt: Vec::with_capacity(cfg.opt_entries as usize),
+            out_dialog: None,
+            bulk_request_pending: None,
+            retx_queue: VecDeque::new(),
+            alt_bits: HashMap::new(),
+            arrivals: VecDeque::with_capacity(cfg.arrivals_capacity as usize),
+            dialogs: (0..d).map(|_| None).collect(),
+            closed: (0..d).map(|_| None).collect(),
+            peer_dialog: HashMap::new(),
+            ack_queue: VecDeque::new(),
+            ack_delay: VecDeque::new(),
+            last_insert_bit: HashMap::new(),
+            last_acked_bit: HashMap::new(),
+            stats: NicStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this unit runs with.
+    pub fn config(&self) -> &NifdyConfig {
+        &self.cfg
+    }
+
+    /// Number of scalar packets currently outstanding (OPT occupancy).
+    pub fn opt_occupancy(&self) -> usize {
+        self.opt.len()
+    }
+
+    /// Whether this unit currently holds an outgoing bulk dialog.
+    pub fn in_bulk_dialog(&self) -> bool {
+        self.out_dialog.is_some()
+    }
+
+    /// `(unacknowledged, window)` of the outgoing bulk dialog, if any.
+    /// The protocol invariant `unacknowledged <= window` always holds.
+    pub fn bulk_outstanding(&self) -> Option<(u64, u8)> {
+        self.out_dialog
+            .as_ref()
+            .map(|d| (d.next_seq - d.acked, d.window))
+    }
+
+    fn next_packet_id(&mut self) -> PacketId {
+        self.pkt_counter += 1;
+        PacketId::new(((self.node.index() as u64) << 40) | self.pkt_counter)
+    }
+
+    fn opt_contains(&self, dst: NodeId) -> bool {
+        self.opt.iter().any(|e| e.dst == dst)
+    }
+
+    /// Queued pool packets destined to `dst`, excluding index `skip`.
+    fn backlog_for(&self, dst: NodeId, skip: usize) -> usize {
+        self.pool
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| *i != skip && p.dst == dst)
+            .count()
+    }
+
+    fn queue_ack(&mut self, dst: NodeId, info: AckInfo) {
+        self.ack_queue.push_back(PendingAck {
+            dst,
+            info,
+            ready_at: self.now + u64::from(self.cfg.ack_proc_cycles),
+        });
+    }
+
+    /// Receiver-side bulk-grant decision for a scalar packet from `src` with
+    /// the given request bit.
+    fn decide_grant(&mut self, requested: bool, src: NodeId) -> BulkGrant {
+        if !requested {
+            return BulkGrant::NotRequested;
+        }
+        if let Some(&slot) = self.peer_dialog.get(&src) {
+            // Idempotent re-grant (duplicate request after a lost ack).
+            return BulkGrant::Granted {
+                dialog: slot,
+                window: self.cfg.window,
+            };
+        }
+        let free = self.dialogs.iter().enumerate().find(|(i, d)| {
+            d.is_none()
+                && self.closed[*i].is_none_or(|c| c.until <= self.now)
+        });
+        match free {
+            Some((slot, _)) => {
+                self.dialogs[slot] = Some(InDialog {
+                    peer: src,
+                    expected: 0,
+                    buf: BTreeMap::new(),
+                    last_acked: 0,
+                });
+                self.closed[slot] = None;
+                self.peer_dialog.insert(src, slot as u8);
+                self.stats.dialogs_granted.incr();
+                BulkGrant::Granted {
+                    dialog: slot as u8,
+                    window: self.cfg.window,
+                }
+            }
+            None => BulkGrant::Rejected,
+        }
+    }
+
+    /// Builds and queues the scalar ack for an accepted data packet.
+    fn ack_scalar(&mut self, pkt: &Packet) {
+        let Wire::Data {
+            bulk_request,
+            needs_ack,
+            dup_bit,
+            ..
+        } = pkt.wire
+        else {
+            return;
+        };
+        if !needs_ack {
+            return;
+        }
+        let grant = self.decide_grant(bulk_request, pkt.src);
+        self.last_acked_bit.insert(pkt.src, dup_bit);
+        self.queue_ack(pkt.src, AckInfo::Scalar { grant });
+    }
+
+    /// Processes a delayed acknowledgment (sender side).
+    fn handle_ack(&mut self, from: NodeId, info: AckInfo) {
+        self.stats.acks_received.incr();
+        match info {
+            AckInfo::Scalar { grant } => {
+                if let Some(i) = self.opt.iter().position(|e| e.dst == from) {
+                    self.opt.swap_remove(i);
+                }
+                match grant {
+                    BulkGrant::Granted { dialog, window } => {
+                        if self.bulk_request_pending == Some(from) && self.out_dialog.is_none() {
+                            self.out_dialog = Some(OutDialog {
+                                peer: from,
+                                dialog,
+                                window,
+                                next_seq: 0,
+                                acked: 0,
+                                exiting: false,
+                                copies: VecDeque::new(),
+                            });
+                        }
+                        if self.bulk_request_pending == Some(from) {
+                            self.bulk_request_pending = None;
+                        }
+                    }
+                    BulkGrant::Rejected => {
+                        if self.bulk_request_pending == Some(from) {
+                            self.bulk_request_pending = None;
+                            self.stats.dialogs_rejected.incr();
+                        }
+                    }
+                    BulkGrant::NotRequested => {}
+                }
+            }
+            AckInfo::Bulk {
+                dialog,
+                cum_seq,
+                terminate,
+            } => {
+                let Some(d) = &mut self.out_dialog else {
+                    return; // stale ack after the dialog closed
+                };
+                if d.peer != from || d.dialog != dialog {
+                    return;
+                }
+                // Reconstruct the absolute delivered count from the wire
+                // residue: the smallest count > acked congruent to cum+1.
+                let target = (u64::from(cum_seq) + 1) % SEQ_SPACE;
+                let delta = (target + SEQ_SPACE - (d.acked % SEQ_SPACE)) % SEQ_SPACE;
+                let count = d.acked + delta;
+                if count > d.next_seq {
+                    return; // acknowledges packets never sent: ignore
+                }
+                if count > d.acked {
+                    d.acked = count;
+                    while d.copies.front().is_some_and(|(s, _, _)| *s < count) {
+                        d.copies.pop_front();
+                    }
+                }
+                if terminate || (d.exiting && d.acked == d.next_seq) {
+                    self.out_dialog = None;
+                }
+            }
+        }
+    }
+
+    /// Handles an arriving bulk-mode data packet (receiver side).
+    fn receive_bulk(&mut self, pkt: Packet, tag: BulkTag) {
+        let slot = tag.dialog as usize;
+        if slot >= self.dialogs.len() || self.dialogs[slot].is_none() {
+            // Late retransmission for a closed dialog: re-send the final ack.
+            if let Some(c) = self.closed.get(slot).copied().flatten() {
+                if c.final_count > 0 {
+                    let cum = ((c.final_count - 1) % SEQ_SPACE) as u8;
+                    self.queue_ack(
+                        c.peer,
+                        AckInfo::Bulk {
+                            dialog: tag.dialog,
+                            cum_seq: cum,
+                            terminate: true,
+                        },
+                    );
+                }
+            }
+            self.stats.duplicates_dropped.incr();
+            return;
+        }
+        let d = self.dialogs[slot].as_mut().expect("checked above");
+        let delta = (u64::from(tag.seq) + SEQ_SPACE - (d.expected % SEQ_SPACE)) % SEQ_SPACE;
+        if delta >= u64::from(self.cfg.window) {
+            // Duplicate or out-of-window: discard, refresh the cumulative ack.
+            self.stats.duplicates_dropped.incr();
+            if d.expected > 0 {
+                let cum = ((d.expected - 1) % SEQ_SPACE) as u8;
+                let (peer, dialog) = (d.peer, tag.dialog);
+                self.queue_ack(
+                    peer,
+                    AckInfo::Bulk {
+                        dialog,
+                        cum_seq: cum,
+                        terminate: false,
+                    },
+                );
+            }
+            return;
+        }
+        let abs = d.expected + delta;
+        if delta > 0 {
+            self.stats.bulk_out_of_order.incr();
+        }
+        d.buf.entry(abs).or_insert(pkt);
+    }
+
+    /// Streams in-order bulk packets to the arrivals FIFO and emits window
+    /// acks at half-window boundaries and on dialog exit.
+    fn drain_dialogs(&mut self) {
+        for slot in 0..self.dialogs.len() {
+            loop {
+                if self.arrivals.len() >= self.cfg.arrivals_capacity as usize {
+                    return;
+                }
+                let Some(d) = self.dialogs[slot].as_mut() else {
+                    break;
+                };
+                let expected = d.expected;
+                let Some(pkt) = d.buf.remove(&expected) else {
+                    break;
+                };
+                d.expected += 1;
+                let exit = matches!(pkt.wire, Wire::Data { bulk_exit: true, .. });
+                let peer = d.peer;
+                let delivered = d.expected;
+                let half = if self.cfg.bulk_ack_every_packet {
+                    1
+                } else {
+                    u64::from(self.cfg.window) / 2
+                };
+                let boundary = delivered - d.last_acked >= half;
+                if boundary {
+                    d.last_acked = delivered;
+                }
+                self.arrivals.push_back(pkt);
+                if exit {
+                    // Final cumulative ack; free the slot with a tombstone.
+                    let cum = ((delivered - 1) % SEQ_SPACE) as u8;
+                    self.queue_ack(
+                        peer,
+                        AckInfo::Bulk {
+                            dialog: slot as u8,
+                            cum_seq: cum,
+                            terminate: false,
+                        },
+                    );
+                    let linger = self.cfg.retx_timeout.map_or(0, |t| 4 * t);
+                    self.closed[slot] = Some(ClosedDialog {
+                        peer,
+                        final_count: delivered,
+                        until: self.now + linger,
+                    });
+                    self.dialogs[slot] = None;
+                    self.peer_dialog.remove(&peer);
+                    break;
+                } else if boundary {
+                    let cum = ((delivered - 1) % SEQ_SPACE) as u8;
+                    self.queue_ack(
+                        peer,
+                        AckInfo::Bulk {
+                            dialog: slot as u8,
+                            cum_seq: cum,
+                            terminate: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handles an arriving scalar data packet; returns `false` if the
+    /// arrivals FIFO was full and the packet must stay in the fabric.
+    fn receive_scalar(&mut self, pkt: Packet) -> bool {
+        if self.arrivals.len() >= self.cfg.arrivals_capacity as usize {
+            return false;
+        }
+        let Wire::Data {
+            dup_bit, needs_ack, ..
+        } = pkt.wire
+        else {
+            unreachable!("acks are consumed on the reply lane");
+        };
+        if self.cfg.retx_timeout.is_some() && needs_ack {
+            if self.last_insert_bit.get(&pkt.src) == Some(&dup_bit) {
+                // Duplicate of a packet already inserted; re-ack only if the
+                // original was already accepted, otherwise stay silent (the
+                // original's ack is still coming).
+                self.stats.duplicates_dropped.incr();
+                if self.last_acked_bit.get(&pkt.src) == Some(&dup_bit) {
+                    let src = pkt.src;
+                    let Wire::Data { bulk_request, .. } = pkt.wire else {
+                        unreachable!()
+                    };
+                    let grant = self.decide_grant(bulk_request, src);
+                    self.queue_ack(src, AckInfo::Scalar { grant });
+                }
+                return true;
+            }
+            self.last_insert_bit.insert(pkt.src, dup_bit);
+        }
+        if self.cfg.ack_on_insert {
+            self.ack_scalar(&pkt);
+        }
+        self.arrivals.push_back(pkt);
+        true
+    }
+
+    /// Index of the first eligible pool packet, if any.
+    fn pick_eligible(&self) -> Option<usize> {
+        'outer: for (i, p) in self.pool.iter().enumerate() {
+            // FIFO per destination: an earlier queued packet to the same
+            // destination blocks this one (the rank unit's job).
+            for q in self.pool.iter().take(i) {
+                if q.dst == p.dst {
+                    continue 'outer;
+                }
+            }
+            if let Some(d) = &self.out_dialog {
+                if d.peer == p.dst {
+                    if d.exiting {
+                        continue; // preserve order across the dialog close
+                    }
+                    if d.next_seq - d.acked < u64::from(d.window) {
+                        return Some(i);
+                    }
+                    continue;
+                }
+            }
+            // Scalar path.
+            if !p.needs_ack {
+                return Some(i); // §6.1 bypass: no OPT interaction
+            }
+            if self.opt_contains(p.dst) || self.opt.len() >= self.cfg.opt_entries as usize {
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    /// Builds the wire packet for pool entry `i` and records protocol state.
+    fn launch(&mut self, i: usize) -> Packet {
+        let out = self.pool.remove(i).expect("index in range");
+        let id = self.next_packet_id();
+        let mut pkt = Packet::data(id, self.node, out.dst, out.size_words);
+        pkt.user = out.user;
+        pkt.stamp.created = self.now;
+
+        // §6.1: carry a pending ack for this destination instead of sending
+        // a standalone ack packet. No readiness check: the ack fields are
+        // computed while the data packet serializes, which takes longer than
+        // the NIFDY processing delay.
+        let piggy = if self.cfg.piggyback_acks {
+            self.ack_queue
+                .iter()
+                .position(|a| a.dst == out.dst)
+                .and_then(|idx| self.ack_queue.remove(idx))
+                .map(|a| {
+                    self.stats.acks_piggybacked.incr();
+                    a.info
+                })
+        } else {
+            None
+        };
+
+        let bulk = self
+            .out_dialog
+            .as_ref()
+            .is_some_and(|d| d.peer == out.dst && !d.exiting);
+        if bulk {
+            let d = self.out_dialog.as_mut().expect("checked above");
+            let seq = (d.next_seq % SEQ_SPACE) as u8;
+            d.next_seq += 1;
+            let exit = self.pool.iter().all(|q| q.dst != out.dst);
+            pkt.wire = Wire::Data {
+                bulk_request: false,
+                bulk_exit: exit,
+                bulk: Some(BulkTag {
+                    dialog: d.dialog,
+                    seq,
+                }),
+                needs_ack: true,
+                dup_bit: false,
+                piggy_ack: piggy,
+            };
+            if exit {
+                d.exiting = true;
+            }
+            if self.cfg.retx_timeout.is_some() {
+                let d = self.out_dialog.as_mut().expect("still in dialog");
+                d.copies.push_back((d.next_seq - 1, pkt.clone(), self.now));
+            }
+            self.stats.sent_bulk.incr();
+        } else {
+            let request = out.want_bulk
+                && self.out_dialog.is_none()
+                && self.bulk_request_pending.is_none()
+                && self.backlog_for(out.dst, usize::MAX)
+                    >= usize::from(self.cfg.bulk_request_min_backlog);
+            let dup_bit = if self.cfg.retx_timeout.is_some() {
+                let bit = self.alt_bits.entry(out.dst).or_insert(false);
+                *bit = !*bit;
+                *bit
+            } else {
+                false
+            };
+            pkt.wire = Wire::Data {
+                bulk_request: request,
+                bulk_exit: false,
+                bulk: None,
+                needs_ack: out.needs_ack,
+                dup_bit,
+                piggy_ack: piggy,
+            };
+            if out.needs_ack {
+                self.opt.push(OptEntry {
+                    dst: out.dst,
+                    sent_at: self.now,
+                    copy: self.cfg.retx_timeout.map(|_| pkt.clone()),
+                });
+            }
+            if request {
+                self.bulk_request_pending = Some(out.dst);
+            }
+        }
+        self.stats.sent.incr();
+        pkt
+    }
+
+    /// Fires retransmission timers (§6.2).
+    fn check_retx(&mut self) {
+        let Some(timeout) = self.cfg.retx_timeout else {
+            return;
+        };
+        for e in &mut self.opt {
+            if self.now.saturating_since(e.sent_at) >= timeout {
+                if let Some(copy) = &e.copy {
+                    self.retx_queue.push_back(copy.clone());
+                    self.stats.retransmitted.incr();
+                }
+                e.sent_at = self.now;
+            }
+        }
+        if let Some(d) = &mut self.out_dialog {
+            for (_, copy, sent_at) in &mut d.copies {
+                if self.now.saturating_since(*sent_at) >= timeout {
+                    self.retx_queue.push_back(copy.clone());
+                    self.stats.retransmitted.incr();
+                    *sent_at = self.now;
+                }
+            }
+        }
+    }
+}
+
+impl Nic for NifdyUnit {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn try_send(&mut self, pkt: OutboundPacket, now: Cycle) -> bool {
+        let _ = now;
+        if self.pool.len() >= self.cfg.pool_entries as usize {
+            self.stats.send_rejected.incr();
+            return false;
+        }
+        self.pool.push_back(pkt);
+        true
+    }
+
+    fn has_deliverable(&self) -> bool {
+        !self.arrivals.is_empty()
+    }
+
+    fn poll(&mut self, now: Cycle) -> Option<Delivered> {
+        self.now = now;
+        let pkt = self.arrivals.pop_front()?;
+        let is_scalar = matches!(pkt.wire, Wire::Data { bulk: None, .. });
+        if is_scalar && !self.cfg.ack_on_insert {
+            self.ack_scalar(&pkt);
+        }
+        self.stats.delivered.incr();
+        Some(Delivered {
+            src: pkt.src,
+            size_words: pkt.size_words,
+            user: pkt.user,
+        })
+    }
+
+    fn step(&mut self, fab: &mut Fabric) {
+        self.now = fab.now();
+
+        // 1. Consume acknowledgments (reply lane) through the processing
+        //    delay line.
+        while let Some(ack) = fab.eject(self.node, Lane::Reply) {
+            let ready = self.now + u64::from(self.cfg.ack_proc_cycles);
+            if let Wire::Ack(info) = ack.wire {
+                self.ack_delay.push_back((ready, ack.src, info));
+            }
+        }
+        while self.ack_delay.front().is_some_and(|(r, _, _)| *r <= self.now) {
+            let (_, from, info) = self.ack_delay.pop_front().expect("nonempty");
+            self.handle_ack(from, info);
+        }
+
+        // 2. Pull data packets from the fabric.
+        #[allow(clippy::while_let_loop)] // scalar branch breaks on backpressure
+        loop {
+            let Some(peek) = fab.peek_eject(self.node, Lane::Request) else {
+                break;
+            };
+            match peek.wire {
+                Wire::Data { bulk: Some(_), .. } => {
+                    let pkt = fab.eject(self.node, Lane::Request).expect("peeked");
+                    let Wire::Data {
+                        bulk: Some(tag),
+                        piggy_ack,
+                        ..
+                    } = pkt.wire
+                    else {
+                        unreachable!()
+                    };
+                    if let Some(info) = piggy_ack {
+                        let ready = self.now + u64::from(self.cfg.ack_proc_cycles);
+                        self.ack_delay.push_back((ready, pkt.src, info));
+                    }
+                    self.receive_bulk(pkt, tag);
+                }
+                Wire::Data { bulk: None, .. } => {
+                    if self.arrivals.len() >= self.cfg.arrivals_capacity as usize {
+                        break; // backpressure into the fabric
+                    }
+                    let pkt = fab.eject(self.node, Lane::Request).expect("peeked");
+                    if let Wire::Data {
+                        piggy_ack: Some(info),
+                        ..
+                    } = pkt.wire
+                    {
+                        let ready = self.now + u64::from(self.cfg.ack_proc_cycles);
+                        self.ack_delay.push_back((ready, pkt.src, info));
+                    }
+                    let accepted = self.receive_scalar(pkt);
+                    debug_assert!(accepted, "space was checked");
+                }
+                Wire::Ack(_) => {
+                    // Acks never travel on the request lane.
+                    let _ = fab.eject(self.node, Lane::Request);
+                    debug_assert!(false, "ack on request lane");
+                }
+            }
+        }
+
+        // 3. Stream reorder buffers to the processor FIFO, emitting window
+        //    acks.
+        self.drain_dialogs();
+
+        // 4. Retransmission timers.
+        self.check_retx();
+
+        // 5. Inject one standalone ack if the reply lane is free. With §6.1
+        //    piggybacking, an ack whose destination has reverse data queued
+        //    is held (briefly) so `launch` can carry it for free.
+        if fab.can_inject(self.node, Lane::Reply) {
+            let hold = self.cfg.piggyback_hold_cycles;
+            let idx = self.ack_queue.iter().position(|a| {
+                if a.ready_at > self.now {
+                    return false;
+                }
+                if !self.cfg.piggyback_acks {
+                    return true;
+                }
+                let reverse_data = self.pool.iter().any(|p| p.dst == a.dst);
+                !reverse_data || self.now.saturating_since(a.ready_at) >= hold
+            });
+            if let Some(idx) = idx {
+                let a = self.ack_queue.remove(idx).expect("index valid");
+                let id = self.next_packet_id();
+                let ack = Packet::ack(id, self.node, a.dst, a.info);
+                fab.inject(self.node, ack);
+                self.stats.acks_sent.incr();
+            }
+        }
+
+        // 6. Inject one data packet if the request lane is free:
+        //    retransmissions first, then the first eligible pool packet.
+        if fab.can_inject(self.node, Lane::Request) {
+            if let Some(copy) = self.retx_queue.pop_front() {
+                fab.inject(self.node, copy);
+            } else if let Some(i) = self.pick_eligible() {
+                let pkt = self.launch(i);
+                fab.inject(self.node, pkt);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pool.is_empty()
+            && self.retx_queue.is_empty()
+            && self.ack_queue.is_empty()
+            && self.ack_delay.is_empty()
+            && self.opt.is_empty()
+            && self.out_dialog.is_none()
+            && self.arrivals.is_empty()
+            && self.dialogs.iter().all(|d| d.is_none())
+    }
+
+    fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nifdy_net::{FabricConfig, UserData};
+    use nifdy_net::topology::Mesh;
+
+    fn unit(cfg: NifdyConfig) -> NifdyUnit {
+        NifdyUnit::new(NodeId::new(0), cfg)
+    }
+
+    fn fabric() -> Fabric {
+        Fabric::new(Box::new(Mesh::d2(2, 2)), FabricConfig::default())
+    }
+
+    #[test]
+    fn grant_is_idempotent_for_the_same_peer() {
+        let mut u = unit(NifdyConfig::new(4, 4, 2, 4));
+        let peer = NodeId::new(3);
+        let g1 = u.decide_grant(true, peer);
+        let g2 = u.decide_grant(true, peer);
+        assert_eq!(g1, g2, "duplicate requests must re-grant the same slot");
+        match g1 {
+            BulkGrant::Granted { window, .. } => assert_eq!(window, 4),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(u.stats.dialogs_granted.get(), 1, "only one real grant");
+    }
+
+    #[test]
+    fn grants_stop_at_the_dialog_limit() {
+        let mut u = unit(NifdyConfig::new(4, 4, 2, 4));
+        assert!(matches!(
+            u.decide_grant(true, NodeId::new(1)),
+            BulkGrant::Granted { .. }
+        ));
+        assert!(matches!(
+            u.decide_grant(true, NodeId::new(2)),
+            BulkGrant::Granted { .. }
+        ));
+        assert_eq!(u.decide_grant(true, NodeId::new(3)), BulkGrant::Rejected);
+        assert_eq!(u.decide_grant(false, NodeId::new(4)), BulkGrant::NotRequested);
+    }
+
+    #[test]
+    fn bulk_ack_reconstruction_handles_wraparound() {
+        let mut u = unit(NifdyConfig::new(4, 4, 1, 8));
+        let peer = NodeId::new(2);
+        u.out_dialog = Some(OutDialog {
+            peer,
+            dialog: 0,
+            window: 8,
+            next_seq: 300, // past the 256-value wire space
+            acked: 252,
+            exiting: false,
+            copies: VecDeque::new(),
+        });
+        // Receiver acks through absolute 259: wire residue (259 - 1) % 256 = 2.
+        u.handle_ack(
+            peer,
+            AckInfo::Bulk {
+                dialog: 0,
+                cum_seq: 2,
+                terminate: false,
+            },
+        );
+        assert_eq!(u.out_dialog.as_ref().expect("open").acked, 259);
+        // A stale ack (older residue) must be ignored, not regress.
+        u.handle_ack(
+            peer,
+            AckInfo::Bulk {
+                dialog: 0,
+                cum_seq: 250,
+                terminate: false,
+            },
+        );
+        assert_eq!(u.out_dialog.as_ref().expect("open").acked, 259);
+    }
+
+    #[test]
+    fn bulk_ack_never_acknowledges_unsent_packets() {
+        let mut u = unit(NifdyConfig::new(4, 4, 1, 8));
+        let peer = NodeId::new(2);
+        u.out_dialog = Some(OutDialog {
+            peer,
+            dialog: 0,
+            window: 8,
+            next_seq: 4,
+            acked: 0,
+            exiting: false,
+            copies: VecDeque::new(),
+        });
+        // cum 9 would mean 10 delivered > 4 sent: bogus, ignored.
+        u.handle_ack(
+            peer,
+            AckInfo::Bulk {
+                dialog: 0,
+                cum_seq: 9,
+                terminate: false,
+            },
+        );
+        assert_eq!(u.out_dialog.as_ref().expect("open").acked, 0);
+    }
+
+    #[test]
+    fn exiting_dialog_closes_on_final_ack() {
+        let mut u = unit(NifdyConfig::new(4, 4, 1, 4));
+        let peer = NodeId::new(1);
+        u.out_dialog = Some(OutDialog {
+            peer,
+            dialog: 0,
+            window: 4,
+            next_seq: 10,
+            acked: 8,
+            exiting: true,
+            copies: VecDeque::new(),
+        });
+        u.handle_ack(
+            peer,
+            AckInfo::Bulk {
+                dialog: 0,
+                cum_seq: 9,
+                terminate: false,
+            },
+        );
+        assert!(u.out_dialog.is_none(), "dialog must close after the exit ack");
+    }
+
+    #[test]
+    fn scalar_ack_clears_exactly_one_opt_entry() {
+        let mut u = unit(NifdyConfig::mesh());
+        u.opt.push(OptEntry {
+            dst: NodeId::new(1),
+            sent_at: Cycle::ZERO,
+            copy: None,
+        });
+        u.opt.push(OptEntry {
+            dst: NodeId::new(2),
+            sent_at: Cycle::ZERO,
+            copy: None,
+        });
+        u.handle_ack(
+            NodeId::new(1),
+            AckInfo::Scalar {
+                grant: BulkGrant::NotRequested,
+            },
+        );
+        assert_eq!(u.opt_occupancy(), 1);
+        assert_eq!(u.opt[0].dst, NodeId::new(2));
+        // A stale duplicate ack is harmless.
+        u.handle_ack(
+            NodeId::new(1),
+            AckInfo::Scalar {
+                grant: BulkGrant::NotRequested,
+            },
+        );
+        assert_eq!(u.opt_occupancy(), 1);
+    }
+
+    #[test]
+    fn out_of_window_bulk_arrivals_are_dropped_and_reacked() {
+        let mut u = unit(NifdyConfig::new(4, 4, 1, 4));
+        let peer = NodeId::new(3);
+        let grant = u.decide_grant(true, peer);
+        let BulkGrant::Granted { dialog, .. } = grant else {
+            panic!("grant expected");
+        };
+        // Deliver packet 0 in order.
+        let mk = |seq: u8| {
+            let mut p = Packet::data(PacketId::new(1), peer, NodeId::new(0), 8);
+            p.wire = Wire::Data {
+                bulk_request: false,
+                bulk_exit: false,
+                bulk: Some(BulkTag { dialog, seq }),
+                needs_ack: true,
+                dup_bit: false,
+                piggy_ack: None,
+            };
+            p.user = UserData::default();
+            p
+        };
+        u.receive_bulk(mk(0), BulkTag { dialog, seq: 0 });
+        u.drain_dialogs();
+        assert_eq!(u.arrivals.len(), 1);
+        // A duplicate of seq 0 (now below the window) is discarded and the
+        // cumulative ack refreshed.
+        let acks_before = u.ack_queue.len();
+        u.receive_bulk(mk(0), BulkTag { dialog, seq: 0 });
+        assert_eq!(u.arrivals.len(), 1, "duplicate delivered");
+        assert_eq!(u.stats.duplicates_dropped.get(), 1);
+        assert!(u.ack_queue.len() > acks_before, "no re-ack queued");
+    }
+
+    #[test]
+    fn pool_rejects_when_full_and_counts_it() {
+        let mut u = unit(NifdyConfig::new(2, 2, 0, 2));
+        let now = Cycle::ZERO;
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), now));
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(2), 8), now));
+        assert!(!u.try_send(OutboundPacket::new(NodeId::new(3), 8), now));
+        assert_eq!(u.stats().send_rejected.get(), 1);
+    }
+
+    #[test]
+    fn eligibility_respects_fifo_per_destination() {
+        let mut u = unit(NifdyConfig::new(4, 4, 0, 2));
+        let now = Cycle::ZERO;
+        // Two packets to node 1, one to node 2.
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), now));
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), now));
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(2), 8), now));
+        // First eligible is pool[0] (first to node 1).
+        assert_eq!(u.pick_eligible(), Some(0));
+        // Simulate launching it: node 1 now outstanding.
+        let pkt = u.launch(0);
+        assert_eq!(pkt.dst, NodeId::new(1));
+        // The second node-1 packet is blocked; node 2 is next eligible.
+        let idx = u.pick_eligible().expect("node 2 eligible");
+        assert_eq!(u.pool[idx].dst, NodeId::new(2));
+    }
+
+    #[test]
+    fn no_ack_packets_are_always_eligible() {
+        let mut u = unit(NifdyConfig::new(1, 4, 0, 2));
+        let now = Cycle::ZERO;
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), now));
+        let _ = u.launch(u.pick_eligible().expect("first"));
+        // OPT (size 1) is now full; an acked packet to node 2 is blocked...
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(2), 8), now));
+        assert_eq!(u.pick_eligible(), None);
+        // ...but a no-ack packet bypasses the OPT entirely.
+        let mut p = OutboundPacket::new(NodeId::new(3), 8);
+        p.needs_ack = false;
+        assert!(u.try_send(p, now));
+        let idx = u.pick_eligible().expect("bypass eligible");
+        assert_eq!(u.pool[idx].dst, NodeId::new(3));
+    }
+
+    #[test]
+    fn is_idle_reflects_every_queue() {
+        let mut fab = fabric();
+        let mut u = unit(NifdyConfig::mesh());
+        assert!(u.is_idle());
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), fab.now()));
+        assert!(!u.is_idle(), "pool occupancy must show");
+        u.step(&mut fab);
+        assert!(!u.is_idle(), "outstanding OPT entry must show");
+    }
+}

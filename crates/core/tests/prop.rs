@@ -1,0 +1,203 @@
+//! Property-based tests: the NIFDY delivery invariants must hold for
+//! arbitrary message schedules, fabrics, parameters, and loss rates.
+//!
+//! Invariants checked:
+//! 1. **Exactly-once**: every offered packet is delivered exactly once.
+//! 2. **In-order per pair**: packets from sender S arrive at receiver R in
+//!    the order S sent them.
+//! 3. **Window safety**: a sender never has more than `W` unacknowledged
+//!    bulk packets.
+//! 4. **OPT safety**: never more than `O` outstanding scalar packets.
+
+use nifdy::{Nic, NifdyConfig, NifdyUnit, OutboundPacket};
+use nifdy_net::topology::{Butterfly, FatTree, Mesh, Topology, Torus};
+use nifdy_net::{Fabric, FabricConfig, SwitchingPolicy, UserData};
+use nifdy_sim::NodeId;
+use proptest::prelude::*;
+
+/// One sender's workload: destination and packet count, bulk preference.
+#[derive(Debug, Clone)]
+struct Stream {
+    src: usize,
+    dst: usize,
+    count: u32,
+    bulk: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    topo: u8,
+    streams: Vec<Stream>,
+    o: u8,
+    b: u8,
+    w: u8,
+    drop: bool,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0u8..4,
+        proptest::collection::vec(
+            (0usize..16, 0usize..16, 1u32..25, any::<bool>()),
+            1..5,
+        ),
+        1u8..6,
+        1u8..6,
+        prop_oneof![Just(2u8), Just(4), Just(8)],
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(topo, raw, o, b, w, drop, seed)| Scenario {
+            topo,
+            streams: raw
+                .into_iter()
+                .map(|(src, dst, count, bulk)| Stream {
+                    src,
+                    dst: if dst == src { (dst + 1) % 16 } else { dst },
+                    count,
+                    bulk,
+                })
+                .collect(),
+            o,
+            b,
+            w,
+            drop,
+            seed,
+        })
+}
+
+fn build_fabric(sc: &Scenario) -> Fabric {
+    let topo: Box<dyn Topology> = match sc.topo {
+        0 => Box::new(Mesh::d2(4, 4)),
+        1 => Box::new(Torus::d2(4, 4)),
+        2 => Box::new(FatTree::new(16)),
+        _ => Box::new(Butterfly::new(16, 2, sc.seed)),
+    };
+    let mut cfg = FabricConfig::default().with_seed(sc.seed);
+    if sc.topo == 1 {
+        cfg = cfg.with_vcs_per_lane(2);
+    }
+    if sc.topo == 2 {
+        cfg = cfg
+            .with_policy(SwitchingPolicy::CutThrough)
+            .with_vc_buf_flits(8);
+    }
+    if sc.drop {
+        cfg = cfg.with_drop_prob(0.08);
+    }
+    Fabric::new(topo, cfg)
+}
+
+fn run_scenario(sc: Scenario) {
+    let mut fab = build_fabric(&sc);
+    let mut nic_cfg = NifdyConfig::new(sc.o, sc.b, 1, sc.w);
+    if sc.drop {
+        nic_cfg = nic_cfg.with_retx_timeout(2_500);
+    }
+    let mut nics: Vec<NifdyUnit> = (0..16)
+        .map(|i| NifdyUnit::new(NodeId::new(i), nic_cfg.clone()))
+        .collect();
+
+    let total: u32 = sc.streams.iter().map(|s| s.count).sum();
+    let mut cursors = vec![0u32; sc.streams.len()];
+    let mut received: Vec<Vec<(usize, u64, u32)>> = vec![Vec::new(); 16]; // (src, msg, idx)
+    let mut delivered = 0u32;
+    let o_limit = usize::from(sc.o);
+
+    let limit = 2_000_000u64;
+    while delivered < total {
+        for (k, st) in sc.streams.iter().enumerate() {
+            if cursors[k] < st.count {
+                let pkt = OutboundPacket::new(NodeId::new(st.dst), 8)
+                    .with_bulk(st.bulk)
+                    .with_user(UserData {
+                        msg_id: k as u64,
+                        pkt_index: cursors[k],
+                        msg_packets: st.count,
+                        user_words: 6,
+                    });
+                if nics[st.src].try_send(pkt, fab.now()) {
+                    cursors[k] += 1;
+                }
+            }
+        }
+        for nic in &mut nics {
+            nic.step(&mut fab);
+            // Invariants 3 and 4.
+            assert!(nic.opt_occupancy() <= o_limit, "OPT overflow");
+            if let Some((unacked, window)) = nic.bulk_outstanding() {
+                assert!(unacked <= u64::from(window), "window overflow");
+            }
+        }
+        fab.step();
+        for (i, nic) in nics.iter_mut().enumerate() {
+            if let Some(d) = nic.poll(fab.now()) {
+                received[i].push((d.src.index(), d.user.msg_id, d.user.pkt_index));
+                delivered += 1;
+            }
+        }
+        assert!(
+            fab.now().as_u64() < limit,
+            "deadlock/livelock: {delivered}/{total} delivered in {:?}",
+            sc
+        );
+    }
+
+    // Invariant 1: exactly once (counts match per stream).
+    for (k, st) in sc.streams.iter().enumerate() {
+        let n = received[st.dst]
+            .iter()
+            .filter(|(s, m, _)| *s == st.src && *m == k as u64)
+            .count();
+        assert_eq!(n, st.count as usize, "stream {k} miscounted");
+    }
+    // Invariant 2: per-(src,dst) order. All streams from the same src to the
+    // same dst must interleave in offered order; since each stream has its
+    // own msg_id and streams from one src are offered round-robin, we check
+    // order *within* each stream (global pairwise order across streams of
+    // the same pair is covered by the protocol tests).
+    for (k, st) in sc.streams.iter().enumerate() {
+        let idxs: Vec<u32> = received[st.dst]
+            .iter()
+            .filter(|(s, m, _)| *s == st.src && *m == k as u64)
+            .map(|(_, _, i)| *i)
+            .collect();
+        assert!(
+            idxs.windows(2).all(|w| w[0] < w[1]),
+            "stream {k} delivered out of order: {idxs:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 40,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn delivery_invariants_hold(sc in scenario()) {
+        run_scenario(sc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 20,
+        .. ProptestConfig::default()
+    })]
+
+    /// The analytic window formula is monotone and safe: longer round trips
+    /// never shrink the required window, and the result is always even.
+    #[test]
+    fn window_formula_is_monotone(rt1 in 1u64..2_000, rt2 in 1u64..2_000, tl in 1u64..500) {
+        let (lo, hi) = (rt1.min(rt2), rt1.max(rt2));
+        let w_lo = nifdy::analysis::min_window_combined_acks(lo, tl);
+        let w_hi = nifdy::analysis::min_window_combined_acks(hi, tl);
+        prop_assert!(w_lo <= w_hi);
+        prop_assert!(w_lo.is_multiple_of(2) && w_lo >= 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! CLI entry point: regenerate any table or figure of the NIFDY paper.
+//!
+//! ```text
+//! nifdy-experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all> [--full|--quick|--smoke] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+use nifdy_harness::{ext, fig23, fig4, fig5, fig6, fig78, fig9, sweep, table3, Scale};
+
+const USAGE: &str = "usage: nifdy-experiments \
+    <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
+    |ext:adaptive|ext:loadsweep> [--full|--quick|--smoke] [--seed N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = None;
+    let mut scale = Scale::Full;
+    let mut seed = 1u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(s) = Scale::from_flag(a) {
+            scale = s;
+        } else if a == "--seed" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if target.is_none() {
+            target = Some(a.clone());
+        } else {
+            eprintln!("unexpected argument '{a}'\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let all = target == "all";
+    let mut matched = false;
+    let mut want = |name: &str| -> bool {
+        let hit = all || target == name;
+        matched |= hit;
+        hit
+    };
+
+    if want("table3") {
+        let (table, _) = table3::run(seed);
+        println!("{table}");
+    }
+    if want("fig2") {
+        let (table, _) = fig23::run(true, scale, seed);
+        println!("{table}");
+    }
+    if want("fig3") {
+        let (table, _) = fig23::run(false, scale, seed);
+        println!("{table}");
+    }
+    if want("fig4") {
+        let (b_panel, o_panel, _) = fig4::run(scale, seed);
+        println!("{b_panel}");
+        println!("{o_panel}");
+    }
+    if want("fig5") {
+        let (maps, _, _) = fig5::run(scale, seed);
+        println!("{maps}");
+    }
+    if want("fig6") {
+        let (table, _) = fig6::run(scale, seed);
+        println!("{table}");
+    }
+    if want("fig7") {
+        let (table, _) = fig78::run(true, scale, seed);
+        println!("{table}");
+    }
+    if want("fig8") {
+        let (table, _) = fig78::run(false, scale, seed);
+        println!("{table}");
+    }
+    if want("fig9") {
+        let (scan, coalesce, _) = fig9::run(scale, seed);
+        println!("{scan}");
+        println!("{coalesce}");
+    }
+
+    if target == "ext:adaptive" {
+        let (table, _) = ext::run_adaptive(scale, seed);
+        println!("{table}");
+        matched = true;
+    }
+    if target == "ext:loadsweep" {
+        let (table, _) = ext::run_loadsweep(scale, seed);
+        println!("{table}");
+        matched = true;
+    }
+
+    if let Some(label) = target.strip_prefix("sweep:") {
+        match sweep::kind_from_label(label) {
+            Some(kind) => {
+                let (table, _) = sweep::run(kind, scale, seed);
+                println!("{table}");
+                matched = true;
+            }
+            None => {
+                eprintln!("unknown network '{label}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !matched {
+        eprintln!("unknown experiment '{target}'\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,126 @@
+//! Figures 2 and 3: packets delivered in 1,000,000 cycles, per network,
+//! for {no NIFDY, buffering only, NIFDY} under the heavy and light synthetic
+//! patterns of §4.1.
+
+use nifdy_net::Fabric;
+use nifdy_traffic::{Driver, NicChoice, SoftwareModel, SyntheticConfig};
+
+use crate::networks::NetworkKind;
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// One bar of Figure 2/3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThroughputPoint {
+    /// Network label.
+    pub network: &'static str,
+    /// Interface configuration label (`none` / `buffers` / `nifdy`).
+    pub config: &'static str,
+    /// Packets delivered to processors within the measurement window.
+    pub packets: u64,
+}
+
+/// Runs one synthetic-traffic cell.
+pub fn run_cell(kind: NetworkKind, choice: &NicChoice, heavy: bool, scale: Scale, seed: u64) -> u64 {
+    let fab = Fabric::new(kind.topology(64, seed), kind.fabric_config(seed));
+    let cfg = if heavy {
+        SyntheticConfig::heavy(seed)
+    } else {
+        SyntheticConfig::light(seed)
+    };
+    let mut driver = Driver::new(fab, choice, SoftwareModel::synthetic(), cfg.build(64));
+    driver.run_cycles(scale.cycles(1_000_000));
+    driver.packets_received()
+}
+
+/// Runs the full figure: every network × the three interface models.
+pub fn run(heavy: bool, scale: Scale, seed: u64) -> (Table, Vec<ThroughputPoint>) {
+    let title = if heavy {
+        format!(
+            "Figure 2: packets delivered in {} cycles, HEAVY synthetic traffic",
+            scale.cycles(1_000_000)
+        )
+    } else {
+        format!(
+            "Figure 3: packets delivered in {} cycles, LIGHT synthetic traffic",
+            scale.cycles(1_000_000)
+        )
+    };
+    let mut table = Table::new(
+        title,
+        vec![
+            "network".into(),
+            "none".into(),
+            "buffers".into(),
+            "nifdy".into(),
+            "nifdy/none".into(),
+        ],
+    );
+    let mut points = Vec::new();
+    for kind in NetworkKind::ALL {
+        let preset = kind.nifdy_preset();
+        let choices = [
+            NicChoice::Plain,
+            NicChoice::BuffersOnly(preset.clone()),
+            NicChoice::Nifdy(preset),
+        ];
+        let mut cells = Vec::new();
+        for choice in &choices {
+            let pkts = run_cell(kind, choice, heavy, scale, seed);
+            points.push(ThroughputPoint {
+                network: kind.label(),
+                config: choice.label(),
+                packets: pkts,
+            });
+            cells.push(pkts);
+        }
+        table.row(vec![
+            kind.label().into(),
+            cells[0].to_string(),
+            cells[1].to_string(),
+            cells[2].to_string(),
+            format!("{:.2}", cells[2] as f64 / cells[0].max(1) as f64),
+        ]);
+    }
+    (table, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_mesh_nifdy_beats_plain() {
+        let preset = NetworkKind::Mesh2D.nifdy_preset();
+        let plain = run_cell(
+            NetworkKind::Mesh2D,
+            &NicChoice::Plain,
+            true,
+            Scale::Smoke,
+            1,
+        );
+        let nifdy = run_cell(
+            NetworkKind::Mesh2D,
+            &NicChoice::Nifdy(preset),
+            true,
+            Scale::Smoke,
+            1,
+        );
+        assert!(plain > 0 && nifdy > 0);
+        assert!(
+            nifdy as f64 >= 0.9 * plain as f64,
+            "NIFDY must not collapse under heavy mesh traffic: {nifdy} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn light_fat_tree_all_configs_deliver() {
+        for choice in [
+            NicChoice::Plain,
+            NicChoice::Nifdy(NetworkKind::FatTree.nifdy_preset()),
+        ] {
+            let pkts = run_cell(NetworkKind::FatTree, &choice, false, Scale::Smoke, 2);
+            assert!(pkts > 0, "{:?} delivered nothing", choice.label());
+        }
+    }
+}

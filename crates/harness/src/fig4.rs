@@ -1,0 +1,116 @@
+//! Figure 4: scalability of the NIFDY parameters. Throughput on full fat
+//! trees of growing size, normalized to the same network without NIFDY,
+//! while sweeping the buffer pool size `B` (left panel) and the OPT size
+//! `O` (right panel). "Using only short messages and no bulk dialogs in
+//! order to concentrate on the effects of O and B."
+
+use nifdy::NifdyConfig;
+use nifdy_net::Fabric;
+use nifdy_traffic::{Driver, NicChoice, SoftwareModel, SyntheticConfig};
+
+use crate::networks::NetworkKind;
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Machine sizes swept (the paper goes to 256 nodes).
+pub const SIZES: [usize; 3] = [16, 64, 256];
+/// Parameter values swept for both `B` and `O`.
+pub const SWEEP: [u8; 4] = [2, 4, 8, 16];
+
+/// One measured point of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Machine size in nodes.
+    pub nodes: usize,
+    /// Swept parameter name (`"B"` or `"O"`).
+    pub param: &'static str,
+    /// Swept parameter value.
+    pub value: u8,
+    /// Throughput relative to the plain interface on the same network.
+    pub normalized: f64,
+}
+
+fn throughput(nodes: usize, choice: &NicChoice, scale: Scale, seed: u64) -> u64 {
+    let kind = NetworkKind::FatTree;
+    let fab = Fabric::new(kind.topology(nodes, seed), kind.fabric_config(seed));
+    let cfg = SyntheticConfig::short_messages(seed);
+    let mut driver = Driver::new(fab, choice, SoftwareModel::synthetic(), cfg.build(nodes));
+    driver.run_cycles(scale.cycles(400_000));
+    driver.packets_received()
+}
+
+/// Runs both panels of Figure 4.
+pub fn run(scale: Scale, seed: u64) -> (Table, Table, Vec<ScalePoint>) {
+    let mut points = Vec::new();
+    let mut panel = |param: &'static str| -> Table {
+        let mut t = Table::new(
+            format!("Figure 4 ({param} sweep): fat-tree throughput normalized to no-NIFDY"),
+            std::iter::once("nodes".to_string())
+                .chain(SWEEP.iter().map(|v| format!("{param}={v}")))
+                .collect(),
+        );
+        for &nodes in &SIZES {
+            let base = throughput(nodes, &NicChoice::Plain, scale, seed).max(1);
+            let mut row = vec![nodes.to_string()];
+            for &v in &SWEEP {
+                let cfg = if param == "B" {
+                    NifdyConfig::new(8, v, 0, 2)
+                } else {
+                    NifdyConfig::new(v, 8, 0, 2)
+                };
+                let t = throughput(nodes, &NicChoice::Nifdy(cfg), scale, seed);
+                let norm = t as f64 / base as f64;
+                points.push(ScalePoint {
+                    nodes,
+                    param,
+                    value: v,
+                    normalized: norm,
+                });
+                row.push(format!("{norm:.2}"));
+            }
+            t.row(row);
+        }
+        t
+    };
+    let b_panel = panel("B");
+    let o_panel = panel("O");
+    (b_panel, o_panel, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_throughput_is_sane_at_16_nodes() {
+        let base = throughput(16, &NicChoice::Plain, Scale::Smoke, 3).max(1);
+        let nifdy = throughput(
+            16,
+            &NicChoice::Nifdy(NifdyConfig::new(8, 8, 0, 2)),
+            Scale::Smoke,
+            3,
+        );
+        let norm = nifdy as f64 / base as f64;
+        assert!(norm > 0.5 && norm < 4.0, "normalized throughput {norm}");
+    }
+
+    #[test]
+    fn bigger_pools_do_not_hurt() {
+        let small = throughput(
+            16,
+            &NicChoice::Nifdy(NifdyConfig::new(8, 2, 0, 2)),
+            Scale::Smoke,
+            4,
+        );
+        let large = throughput(
+            16,
+            &NicChoice::Nifdy(NifdyConfig::new(8, 16, 0, 2)),
+            Scale::Smoke,
+            4,
+        );
+        assert!(
+            large as f64 >= 0.8 * small as f64,
+            "B=16 ({large}) collapsed vs B=2 ({small})"
+        );
+    }
+}

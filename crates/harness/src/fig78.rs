@@ -1,0 +1,139 @@
+//! Figures 7 and 8: EM3D cycles per iteration across networks, for the four
+//! interface configurations. `nifdy-` is NIFDY's flow control only (the
+//! library still reorders in software); `nifdy` additionally exploits
+//! in-order delivery. "For networks that deliver packets in order (the 2D
+//! mesh and the butterfly), the library intended for in-order delivery was
+//! used for all runs."
+
+use nifdy_net::Fabric;
+use nifdy_traffic::{Driver, Em3dParams, NicChoice, SoftwareModel};
+
+use crate::networks::NetworkKind;
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// One EM3D measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Em3dPoint {
+    /// Network label.
+    pub network: &'static str,
+    /// Interface configuration label.
+    pub config: &'static str,
+    /// Average cycles per EM3D iteration.
+    pub cycles_per_iter: f64,
+}
+
+/// Runs one EM3D cell.
+pub fn run_cell(
+    kind: NetworkKind,
+    choice: &NicChoice,
+    inorder_library: bool,
+    less_comm: bool,
+    scale: Scale,
+    seed: u64,
+) -> f64 {
+    let fab = Fabric::new(kind.topology(64, seed), kind.fabric_config(seed));
+    // In-order networks always get the in-order library.
+    let inorder = inorder_library || !kind.reorders();
+    let sw = SoftwareModel::cm5_library(!inorder);
+    let mut params = if less_comm {
+        Em3dParams::less_communication(seed)
+    } else {
+        Em3dParams::more_communication(seed)
+    };
+    // Scale the graph volume with the run scale: communication traffic is
+    // linear in n_nodes, so shapes are preserved.
+    match scale {
+        Scale::Full => params.iters = 3,
+        Scale::Quick => {
+            params.iters = 2;
+            params.n_nodes /= 4;
+        }
+        Scale::Smoke => {
+            params.iters = 1;
+            params.n_nodes /= 10;
+        }
+    }
+    let iters = params.iters;
+    let mut driver = Driver::new(fab, choice, sw, params.build(64, sw));
+    let finished = driver.run_until_quiet(scale.cycles(400_000_000));
+    debug_assert!(finished, "EM3D did not drain");
+    driver.fabric().now().as_u64() as f64 / f64::from(iters)
+}
+
+/// Runs a full EM3D figure (7 when `less_comm`, 8 otherwise).
+pub fn run(less_comm: bool, scale: Scale, seed: u64) -> (Table, Vec<Em3dPoint>) {
+    let figure = if less_comm { 7 } else { 8 };
+    let mut table = Table::new(
+        format!(
+            "Figure {figure}: EM3D cycles per iteration ({} communication)",
+            if less_comm { "less" } else { "more" }
+        ),
+        vec![
+            "network".into(),
+            "none".into(),
+            "buffers".into(),
+            "nifdy-".into(),
+            "nifdy".into(),
+        ],
+    );
+    let mut points = Vec::new();
+    for kind in NetworkKind::ALL {
+        let preset = kind.nifdy_preset();
+        let cases: [(&'static str, NicChoice, bool); 4] = [
+            ("none", NicChoice::Plain, false),
+            ("buffers", NicChoice::BuffersOnly(preset.clone()), false),
+            ("nifdy-", NicChoice::Nifdy(preset.clone()), false),
+            ("nifdy", NicChoice::Nifdy(preset), true),
+        ];
+        let mut row = vec![kind.label().to_string()];
+        for (label, choice, inorder) in cases {
+            let cpi = run_cell(kind, &choice, inorder, less_comm, scale, seed);
+            points.push(Em3dPoint {
+                network: kind.label(),
+                config: label,
+                cycles_per_iter: cpi,
+            });
+            row.push(format!("{cpi:.0}"));
+        }
+        table.row(row);
+    }
+    (table, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn em3d_runs_on_a_reordering_network() {
+        let kind = NetworkKind::FatTree;
+        let preset = kind.nifdy_preset();
+        let without = run_cell(kind, &NicChoice::Plain, false, false, Scale::Smoke, 2);
+        let with = run_cell(
+            kind,
+            &NicChoice::Nifdy(preset),
+            true,
+            false,
+            Scale::Smoke,
+            2,
+        );
+        assert!(without > 0.0 && with > 0.0);
+        // In-order payload gain: NIFDY sends fewer packets, so it should not
+        // be dramatically slower.
+        assert!(
+            with <= 1.5 * without,
+            "nifdy {with} vs plain {without} looks wrong"
+        );
+    }
+
+    #[test]
+    fn in_order_networks_force_the_in_order_library() {
+        // On the 2D mesh the `inorder_library` flag is irrelevant: both
+        // cells must agree exactly (same library, same NIC).
+        let kind = NetworkKind::Mesh2D;
+        let a = run_cell(kind, &NicChoice::Plain, false, true, Scale::Smoke, 3);
+        let b = run_cell(kind, &NicChoice::Plain, true, true, Scale::Smoke, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! Experiment harness: regenerates every table and figure of the NIFDY
+//! paper's evaluation (§4) over the fabrics, protocol, and workloads of the
+//! sibling crates.
+//!
+//! Each `figN` module runs one figure and returns both a rendered
+//! [`Table`] (the same rows/series the paper reports) and typed data points
+//! for programmatic use. The `nifdy-experiments` binary dispatches on a
+//! figure name:
+//!
+//! ```text
+//! nifdy-experiments fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all [--full|--quick|--smoke]
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use nifdy_harness::{table3, Scale};
+//!
+//! let (table, profiles) = table3::run(1);
+//! assert_eq!(profiles.len(), 8);
+//! println!("{table}");
+//! # let _ = Scale::Smoke;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ext;
+pub mod fig23;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig78;
+pub mod fig9;
+mod networks;
+mod report;
+mod scale;
+pub mod sweep;
+pub mod table3;
+
+pub use networks::NetworkKind;
+pub use report::{heat_map, Table};
+pub use scale::Scale;

@@ -1,0 +1,157 @@
+//! The catalog of simulated networks (§3 / Table 3 of the paper), with the
+//! fabric settings and best NIFDY parameters for each.
+
+use nifdy::NifdyConfig;
+use nifdy_net::topology::{Butterfly, Cm5FatTree, FatTree, Mesh, Topology, Torus};
+use nifdy_net::{FabricConfig, SwitchingPolicy};
+
+/// One of the paper's simulated 64-node networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// 8×8 wormhole mesh, 1-byte links, 2-flit channel buffers.
+    Mesh2D,
+    /// 4×4×4 wormhole mesh.
+    Mesh3D,
+    /// 8×8 wormhole torus with dateline VCs.
+    Torus2D,
+    /// Full 4-ary fat tree, cut-through.
+    FatTree,
+    /// Full 4-ary fat tree, store-and-forward.
+    SfFatTree,
+    /// CM-5-like fat tree: two parents in the lower levels, 4-bit links
+    /// (strict time multiplexing of the two logical networks).
+    Cm5,
+    /// Radix-4 butterfly, dilation 1 (single path).
+    Butterfly,
+    /// Radix-4 multibutterfly, dilation 2 (adaptive multipath).
+    Multibutterfly,
+}
+
+impl NetworkKind {
+    /// The eight networks of Figures 2/3/7/8, in presentation order.
+    pub const ALL: [NetworkKind; 8] = [
+        NetworkKind::FatTree,
+        NetworkKind::Cm5,
+        NetworkKind::SfFatTree,
+        NetworkKind::Mesh2D,
+        NetworkKind::Torus2D,
+        NetworkKind::Mesh3D,
+        NetworkKind::Butterfly,
+        NetworkKind::Multibutterfly,
+    ];
+
+    /// Short label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkKind::Mesh2D => "mesh-2d",
+            NetworkKind::Mesh3D => "mesh-3d",
+            NetworkKind::Torus2D => "torus-2d",
+            NetworkKind::FatTree => "fat-tree",
+            NetworkKind::SfFatTree => "sf-fat-tree",
+            NetworkKind::Cm5 => "cm5-fat-tree",
+            NetworkKind::Butterfly => "butterfly",
+            NetworkKind::Multibutterfly => "multibfly",
+        }
+    }
+
+    /// Builds the topology at `nodes` nodes (64 for the standard runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind cannot be built at that size (e.g. a non-square
+    /// mesh size).
+    pub fn topology(&self, nodes: usize, seed: u64) -> Box<dyn Topology> {
+        match self {
+            NetworkKind::Mesh2D => {
+                let side = (nodes as f64).sqrt() as usize;
+                assert_eq!(side * side, nodes, "mesh-2d needs a square node count");
+                Box::new(Mesh::d2(side, side))
+            }
+            NetworkKind::Mesh3D => {
+                let side = (nodes as f64).cbrt().round() as usize;
+                assert_eq!(side * side * side, nodes, "mesh-3d needs a cubic node count");
+                Box::new(Mesh::d3(side, side, side))
+            }
+            NetworkKind::Torus2D => {
+                let side = (nodes as f64).sqrt() as usize;
+                assert_eq!(side * side, nodes, "torus-2d needs a square node count");
+                Box::new(Torus::d2(side, side))
+            }
+            NetworkKind::FatTree | NetworkKind::SfFatTree => Box::new(FatTree::new(nodes)),
+            NetworkKind::Cm5 => Box::new(Cm5FatTree::new(nodes)),
+            NetworkKind::Butterfly => Box::new(Butterfly::new(nodes, 1, seed)),
+            NetworkKind::Multibutterfly => Box::new(Butterfly::new(nodes, 2, seed)),
+        }
+    }
+
+    /// The fabric configuration the paper uses for this network.
+    pub fn fabric_config(&self, seed: u64) -> FabricConfig {
+        let base = FabricConfig::default().with_seed(seed);
+        match self {
+            NetworkKind::Mesh2D | NetworkKind::Mesh3D => base,
+            NetworkKind::Torus2D => base.with_vcs_per_lane(2),
+            NetworkKind::FatTree => base
+                .with_policy(SwitchingPolicy::CutThrough)
+                .with_vc_buf_flits(8),
+            NetworkKind::SfFatTree => base
+                .with_policy(SwitchingPolicy::StoreAndForward)
+                .with_vc_buf_flits(8),
+            NetworkKind::Cm5 => base.with_vc_buf_flits(4).with_time_mux(true),
+            NetworkKind::Butterfly | NetworkKind::Multibutterfly => base,
+        }
+    }
+
+    /// The best NIFDY parameters for this network (Table 3 / §2.4.3).
+    pub fn nifdy_preset(&self) -> NifdyConfig {
+        match self {
+            NetworkKind::Mesh2D | NetworkKind::Mesh3D => NifdyConfig::mesh(),
+            NetworkKind::Torus2D => NifdyConfig::torus(),
+            NetworkKind::FatTree | NetworkKind::Multibutterfly => NifdyConfig::fat_tree(),
+            NetworkKind::SfFatTree => NifdyConfig::store_and_forward_fat_tree(),
+            NetworkKind::Cm5 => NifdyConfig::cm5(),
+            NetworkKind::Butterfly => NifdyConfig::butterfly(),
+        }
+    }
+
+    /// Whether the underlying network can reorder packets of one pair.
+    pub fn reorders(&self) -> bool {
+        self.topology(64, 0).reorders()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_networks_build_at_64_nodes() {
+        for kind in NetworkKind::ALL {
+            let topo = kind.topology(64, 1);
+            assert_eq!(topo.num_nodes(), 64, "{}", kind.label());
+            let cfg = kind.fabric_config(1);
+            assert_eq!(cfg.validate(), Ok(()), "{}", kind.label());
+            assert!(cfg.vcs_per_lane >= topo.min_vcs_per_lane());
+        }
+    }
+
+    #[test]
+    fn presets_follow_the_paper() {
+        assert_eq!(NetworkKind::Butterfly.nifdy_preset().max_dialogs, 0);
+        assert!(
+            NetworkKind::SfFatTree.nifdy_preset().window
+                > NetworkKind::FatTree.nifdy_preset().window
+        );
+        assert!(
+            NetworkKind::Cm5.nifdy_preset().window <= NetworkKind::FatTree.nifdy_preset().window
+        );
+    }
+
+    #[test]
+    fn reordering_classification() {
+        assert!(!NetworkKind::Mesh2D.reorders());
+        assert!(!NetworkKind::Butterfly.reorders());
+        assert!(NetworkKind::FatTree.reorders());
+        assert!(NetworkKind::Multibutterfly.reorders());
+        assert!(NetworkKind::Cm5.reorders());
+    }
+}

@@ -1,0 +1,59 @@
+//! Run-length scaling, so the same experiments serve the full paper-scale
+//! reproduction, quick checks, and CI-sized smoke tests.
+
+/// How long to run each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's measurement windows (e.g. 1,000,000 cycles for
+    /// Figures 2/3).
+    Full,
+    /// One tenth of the full windows: shapes hold, runs are fast.
+    Quick,
+    /// One fiftieth: just enough to exercise every code path (tests).
+    Smoke,
+}
+
+impl Scale {
+    /// Scales a full-size cycle budget.
+    pub fn cycles(&self, full: u64) -> u64 {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => full / 10,
+            Scale::Smoke => full / 50,
+        }
+    }
+
+    /// Scales a work-item count (phases, words, keys) with a floor of 1.
+    pub fn count(&self, full: u64) -> u64 {
+        self.cycles(full).max(1)
+    }
+
+    /// Parses a CLI flag.
+    pub fn from_flag(flag: &str) -> Option<Scale> {
+        match flag {
+            "--full" => Some(Scale::Full),
+            "--quick" => Some(Scale::Quick),
+            "--smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_divide_budgets() {
+        assert_eq!(Scale::Full.cycles(1_000_000), 1_000_000);
+        assert_eq!(Scale::Quick.cycles(1_000_000), 100_000);
+        assert_eq!(Scale::Smoke.cycles(1_000_000), 20_000);
+        assert_eq!(Scale::Smoke.count(10), 1);
+    }
+
+    #[test]
+    fn flags_parse() {
+        assert_eq!(Scale::from_flag("--quick"), Some(Scale::Quick));
+        assert_eq!(Scale::from_flag("--bogus"), None);
+    }
+}

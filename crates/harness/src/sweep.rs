@@ -1,0 +1,105 @@
+//! Empirical NIFDY parameter sweep — how the paper found its Table 3
+//! values: "to learn which NIFDY parameters were best for which networks
+//! ... we ran many simulations for each network" under both synthetic
+//! patterns.
+
+use nifdy::NifdyConfig;
+use nifdy_traffic::NicChoice;
+
+use crate::fig23::run_cell;
+use crate::networks::NetworkKind;
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// One sweep sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// `(O, B, D, W)`.
+    pub params: (u8, u8, u8, u8),
+    /// Packets delivered under heavy traffic.
+    pub heavy: u64,
+    /// Packets delivered under light traffic.
+    pub light: u64,
+    /// Combined score (geometric mean of the two).
+    pub score: f64,
+}
+
+/// Grid values swept.
+pub const O_VALUES: [u8; 3] = [2, 4, 8];
+/// Grid values swept.
+pub const B_VALUES: [u8; 3] = [4, 8, 16];
+/// Grid values swept.
+pub const W_VALUES: [u8; 3] = [2, 4, 8];
+
+/// Sweeps the parameter grid for one network, scoring each setting by the
+/// geometric mean of heavy- and light-traffic throughput (the paper chose
+/// parameters "to give the best average performance with both test traffic
+/// patterns").
+pub fn run(kind: NetworkKind, scale: Scale, seed: u64) -> (Table, Vec<SweepPoint>) {
+    let mut points = Vec::new();
+    for o in O_VALUES {
+        for b in B_VALUES {
+            for d in [0u8, 1] {
+                for w in W_VALUES {
+                    if d == 0 && w != W_VALUES[0] {
+                        continue; // W is irrelevant without dialogs
+                    }
+                    let cfg = NifdyConfig::new(o, b, d, w);
+                    let choice = NicChoice::Nifdy(cfg);
+                    let heavy = run_cell(kind, &choice, true, scale, seed);
+                    let light = run_cell(kind, &choice, false, scale, seed);
+                    let score = ((heavy as f64) * (light as f64)).sqrt();
+                    points.push(SweepPoint {
+                        params: (o, b, d, w),
+                        heavy,
+                        light,
+                        score,
+                    });
+                }
+            }
+        }
+    }
+    points.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let mut table = Table::new(
+        format!("Parameter sweep on {} (best first)", kind.label()),
+        vec![
+            "O".into(),
+            "B".into(),
+            "D".into(),
+            "W".into(),
+            "heavy".into(),
+            "light".into(),
+            "score".into(),
+        ],
+    );
+    for p in points.iter().take(12) {
+        table.row(vec![
+            p.params.0.to_string(),
+            p.params.1.to_string(),
+            p.params.2.to_string(),
+            p.params.3.to_string(),
+            p.heavy.to_string(),
+            p.light.to_string(),
+            format!("{:.0}", p.score),
+        ]);
+    }
+    (table, points)
+}
+
+/// Parses a network label as used on the CLI.
+pub fn kind_from_label(label: &str) -> Option<NetworkKind> {
+    NetworkKind::ALL.into_iter().find(|k| k.label() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in NetworkKind::ALL {
+            assert_eq!(kind_from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(kind_from_label("nope"), None);
+    }
+}

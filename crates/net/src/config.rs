@@ -1,0 +1,208 @@
+//! Fabric-wide configuration knobs.
+
+/// How routers forward packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SwitchingPolicy {
+    /// Wormhole routing: a flit may advance as soon as the downstream virtual
+    /// channel has space for one flit; a blocked worm stalls in place across
+    /// several routers.
+    #[default]
+    Wormhole,
+    /// Virtual cut-through: the head may advance only if the downstream
+    /// virtual channel can buffer the *entire* packet, so blocked packets
+    /// collapse into one router instead of stalling across links.
+    CutThrough,
+    /// Store-and-forward: additionally, the whole packet must be present in
+    /// the local buffer before the head may advance.
+    StoreAndForward,
+}
+
+/// Static configuration of a [`Fabric`](crate::Fabric).
+///
+/// Defaults follow the paper's common case: one-byte-wide links (a 32-bit
+/// flit serializes in 4 cycles), wormhole switching, one virtual channel per
+/// logical network, two-flit channel buffers (the simulated mesh's "each flit
+/// buffer holds at most two flits").
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_net::{FabricConfig, SwitchingPolicy};
+///
+/// let cfg = FabricConfig::default()
+///     .with_policy(SwitchingPolicy::CutThrough)
+///     .with_vc_buf_flits(8);
+/// assert_eq!(cfg.vc_buf_flits, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricConfig {
+    /// Virtual channels per logical network (lane). Tori need 2 for
+    /// dateline deadlock avoidance; meshes need only 1.
+    pub vcs_per_lane: u8,
+    /// Capacity of each virtual-channel buffer, in flits.
+    pub vc_buf_flits: u16,
+    /// Forwarding policy.
+    pub policy: SwitchingPolicy,
+    /// Cycles to serialize one flit across a link (4 for the paper's 1-byte
+    /// links carrying 32-bit flits; combined with [`time_mux_lanes`] this
+    /// reproduces the CM-5's 4-bits-per-cycle-per-network links).
+    ///
+    /// [`time_mux_lanes`]: FabricConfig::time_mux_lanes
+    pub flit_cycles: u16,
+    /// If set, the two lanes are *strictly* time-multiplexed: a link advances
+    /// request flits only on even cycles and reply flits only on odd cycles,
+    /// as on the CM-5 ("each network is limited to eight bits every two
+    /// cycles regardless of the traffic on the other network"). When unset,
+    /// lanes are demand-multiplexed over the full link bandwidth.
+    pub time_mux_lanes: bool,
+    /// Capacity of each node's ejection-ready queue, in packets per lane.
+    /// When full, completed packets hold their assembly buffers and flits
+    /// back up into the fabric (end-point congestion becomes secondary
+    /// blocking).
+    pub eject_ready_pkts: u16,
+    /// Largest packet the fabric must carry, in flits; sizes ejection
+    /// assembly buffers and the cut-through reservation check.
+    pub max_packet_flits: u16,
+    /// Probability that a fully delivered packet is dropped at the receiving
+    /// edge instead of being handed to the NIC. `0.0` models the reliable
+    /// MPP networks of §1.1; nonzero exercises the §6.2 retransmission
+    /// extension.
+    pub drop_prob: f64,
+    /// Seed for the fabric's internal randomness (adaptive route choice,
+    /// drop lottery).
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            vcs_per_lane: 1,
+            vc_buf_flits: 2,
+            policy: SwitchingPolicy::Wormhole,
+            flit_cycles: 4,
+            time_mux_lanes: false,
+            eject_ready_pkts: 1,
+            max_packet_flits: 8,
+            drop_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Sets the switching policy.
+    pub fn with_policy(mut self, policy: SwitchingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-VC buffer capacity in flits.
+    pub fn with_vc_buf_flits(mut self, flits: u16) -> Self {
+        self.vc_buf_flits = flits;
+        self
+    }
+
+    /// Sets the number of virtual channels per lane.
+    pub fn with_vcs_per_lane(mut self, vcs: u8) -> Self {
+        self.vcs_per_lane = vcs;
+        self
+    }
+
+    /// Sets the flit serialization time in cycles.
+    pub fn with_flit_cycles(mut self, cycles: u16) -> Self {
+        self.flit_cycles = cycles;
+        self
+    }
+
+    /// Enables or disables strict lane time multiplexing (CM-5 style).
+    pub fn with_time_mux(mut self, on: bool) -> Self {
+        self.time_mux_lanes = on;
+        self
+    }
+
+    /// Sets the edge drop probability for lossy-network experiments.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the fabric randomness seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum packet size in flits.
+    pub fn with_max_packet_flits(mut self, flits: u16) -> Self {
+        self.max_packet_flits = flits;
+        self
+    }
+
+    /// Total virtual channels per input port (both lanes).
+    #[inline]
+    pub fn total_vcs(&self) -> usize {
+        2 * self.vcs_per_lane as usize
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint, e.g. a
+    /// cut-through configuration whose VC buffers cannot hold a whole packet.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vcs_per_lane == 0 {
+            return Err("vcs_per_lane must be at least 1".into());
+        }
+        if self.vc_buf_flits == 0 {
+            return Err("vc_buf_flits must be at least 1".into());
+        }
+        if self.flit_cycles == 0 {
+            return Err("flit_cycles must be at least 1".into());
+        }
+        if self.max_packet_flits == 0 {
+            return Err("max_packet_flits must be at least 1".into());
+        }
+        if self.policy != SwitchingPolicy::Wormhole && self.vc_buf_flits < self.max_packet_flits {
+            return Err(format!(
+                "{:?} requires vc_buf_flits ({}) >= max_packet_flits ({})",
+                self.policy, self.vc_buf_flits, self.max_packet_flits
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.drop_prob) {
+            return Err("drop_prob must be within [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(FabricConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn cut_through_needs_packet_sized_buffers() {
+        let cfg = FabricConfig::default().with_policy(SwitchingPolicy::CutThrough);
+        assert!(cfg.validate().is_err());
+        let ok = cfg.with_vc_buf_flits(8);
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejects_degenerate_values() {
+        assert!(FabricConfig::default().with_vcs_per_lane(0).validate().is_err());
+        assert!(FabricConfig::default().with_vc_buf_flits(0).validate().is_err());
+        assert!(FabricConfig::default().with_flit_cycles(0).validate().is_err());
+        assert!(FabricConfig::default().with_drop_prob(1.5).validate().is_err());
+    }
+
+    #[test]
+    fn total_vcs_covers_both_lanes() {
+        assert_eq!(FabricConfig::default().with_vcs_per_lane(2).total_vcs(), 4);
+    }
+}

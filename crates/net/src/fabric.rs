@@ -1,0 +1,1009 @@
+//! The flit-level network fabric.
+//!
+//! A [`Fabric`] instantiates a [`Topology`](crate::topology::Topology) as a
+//! set of routers with per-input-port virtual-channel buffers, credit-based
+//! link-level flow control, and per-link flit serialization, stepped one
+//! cycle at a time. Network interfaces interact with the fabric only at the
+//! edges: [`Fabric::can_inject`]/[`Fabric::inject`] on the way in and
+//! [`Fabric::eject`] on the way out. If a node does not drain its ejection
+//! queue, flits back up into the routers — exactly the *secondary blocking*
+//! the NIFDY protocol is designed to avoid.
+
+use std::collections::VecDeque;
+
+use nifdy_sim::metrics::{Counter, Stats};
+use nifdy_sim::{Cycle, NodeId, SimRng};
+
+use crate::config::{FabricConfig, SwitchingPolicy};
+use crate::packet::{Lane, Packet};
+use crate::topology::{Candidate, Endpoint, RouteState, Topology, VcSel};
+
+type WormId = u32;
+
+/// A packet in flight, with its routing state.
+#[derive(Debug)]
+struct Worm {
+    packet: Packet,
+    route: RouteState,
+    flits: u16,
+}
+
+/// Arena of in-flight worms; flits reference worms by index.
+#[derive(Debug, Default)]
+struct WormArena {
+    slots: Vec<Option<Worm>>,
+    free: Vec<u32>,
+    active: usize,
+}
+
+impl WormArena {
+    fn insert(&mut self, worm: Worm) -> WormId {
+        self.active += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(worm);
+            id
+        } else {
+            self.slots.push(Some(worm));
+            (self.slots.len() - 1) as WormId
+        }
+    }
+
+    fn get(&self, id: WormId) -> &Worm {
+        self.slots[id as usize].as_ref().expect("live worm")
+    }
+
+    fn get_mut(&mut self, id: WormId) -> &mut Worm {
+        self.slots[id as usize].as_mut().expect("live worm")
+    }
+
+    fn remove(&mut self, id: WormId) -> Worm {
+        self.active -= 1;
+        self.free.push(id);
+        self.slots[id as usize].take().expect("live worm")
+    }
+}
+
+/// One flit of a worm. `idx == 0` is the head; `idx == flits - 1` the tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Flit {
+    worm: WormId,
+    idx: u16,
+}
+
+/// State of one virtual channel at a router input port.
+#[derive(Debug, Default)]
+struct VcState {
+    /// Buffered flits with their arrival cycles (a flit may be forwarded
+    /// only on a later cycle, giving each router a one-cycle pipeline).
+    buf: VecDeque<(Flit, Cycle)>,
+    /// Output (port, vc) held by the worm currently traversing this VC.
+    alloc: Option<(u8, u8)>,
+}
+
+/// Who refills credit when this input VC pops a flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Feeder {
+    Router { router: u32, port: u8 },
+    Node(u32),
+    None,
+}
+
+#[derive(Debug)]
+struct InPort {
+    vcs: Vec<VcState>,
+    feeder: Feeder,
+}
+
+#[derive(Debug)]
+struct OutPort {
+    dest: Endpoint,
+    /// Free flit slots per downstream VC.
+    credits: Vec<u16>,
+    /// Worm currently owning each downstream VC (wormhole allocation).
+    owner: Vec<Option<WormId>>,
+    /// Flit on the wire per lane: (flit, downstream vc, cycles remaining).
+    /// The two logical networks interleave on the physical link: strictly
+    /// by cycle parity when time-multiplexed (CM-5), on demand otherwise.
+    in_flight: [Option<(Flit, u8, u16)>; 2],
+    /// Round-robin cursor over (in_port, vc) pairs.
+    rr: u32,
+    /// Demand-multiplex fairness cursor between the lanes.
+    mux_rr: u8,
+}
+
+#[derive(Debug)]
+struct Router {
+    ins: Vec<InPort>,
+    outs: Vec<OutPort>,
+    /// Buffered flits per lane across all input VCs — lets the allocator
+    /// skip empty lanes (the reply lane is idle most cycles).
+    lane_flits: [u32; 2],
+}
+
+/// Per-lane injection slot at a node.
+#[derive(Debug)]
+struct InjSlot {
+    worm: WormId,
+    next_flit: u16,
+    vc: Option<u8>,
+}
+
+/// Node-side interface state: injection serializer and ejection assembly.
+#[derive(Debug)]
+struct NodeIface {
+    inj_router: u32,
+    inj_port: u8,
+    /// Credit mirror for the attached input port's VCs.
+    inj_credits: Vec<u16>,
+    inj_owner: Vec<Option<WormId>>,
+    slots: [Option<InjSlot>; 2],
+    /// Flit being serialized onto the injection channel, per lane.
+    in_flight: [Option<(Flit, u8, u16)>; 2],
+    /// Demand-multiplex fairness cursor between the lanes.
+    lane_rr: u8,
+    /// Fully assembled packets awaiting [`Fabric::eject`], per lane.
+    ready: [VecDeque<Packet>; 2],
+}
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Packets injected, per lane.
+    pub injected: [Counter; 2],
+    /// Packets fully delivered to ejection queues, per lane.
+    pub delivered: [Counter; 2],
+    /// Packets dropped at the edge (lossy-network experiments).
+    pub dropped: Counter,
+    /// Injection-to-delivery latency of request-lane packets, in cycles.
+    pub latency: Stats,
+}
+
+/// A simulated interconnection network.
+///
+/// # Examples
+///
+/// Injecting a packet and stepping until it pops out the other side:
+///
+/// ```
+/// use nifdy_net::topology::Mesh;
+/// use nifdy_net::{Fabric, FabricConfig, Lane, Packet};
+/// use nifdy_sim::{NodeId, PacketId};
+///
+/// let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+/// let (src, dst) = (NodeId::new(0), NodeId::new(15));
+/// assert!(fab.can_inject(src, Lane::Request));
+/// fab.inject(src, Packet::data(PacketId::new(1), src, dst, 8));
+/// let pkt = loop {
+///     fab.step();
+///     if let Some(p) = fab.eject(dst, Lane::Request) {
+///         break p;
+///     }
+///     assert!(fab.now().as_u64() < 10_000, "packet lost");
+/// };
+/// assert_eq!(pkt.src, src);
+/// ```
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: FabricConfig,
+    topo: Box<dyn Topology>,
+    routers: Vec<Router>,
+    nodes: Vec<NodeIface>,
+    arena: WormArena,
+    now: Cycle,
+    rng: SimRng,
+    stats: FabricStats,
+    pending_per_dst: Vec<u32>,
+    route_buf: Vec<Candidate>,
+}
+
+impl Fabric {
+    /// Builds a fabric over `topo` with configuration `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`FabricConfig::validate`] or provides fewer
+    /// virtual channels than the topology requires for deadlock freedom.
+    pub fn new(topo: Box<dyn Topology>, cfg: FabricConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid fabric config: {e}");
+        }
+        assert!(
+            cfg.vcs_per_lane >= topo.min_vcs_per_lane(),
+            "{} requires at least {} VCs per lane",
+            topo.name(),
+            topo.min_vcs_per_lane()
+        );
+        let spec = topo.spec();
+        let total_vcs = cfg.total_vcs();
+
+        // Build routers with empty ports, then wire feeders from links.
+        let mut routers: Vec<Router> = spec
+            .routers
+            .iter()
+            .map(|r| Router {
+                lane_flits: [0, 0],
+                ins: (0..r.in_ports)
+                    .map(|_| InPort {
+                        vcs: (0..total_vcs).map(|_| VcState::default()).collect(),
+                        feeder: Feeder::None,
+                    })
+                    .collect(),
+                outs: r
+                    .links
+                    .iter()
+                    .map(|&dest| {
+                        let cap = match dest {
+                            Endpoint::Router { .. } => cfg.vc_buf_flits,
+                            Endpoint::Node(_) => cfg.max_packet_flits,
+                        };
+                        OutPort {
+                            dest,
+                            credits: vec![cap; total_vcs],
+                            owner: vec![None; total_vcs],
+                            in_flight: [None, None],
+                            rr: 0,
+                            mux_rr: 0,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        for (r, rspec) in spec.routers.iter().enumerate() {
+            for (p, &link) in rspec.links.iter().enumerate() {
+                if let Endpoint::Router { router, in_port } = link {
+                    routers[router as usize].ins[in_port as usize].feeder = Feeder::Router {
+                        router: r as u32,
+                        port: p as u8,
+                    };
+                }
+            }
+        }
+
+        let nodes: Vec<NodeIface> = spec
+            .attaches
+            .iter()
+            .map(|at| {
+                routers[at.inj_router as usize].ins[at.inj_port as usize].feeder =
+                    Feeder::Node(u32::MAX); // set below
+                NodeIface {
+                    inj_router: at.inj_router,
+                    inj_port: at.inj_port,
+                    inj_credits: vec![cfg.vc_buf_flits; total_vcs],
+                    inj_owner: vec![None; total_vcs],
+                    slots: [None, None],
+                    in_flight: [None, None],
+                    lane_rr: 0,
+                    ready: [VecDeque::new(), VecDeque::new()],
+                }
+            })
+            .collect();
+        for (n, at) in spec.attaches.iter().enumerate() {
+            routers[at.inj_router as usize].ins[at.inj_port as usize].feeder =
+                Feeder::Node(n as u32);
+        }
+
+        let num_nodes = topo.num_nodes();
+        let seed = cfg.seed;
+        Fabric {
+            cfg,
+            topo,
+            routers,
+            nodes,
+            arena: WormArena::default(),
+            now: Cycle::ZERO,
+            rng: SimRng::from_seed_stream(seed, 0xFAB),
+            stats: FabricStats::default(),
+            pending_per_dst: vec![0; num_nodes],
+            route_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of attached nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// The topology this fabric instantiates.
+    #[inline]
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The configuration this fabric was built with.
+    #[inline]
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Aggregate statistics so far.
+    #[inline]
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Number of packets currently inside the fabric (including ejection
+    /// queues not yet drained).
+    #[inline]
+    pub fn in_network(&self) -> usize {
+        self.arena.active + self.nodes.iter().map(|n| n.ready[0].len() + n.ready[1].len()).sum::<usize>()
+    }
+
+    /// Packets currently bound for (or queued at) `dst` — the Figure 5
+    /// "pending packets per receiver" gauge.
+    #[inline]
+    pub fn pending_for(&self, dst: NodeId) -> u32 {
+        self.pending_per_dst[dst.index()]
+    }
+
+    /// Whether node `node` can hand the fabric a new packet on `lane` this
+    /// cycle (its injection slot for that lane is free).
+    #[inline]
+    pub fn can_inject(&self, node: NodeId, lane: Lane) -> bool {
+        self.nodes[node.index()].slots[lane.index()].is_none()
+    }
+
+    /// Starts injecting `packet` from `node`.
+    ///
+    /// The packet's `stamp.injected` is set to the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's injection slot is busy (check
+    /// [`Fabric::can_inject`] first), if the packet is larger than the
+    /// configured maximum, or if `node` is not the packet's source.
+    pub fn inject(&mut self, node: NodeId, mut packet: Packet) {
+        assert_eq!(packet.src, node, "packet injected at a foreign node");
+        assert!(
+            packet.flits() <= self.cfg.max_packet_flits,
+            "packet of {} flits exceeds configured max {}",
+            packet.flits(),
+            self.cfg.max_packet_flits
+        );
+        let lane = packet.lane;
+        assert!(
+            self.can_inject(node, lane),
+            "injection slot busy at {node} lane {lane:?}"
+        );
+        packet.stamp.injected = self.now;
+        self.stats.injected[lane.index()].incr();
+        self.pending_per_dst[packet.dst.index()] += 1;
+        let route = self.topo.init_route(packet.src, packet.dst);
+        let flits = packet.flits();
+        let worm = self.arena.insert(Worm {
+            packet,
+            route,
+            flits,
+        });
+        self.nodes[node.index()].slots[lane.index()] = Some(InjSlot {
+            worm,
+            next_flit: 0,
+            vc: None,
+        });
+    }
+
+    /// Removes and returns the oldest fully delivered packet at `node` on
+    /// `lane`, if any.
+    pub fn eject(&mut self, node: NodeId, lane: Lane) -> Option<Packet> {
+        self.nodes[node.index()].ready[lane.index()].pop_front()
+    }
+
+    /// Peeks at the oldest delivered packet without removing it.
+    pub fn peek_eject(&self, node: NodeId, lane: Lane) -> Option<&Packet> {
+        self.nodes[node.index()].ready[lane.index()].front()
+    }
+
+    #[inline]
+    fn lane_vc_range(&self, lane: Lane) -> std::ops::Range<usize> {
+        let per = self.cfg.vcs_per_lane as usize;
+        let base = lane.index() * per;
+        base..base + per
+    }
+
+    /// Flit slots a head must see downstream before advancing, per policy.
+    #[inline]
+    fn head_credit_need(&self, worm_flits: u16) -> u16 {
+        match self.cfg.policy {
+            SwitchingPolicy::Wormhole => 1,
+            SwitchingPolicy::CutThrough | SwitchingPolicy::StoreAndForward => worm_flits,
+        }
+    }
+
+    /// Advances the fabric by one cycle.
+    pub fn step(&mut self) {
+        self.progress_wires();
+        self.start_router_transmissions();
+        self.progress_injection();
+        self.now += 1;
+    }
+
+    /// Which lane's wire slot advances this cycle on a shared physical
+    /// channel. Time-multiplexed links advance strictly by cycle parity;
+    /// demand-multiplexed links give the full bandwidth to a lone flit and
+    /// alternate fairly when both lanes are busy.
+    fn advancing_lane(&self, busy: [bool; 2], mux_rr: u8) -> Option<usize> {
+        if self.cfg.time_mux_lanes {
+            let slot = (self.now.as_u64() % 2) as usize;
+            return busy[slot].then_some(slot);
+        }
+        match (busy[0], busy[1]) {
+            (true, true) => Some(mux_rr as usize),
+            (true, false) => Some(0),
+            (false, true) => Some(1),
+            (false, false) => None,
+        }
+    }
+
+    /// Phase A: decrement serialization counters; deliver flits whose
+    /// transfer completes.
+    fn progress_wires(&mut self) {
+        for r in 0..self.routers.len() {
+            for p in 0..self.routers[r].outs.len() {
+                let busy = [
+                    self.routers[r].outs[p].in_flight[0].is_some(),
+                    self.routers[r].outs[p].in_flight[1].is_some(),
+                ];
+                let Some(lane) = self.advancing_lane(busy, self.routers[r].outs[p].mux_rr)
+                else {
+                    continue;
+                };
+                if busy[0] && busy[1] {
+                    self.routers[r].outs[p].mux_rr ^= 1;
+                }
+                let (flit, dvc, rem) =
+                    self.routers[r].outs[p].in_flight[lane].expect("busy lane");
+                if rem > 1 {
+                    self.routers[r].outs[p].in_flight[lane] = Some((flit, dvc, rem - 1));
+                    continue;
+                }
+                self.routers[r].outs[p].in_flight[lane] = None;
+                let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
+                if is_tail {
+                    self.routers[r].outs[p].owner[dvc as usize] = None;
+                }
+                match self.routers[r].outs[p].dest {
+                    Endpoint::Router { router, in_port } => {
+                        let target = &mut self.routers[router as usize];
+                        target.lane_flits[dvc as usize / self.cfg.vcs_per_lane as usize] += 1;
+                        target.ins[in_port as usize].vcs[dvc as usize]
+                            .buf
+                            .push_back((flit, self.now));
+                    }
+                    Endpoint::Node(node) => {
+                        self.deliver_to_node(node as usize, r, p, flit, dvc, is_tail);
+                    }
+                }
+            }
+        }
+        // Injection channels.
+        for n in 0..self.nodes.len() {
+            let busy = [
+                self.nodes[n].in_flight[0].is_some(),
+                self.nodes[n].in_flight[1].is_some(),
+            ];
+            let Some(lane) = self.advancing_lane(busy, self.nodes[n].lane_rr) else {
+                continue;
+            };
+            if busy[0] && busy[1] {
+                self.nodes[n].lane_rr ^= 1;
+            }
+            let (flit, dvc, rem) = self.nodes[n].in_flight[lane].expect("busy lane");
+            if rem > 1 {
+                self.nodes[n].in_flight[lane] = Some((flit, dvc, rem - 1));
+                continue;
+            }
+            self.nodes[n].in_flight[lane] = None;
+            let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
+            if is_tail {
+                self.nodes[n].inj_owner[dvc as usize] = None;
+                self.nodes[n].slots[lane] = None;
+            }
+            let (r, p) = (self.nodes[n].inj_router, self.nodes[n].inj_port);
+            let target = &mut self.routers[r as usize];
+            target.lane_flits[dvc as usize / self.cfg.vcs_per_lane as usize] += 1;
+            target.ins[p as usize].vcs[dvc as usize]
+                .buf
+                .push_back((flit, self.now));
+        }
+    }
+
+    /// A flit arrives at a node's ejection assembly; on the tail, the packet
+    /// is complete and moves to the ready queue (or is dropped by the lossy
+    /// lottery).
+    fn deliver_to_node(
+        &mut self,
+        node: usize,
+        router: usize,
+        port: usize,
+        flit: Flit,
+        dvc: u8,
+        is_tail: bool,
+    ) {
+        if !is_tail {
+            return;
+        }
+        let worm = self.arena.remove(flit.worm);
+        let flits = worm.flits;
+        let packet = worm.packet;
+        let lane = packet.lane;
+        // Return the assembly space to the ejection port's credits.
+        self.routers[router].outs[port].credits[dvc as usize] += flits;
+        self.pending_per_dst[packet.dst.index()] -= 1;
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            self.stats.dropped.incr();
+            return;
+        }
+        self.stats.delivered[lane.index()].incr();
+        if lane == Lane::Request {
+            self.stats
+                .latency
+                .record(self.now.saturating_since(packet.stamp.injected) as f64);
+        }
+        // Ready-queue capacity was reserved when the head flit was granted
+        // the ejection port (`eject_has_room`), so this never overflows.
+        self.nodes[node].ready[lane.index()].push_back(packet);
+    }
+
+    /// Whether the node can accept the start of a new packet on this lane:
+    /// the ready queue plus packets already mid-assembly (VCs of this lane
+    /// owned by a worm at the ejection port `(r, p)`) must stay within
+    /// capacity.
+    fn eject_has_room(&self, r: usize, p: usize, node: usize, lane: Lane) -> bool {
+        let owned = self
+            .lane_vc_range(lane)
+            .filter(|&vc| self.routers[r].outs[p].owner[vc].is_some())
+            .count();
+        self.nodes[node].ready[lane.index()].len() + owned
+            < self.cfg.eject_ready_pkts as usize
+    }
+
+    /// Phase B: each idle output port picks one eligible flit and starts
+    /// serializing it.
+    fn start_router_transmissions(&mut self) {
+        for r in 0..self.routers.len() {
+            if self.routers[r].lane_flits == [0, 0] {
+                continue;
+            }
+            let num_outs = self.routers[r].outs.len();
+            // Rotate starting port so adaptive choices spread over links.
+            let start = (self.now.as_u64() as usize + r) % num_outs;
+            for k in 0..num_outs {
+                let p = (start + k) % num_outs;
+                for lane in 0..2 {
+                    if self.routers[r].lane_flits[lane] > 0
+                        && self.routers[r].outs[p].in_flight[lane].is_none()
+                    {
+                        self.try_start_one(r, p, lane);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts to start one flit of logical network `lane` on output port
+    /// `p` of router `r`.
+    fn try_start_one(&mut self, r: usize, p: usize, lane: usize) {
+        let num_ins = self.routers[r].ins.len();
+        let total_vcs = self.cfg.total_vcs();
+        let slots = num_ins * total_vcs;
+        let rr = self.routers[r].outs[p].rr as usize;
+        let lane_range = {
+            let per = self.cfg.vcs_per_lane as usize;
+            lane * per..(lane + 1) * per
+        };
+        for k in 0..slots {
+            let s = (rr + k) % slots;
+            let (ip, vc) = (s / total_vcs, s % total_vcs);
+            if !lane_range.contains(&vc) {
+                continue;
+            }
+            let Some(&(flit, arrived)) = self.routers[r].ins[ip].vcs[vc].buf.front() else {
+                continue;
+            };
+            if arrived >= self.now {
+                continue; // one-cycle router pipeline
+            }
+            let alloc = self.routers[r].ins[ip].vcs[vc].alloc;
+            let choice = if let Some((ap, avc)) = alloc {
+                // Body/tail flit: must continue on its allocated path.
+                if ap as usize != p {
+                    continue;
+                }
+                if self.routers[r].outs[p].credits[avc as usize] == 0 {
+                    continue;
+                }
+                Some((avc, false))
+            } else {
+                debug_assert_eq!(flit.idx, 0, "unrouted non-head flit");
+                self.head_allocation(r, p, ip, vc, flit)
+                    .map(|dvc| (dvc, true))
+            };
+            let Some((dvc, is_head)) = choice else {
+                continue;
+            };
+            self.commit_transmission(r, p, ip, vc, flit, dvc, is_head);
+            self.routers[r].outs[p].rr = ((s + 1) % slots) as u32;
+            return;
+        }
+    }
+
+    /// Routing + VC allocation for a head flit waiting at `(ip, vc)`;
+    /// returns the downstream VC to use on port `p`, if any.
+    fn head_allocation(&mut self, r: usize, p: usize, ip: usize, vc: usize, flit: Flit) -> Option<u8> {
+        let worm = self.arena.get(flit.worm);
+        let lane = worm.packet.lane;
+        let flits = worm.flits;
+        let dst = worm.packet.dst;
+        let route = worm.route;
+
+        // Store-and-forward: the whole packet must sit here first.
+        if self.cfg.policy == SwitchingPolicy::StoreAndForward {
+            let present = self.routers[r].ins[ip].vcs[vc]
+                .buf
+                .iter()
+                .take_while(|(f, _)| f.worm == flit.worm)
+                .count() as u16;
+            if present < flits {
+                return None;
+            }
+        }
+
+        self.route_buf.clear();
+        let mut cands = std::mem::take(&mut self.route_buf);
+        self.topo.route(r as u32, dst, &route, &mut cands);
+        let need = self.head_credit_need(flits);
+        let mut found = None;
+        'outer: for cand in &cands {
+            if cand.port as usize != p {
+                continue;
+            }
+            // Node-bound heads additionally need a free ready-queue slot.
+            if let Endpoint::Node(node) = self.routers[r].outs[p].dest {
+                if !self.eject_has_room(r, p, node as usize, lane) {
+                    continue;
+                }
+            }
+            let range = self.lane_vc_range(lane);
+            let vcs: Vec<usize> = match cand.vc {
+                VcSel::Any => range.collect(),
+                VcSel::Class(k) => {
+                    let idx = range.start + k as usize;
+                    debug_assert!(idx < range.end, "VC class beyond lane");
+                    vec![idx]
+                }
+            };
+            for dvc in vcs {
+                let out = &self.routers[r].outs[p];
+                if out.owner[dvc].is_none() && out.credits[dvc] >= need {
+                    found = Some(dvc as u8);
+                    break 'outer;
+                }
+            }
+        }
+        self.route_buf = cands;
+        found
+    }
+
+    /// Pops the flit, updates allocation/ownership/credits, and places it on
+    /// the wire.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_transmission(
+        &mut self,
+        r: usize,
+        p: usize,
+        ip: usize,
+        vc: usize,
+        flit: Flit,
+        dvc: u8,
+        is_head: bool,
+    ) {
+        let (popped, _) = self.routers[r].ins[ip].vcs[vc].buf.pop_front().expect("flit present");
+        debug_assert_eq!(popped, flit);
+        self.routers[r].lane_flits[vc / self.cfg.vcs_per_lane as usize] -= 1;
+        let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
+
+        if is_head {
+            self.routers[r].ins[ip].vcs[vc].alloc = Some((p as u8, dvc));
+            self.routers[r].outs[p].owner[dvc as usize] = Some(flit.worm);
+            let route = &mut self.arena.get_mut(flit.worm).route;
+            let topo = &self.topo;
+            topo.on_hop(r as u32, p as u8, route);
+        }
+        if is_tail {
+            self.routers[r].ins[ip].vcs[vc].alloc = None;
+        }
+
+        // Credit return to whoever feeds this input port.
+        match self.routers[r].ins[ip].feeder {
+            Feeder::Router { router, port } => {
+                self.routers[router as usize].outs[port as usize].credits[vc] += 1;
+            }
+            Feeder::Node(node) => {
+                self.nodes[node as usize].inj_credits[vc] += 1;
+            }
+            Feeder::None => {}
+        }
+
+        self.routers[r].outs[p].credits[dvc as usize] -= 1;
+        let lane = dvc as usize / self.cfg.vcs_per_lane as usize;
+        self.routers[r].outs[p].in_flight[lane] = Some((flit, dvc, self.cfg.flit_cycles));
+    }
+
+    /// Phase C: nodes serialize queued packets onto their injection links.
+    fn progress_injection(&mut self) {
+        for n in 0..self.nodes.len() {
+            for lane in Lane::ALL {
+                if self.nodes[n].in_flight[lane.index()].is_none() {
+                    let _ = self.try_inject_flit(n, lane);
+                }
+            }
+        }
+    }
+
+    /// Attempts to put the next flit of node `n`'s `lane` slot on the wire.
+    fn try_inject_flit(&mut self, n: usize, lane: Lane) -> bool {
+        let Some(slot) = &self.nodes[n].slots[lane.index()] else {
+            return false;
+        };
+        let worm_id = slot.worm;
+        let next = slot.next_flit;
+        let worm = self.arena.get(worm_id);
+        let flits = worm.flits;
+
+        let dvc = match slot.vc {
+            Some(v) => v,
+            None => {
+                // Allocate an input VC at the attached router.
+                let need = self.head_credit_need(flits);
+                let range = self.lane_vc_range(lane);
+                let iface = &self.nodes[n];
+                let Some(v) = range
+                    .clone()
+                    .find(|&v| iface.inj_owner[v].is_none() && iface.inj_credits[v] >= need)
+                else {
+                    return false;
+                };
+                v as u8
+            }
+        };
+        if self.nodes[n].inj_credits[dvc as usize] == 0 {
+            return false;
+        }
+        let iface = &mut self.nodes[n];
+        let slot = iface.slots[lane.index()].as_mut().expect("slot present");
+        if slot.vc.is_none() {
+            slot.vc = Some(dvc);
+            iface.inj_owner[dvc as usize] = Some(worm_id);
+        }
+        slot.next_flit += 1;
+        iface.inj_credits[dvc as usize] -= 1;
+        iface.in_flight[lane.index()] = Some((
+            Flit {
+                worm: worm_id,
+                idx: next,
+            },
+            dvc,
+            self.cfg.flit_cycles,
+        ));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Butterfly, Cm5FatTree, FatTree, Mesh, Torus};
+    use nifdy_sim::PacketId;
+
+    fn drive_one(topo: Box<dyn Topology>, cfg: FabricConfig, src: usize, dst: usize) -> (Packet, u64) {
+        let mut fab = Fabric::new(topo, cfg);
+        let (s, d) = (NodeId::new(src), NodeId::new(dst));
+        fab.inject(s, Packet::data(PacketId::new(1), s, d, 8));
+        loop {
+            fab.step();
+            if let Some(p) = fab.eject(d, Lane::Request) {
+                return (p, fab.now().as_u64());
+            }
+            assert!(fab.now().as_u64() < 100_000, "packet lost in fabric");
+        }
+    }
+
+    #[test]
+    fn mesh_delivers_single_packet() {
+        let (p, t) = drive_one(Box::new(Mesh::d2(8, 8)), FabricConfig::default(), 0, 63);
+        assert_eq!(p.dst, NodeId::new(63));
+        // 14 hops, 4 cycles/flit, 8 flits: latency must be in a sane window.
+        assert!(t > 14 && t < 400, "latency {t}");
+    }
+
+    #[test]
+    fn torus_delivers_across_the_dateline() {
+        let cfg = FabricConfig::default().with_vcs_per_lane(2);
+        let (p, _) = drive_one(Box::new(Torus::d2(8, 8)), cfg, 7, 0);
+        assert_eq!(p.dst, NodeId::new(0));
+    }
+
+    #[test]
+    fn fat_tree_delivers_with_cut_through() {
+        let cfg = FabricConfig::default()
+            .with_policy(SwitchingPolicy::CutThrough)
+            .with_vc_buf_flits(8);
+        let (p, _) = drive_one(Box::new(FatTree::new(64)), cfg, 3, 60);
+        assert_eq!(p.src, NodeId::new(3));
+    }
+
+    #[test]
+    fn butterfly_delivers() {
+        let (p, _) = drive_one(Box::new(Butterfly::new(64, 1, 0)), FabricConfig::default(), 5, 5);
+        assert_eq!(p.dst, NodeId::new(5));
+        let (p, _) = drive_one(Box::new(Butterfly::new(64, 2, 3)), FabricConfig::default(), 0, 63);
+        assert_eq!(p.dst, NodeId::new(63));
+    }
+
+    #[test]
+    fn cm5_time_mux_still_delivers() {
+        let cfg = FabricConfig::default().with_time_mux(true);
+        let (p, t_mux) = drive_one(Box::new(Cm5FatTree::new(64)), cfg, 0, 63);
+        assert_eq!(p.dst, NodeId::new(63));
+        let (_, t_plain) = drive_one(
+            Box::new(Cm5FatTree::new(64)),
+            FabricConfig::default(),
+            0,
+            63,
+        );
+        // Strict multiplexing halves effective link bandwidth.
+        assert!(t_mux > t_plain, "mux {t_mux} <= plain {t_plain}");
+    }
+
+    #[test]
+    fn store_and_forward_is_slower_than_wormhole() {
+        let wh = FabricConfig::default().with_vc_buf_flits(8);
+        let sf = FabricConfig::default()
+            .with_policy(SwitchingPolicy::StoreAndForward)
+            .with_vc_buf_flits(8);
+        let (_, t_wh) = drive_one(Box::new(FatTree::new(64)), wh, 0, 63);
+        let (_, t_sf) = drive_one(Box::new(FatTree::new(64)), sf, 0, 63);
+        assert!(t_sf > t_wh, "S&F {t_sf} should exceed wormhole {t_wh}");
+    }
+
+    #[test]
+    fn all_to_one_backpressure_does_not_lose_packets() {
+        // Everyone sends to node 0; node 0 never ejects. Backpressure must
+        // eventually stall injection (the network fills up), and every
+        // injected packet must still be accounted for — blocked, not lost.
+        let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let dst = NodeId::new(0);
+        let mut sent = 0u32;
+        for _ in 0..20_000 {
+            for s in 1..16 {
+                let src = NodeId::new(s);
+                if fab.can_inject(src, Lane::Request) && sent < 200 {
+                    sent += 1;
+                    fab.inject(
+                        src,
+                        Packet::data(PacketId::new(u64::from(sent)), src, dst, 8),
+                    );
+                }
+            }
+            fab.step();
+        }
+        // With one VC per lane and a single blocked receiver, tree
+        // saturation gridlocks the mesh almost immediately: each sender gets
+        // roughly one worm in before its injection slot never frees. This is
+        // exactly the secondary blocking the paper describes.
+        assert!(sent >= 15, "every sender should land at least one packet");
+        assert!(
+            sent < 200,
+            "backpressure never reached the injection ports"
+        );
+        // Only the single ready-queue slot may complete; nothing is dropped.
+        let completed = fab.stats().delivered[0].get() as u32;
+        assert!(completed <= 1, "only the ready-queue head may complete");
+        assert_eq!(fab.stats().dropped.get(), 0);
+        assert_eq!(fab.pending_for(dst), sent - completed);
+        assert_eq!(fab.in_network(), sent as usize);
+    }
+
+    #[test]
+    fn draining_unblocks_the_backlog() {
+        let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let dst = NodeId::new(0);
+        let mut sent = 0u64;
+        let mut got = 0u64;
+        for _ in 0..200_000 {
+            for s in 1..16 {
+                let src = NodeId::new(s);
+                if sent < 100 && fab.can_inject(src, Lane::Request) {
+                    sent += 1;
+                    fab.inject(src, Packet::data(PacketId::new(sent), src, dst, 8));
+                }
+            }
+            fab.step();
+            if fab.eject(dst, Lane::Request).is_some() {
+                got += 1;
+            }
+            if got == 100 {
+                break;
+            }
+        }
+        assert_eq!(got, 100, "all packets must eventually drain");
+        assert_eq!(fab.in_network(), 0);
+    }
+
+    #[test]
+    fn reply_lane_flows_while_request_lane_is_blocked() {
+        // Fill node 0's request-lane ejection, then verify a reply-lane
+        // packet still gets through (fetch-deadlock avoidance).
+        let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let dst = NodeId::new(0);
+        let src = NodeId::new(5);
+        for i in 0..4 {
+            let s = NodeId::new(1 + i);
+            fab.inject(s, Packet::data(PacketId::new(i as u64), s, dst, 8));
+            for _ in 0..500 {
+                fab.step();
+            }
+        }
+        let mut ack = Packet::data(PacketId::new(99), src, dst, 2);
+        ack.lane = Lane::Reply;
+        fab.inject(src, ack);
+        for _ in 0..5_000 {
+            fab.step();
+            if let Some(p) = fab.eject(dst, Lane::Reply) {
+                assert_eq!(p.id, PacketId::new(99));
+                return;
+            }
+        }
+        panic!("reply-lane packet blocked behind request backlog");
+    }
+
+    #[test]
+    fn lossy_fabric_drops_some_packets() {
+        let cfg = FabricConfig::default().with_drop_prob(0.5).with_seed(1);
+        let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), cfg);
+        let (src, dst) = (NodeId::new(0), NodeId::new(15));
+        let mut sent = 0u64;
+        for _ in 0..100_000 {
+            if sent < 100 && fab.can_inject(src, Lane::Request) {
+                sent += 1;
+                fab.inject(src, Packet::data(PacketId::new(sent), src, dst, 8));
+            }
+            fab.step();
+            let _ = fab.eject(dst, Lane::Request);
+            if sent == 100 && fab.in_network() == 0 {
+                break;
+            }
+        }
+        let dropped = fab.stats().dropped.get();
+        let delivered = fab.stats().delivered[0].get();
+        assert_eq!(dropped + delivered, 100);
+        assert!(dropped > 10 && delivered > 10, "drop lottery looks broken: {dropped} dropped");
+    }
+
+    #[test]
+    fn stats_latency_counts_request_lane_only() {
+        let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let (src, dst) = (NodeId::new(0), NodeId::new(3));
+        fab.inject(src, Packet::data(PacketId::new(1), src, dst, 8));
+        for _ in 0..2_000 {
+            fab.step();
+        }
+        assert_eq!(fab.stats().latency.count(), 1);
+        assert!(fab.stats().latency.mean() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign node")]
+    fn inject_checks_source() {
+        let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let p = Packet::data(PacketId::new(1), NodeId::new(2), NodeId::new(3), 8);
+        fab.inject(NodeId::new(0), p);
+    }
+}

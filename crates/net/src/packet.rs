@@ -1,0 +1,300 @@
+//! The simulated wire format.
+//!
+//! The paper fixes what travels in a packet header: the source node ID (so
+//! the destination can return an ack), a *bulk-request* bit, a *bulk-exit*
+//! bit, and — for packets inside a bulk dialog — a `{sequence number, dialog
+//! number}` pair that replaces the source-identifier bits. Acks carry a bulk
+//! grant (or rejection), or a cumulative window acknowledgment. This module
+//! defines those fields as plain Rust data; the `nifdy` crate implements the
+//! protocol that interprets them, and the fabric in this crate transports
+//! them opaquely.
+
+use nifdy_sim::{Cycle, NodeId, PacketId};
+
+/// The two logically independent networks every topology provides
+/// ("the *request network* and the *reply network*, in order to deal with
+/// fetch deadlock").
+///
+/// All workload data travels on [`Lane::Request`]; NIFDY acknowledgments
+/// travel on [`Lane::Reply`] and are consumed by the receiving NIFDY unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// The request network (workload data packets).
+    Request = 0,
+    /// The reply network (protocol acknowledgments, user replies).
+    Reply = 1,
+}
+
+impl Lane {
+    /// Both lanes, in index order.
+    pub const ALL: [Lane; 2] = [Lane::Request, Lane::Reply];
+
+    /// The lane's index (0 = request, 1 = reply).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Identifier of a bulk dialog slot at a receiver (`0..D`).
+pub type DialogId = u8;
+
+/// Sequence number inside a bulk dialog window.
+///
+/// The paper notes sequence numbers *"need only be as large as W"*; we carry
+/// a byte and reduce modulo the window in the protocol layer.
+pub type SeqNo = u8;
+
+/// The `{sequence number, dialog number}` pair carried by bulk-mode data
+/// packets in place of the source-identifier bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BulkTag {
+    /// Which of the receiver's dialog slots this packet belongs to.
+    pub dialog: DialogId,
+    /// Position in the sender's bulk stream, modulo the sequence space.
+    pub seq: SeqNo,
+}
+
+/// Outcome of a bulk-mode request, carried inside a scalar ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BulkGrant {
+    /// The data packet did not request bulk mode.
+    #[default]
+    NotRequested,
+    /// Bulk mode granted: dialog slot and the receiver's window size.
+    Granted {
+        /// Assigned dialog slot at the receiver.
+        dialog: DialogId,
+        /// Receiver window size `W` (number of reorder buffers reserved).
+        window: u8,
+    },
+    /// The receiver is already at its maximum of `D` dialogs; keep sending
+    /// scalar packets (and optionally keep requesting).
+    Rejected,
+}
+
+/// Protocol fields of an acknowledgment packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AckInfo {
+    /// Acknowledges a single scalar packet, clearing the sender's OPT entry.
+    Scalar {
+        /// Bulk-mode grant decision for the acked packet's request bit.
+        grant: BulkGrant,
+    },
+    /// Combined (sliding-window) acknowledgment for a bulk dialog: everything
+    /// up to and including `cum_seq` has been received in order.
+    Bulk {
+        /// Dialog slot being acknowledged.
+        dialog: DialogId,
+        /// Highest in-order sequence number received.
+        cum_seq: SeqNo,
+        /// Receiver-initiated dialog termination ("a receiver can also
+        /// terminate a bulk dialog, in which case the transmission continues
+        /// in scalar mode").
+        terminate: bool,
+    },
+}
+
+/// Protocol header of a packet, as interpreted by the NIFDY units at the
+/// edges. The network fabric transports this opaquely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wire {
+    /// A data packet.
+    Data {
+        /// Sender requests a bulk dialog (§2.1.2).
+        bulk_request: bool,
+        /// Sender exits bulk mode with this packet (last packet of a dialog).
+        bulk_exit: bool,
+        /// Present iff the packet was sent inside a bulk dialog.
+        bulk: Option<BulkTag>,
+        /// Cleared for packets that bypass the NIFDY protocol (§6.1 no-ack
+        /// extension); the receiver then returns no acknowledgment.
+        needs_ack: bool,
+        /// Alternating duplicate-detection bit for the lossy-network
+        /// retransmission extension (§6.2).
+        dup_bit: bool,
+        /// §6.1 extension: an acknowledgment piggybacked on this data
+        /// packet ("instead of sending both a NIFDY-generated ack and a
+        /// user reply we could piggyback the ack in the reply"). Adds only
+        /// a header bit plus the ack fields in hardware.
+        piggy_ack: Option<AckInfo>,
+    },
+    /// A NIFDY-generated acknowledgment, consumed by the receiving NIFDY unit.
+    Ack(AckInfo),
+}
+
+impl Wire {
+    /// A plain scalar data packet with no special bits set.
+    pub const PLAIN_DATA: Wire = Wire::Data {
+        bulk_request: false,
+        bulk_exit: false,
+        bulk: None,
+        needs_ack: true,
+        dup_bit: false,
+        piggy_ack: None,
+    };
+
+    /// Returns `true` for acknowledgment packets.
+    #[inline]
+    pub const fn is_ack(&self) -> bool {
+        matches!(self, Wire::Ack(_))
+    }
+}
+
+/// Workload-level annotation riding along with a data packet.
+///
+/// This is *payload*, not protocol: the NIFDY unit never inspects it. The
+/// workloads use it to verify in-order delivery and to account for useful
+/// bytes delivered (the in-order payload benefit of §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UserData {
+    /// Message this packet belongs to (unique per sender).
+    pub msg_id: u64,
+    /// Index of this packet within its message (0-based).
+    pub pkt_index: u32,
+    /// Total packets in the message.
+    pub msg_packets: u32,
+    /// Useful payload words carried (excludes header/bookkeeping words).
+    pub user_words: u16,
+}
+
+/// Timing stamps for latency accounting. Not part of the wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketStamp {
+    /// Cycle the packet was handed to the NIC by the processor.
+    pub created: Cycle,
+    /// Cycle injection into the fabric began.
+    pub injected: Cycle,
+}
+
+/// A packet, the unit of transfer between network interfaces.
+///
+/// Packets are serialized into `size_words` flits (one 32-bit word each) for
+/// transport. The synthetic workloads use 8-word packets including the
+/// header; the library-driven workloads (C-shift, EM3D, radix sort) use
+/// 6-word packets, as in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_net::{Lane, Packet, Wire};
+/// use nifdy_sim::{NodeId, PacketId};
+///
+/// let pkt = Packet::data(PacketId::new(0), NodeId::new(1), NodeId::new(2), 8);
+/// assert_eq!(pkt.size_words, 8);
+/// assert_eq!(pkt.lane, Lane::Request);
+/// assert!(!pkt.wire.is_ack());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Simulation-unique identifier (bookkeeping only).
+    pub id: PacketId,
+    /// Sending node. The paper requires the source ID in every header so the
+    /// destination can return an ack.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Logical network the packet travels on.
+    pub lane: Lane,
+    /// Packet length in 32-bit words (= flits), including the header word.
+    pub size_words: u16,
+    /// Protocol header fields.
+    pub wire: Wire,
+    /// Workload annotation (opaque to the protocol).
+    pub user: UserData,
+    /// Latency accounting stamps.
+    pub stamp: PacketStamp,
+}
+
+/// Length of an acknowledgment packet in words: a single header word (the
+/// destination/source identifiers plus the few grant/window bits fit the
+/// paper's minimal ack).
+pub const ACK_WORDS: u16 = 1;
+
+impl Packet {
+    /// Creates a plain scalar data packet of `size_words` words on the
+    /// request lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_words` is zero.
+    pub fn data(id: PacketId, src: NodeId, dst: NodeId, size_words: u16) -> Self {
+        assert!(size_words > 0, "packets must be at least one word long");
+        Packet {
+            id,
+            src,
+            dst,
+            lane: Lane::Request,
+            size_words,
+            wire: Wire::PLAIN_DATA,
+            user: UserData::default(),
+            stamp: PacketStamp::default(),
+        }
+    }
+
+    /// Creates an acknowledgment packet on the reply lane.
+    pub fn ack(id: PacketId, src: NodeId, dst: NodeId, info: AckInfo) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            lane: Lane::Reply,
+            size_words: ACK_WORDS,
+            wire: Wire::Ack(info),
+            user: UserData::default(),
+            stamp: PacketStamp::default(),
+        }
+    }
+
+    /// Number of flits this packet serializes into.
+    #[inline]
+    pub fn flits(&self) -> u16 {
+        self.size_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_index_correctly() {
+        assert_eq!(Lane::Request.index(), 0);
+        assert_eq!(Lane::Reply.index(), 1);
+        assert_eq!(Lane::ALL.len(), 2);
+    }
+
+    #[test]
+    fn data_packet_defaults() {
+        let p = Packet::data(PacketId::new(1), NodeId::new(0), NodeId::new(5), 6);
+        assert_eq!(p.flits(), 6);
+        assert_eq!(p.wire, Wire::PLAIN_DATA);
+        assert!(!p.wire.is_ack());
+    }
+
+    #[test]
+    fn ack_packet_is_on_reply_lane() {
+        let a = Packet::ack(
+            PacketId::new(2),
+            NodeId::new(5),
+            NodeId::new(0),
+            AckInfo::Scalar {
+                grant: BulkGrant::NotRequested,
+            },
+        );
+        assert_eq!(a.lane, Lane::Reply);
+        assert_eq!(a.size_words, ACK_WORDS);
+        assert!(a.wire.is_ack());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_length_packet_rejected() {
+        let _ = Packet::data(PacketId::new(0), NodeId::new(0), NodeId::new(1), 0);
+    }
+
+    #[test]
+    fn bulk_grant_default_is_not_requested() {
+        assert_eq!(BulkGrant::default(), BulkGrant::NotRequested);
+    }
+}

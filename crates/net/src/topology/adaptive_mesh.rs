@@ -1,0 +1,199 @@
+//! Minimally adaptive 2-D mesh using the west-first turn model — the §6.3
+//! future-work experiment: "we plan to extend the simulator to study how
+//! NIFDY interacts with adaptive routing on a mesh, which in the past has
+//! not performed well enough to justify its expense. Adding the admission
+//! control and in-order delivery of NIFDY may help adaptive routing reach
+//! its potential."
+//!
+//! West-first routing (Glass & Ni's turn model) forbids the two turns into
+//! the west direction: a packet that must travel west (−x) does so *first*,
+//! deterministically; once heading east or aligned in x, it may choose
+//! adaptively among the productive {+x, +y, −y} directions. This breaks all
+//! cycles with a single virtual channel, while giving east-bound traffic
+//! multiple paths — and therefore the possibility of out-of-order delivery,
+//! which is exactly where NIFDY's reorder machinery earns its keep on a
+//! mesh.
+
+use nifdy_sim::NodeId;
+
+use super::{Candidate, FabricSpec, Mesh, RouteState, Topology};
+
+/// A 2-D mesh with west-first minimally-adaptive routing.
+///
+/// Structure (routers, links, ports) is identical to [`Mesh`]; only the
+/// routing function differs.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_net::topology::{AdaptiveMesh, Topology};
+///
+/// let m = AdaptiveMesh::d2(8, 8);
+/// assert_eq!(m.num_nodes(), 64);
+/// // Adaptive choices make reordering possible — unlike the plain mesh.
+/// assert!(m.reorders());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveMesh {
+    base: Mesh,
+    x: usize,
+    y: usize,
+}
+
+impl AdaptiveMesh {
+    /// Creates an `x` by `y` adaptive mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    pub fn d2(x: usize, y: usize) -> Self {
+        AdaptiveMesh {
+            base: Mesh::d2(x, y),
+            x,
+            y,
+        }
+    }
+
+    fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.x, idx / self.x)
+    }
+}
+
+// Port numbering shared with the mesh: 0 = node, 1 = +x (east), 2 = −x
+// (west), 3 = +y (north), 4 = −y (south).
+const EAST: u8 = 1;
+const WEST: u8 = 2;
+const NORTH: u8 = 3;
+const SOUTH: u8 = 4;
+
+impl Topology for AdaptiveMesh {
+    fn name(&self) -> String {
+        format!("{}x{} adaptive mesh (west-first)", self.x, self.y)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    fn spec(&self) -> FabricSpec {
+        self.base.spec()
+    }
+
+    fn route(&self, router: u32, dst: NodeId, _state: &RouteState, out: &mut Vec<Candidate>) {
+        let (cx, cy) = self.coords(router as usize);
+        let (tx, ty) = self.coords(dst.index());
+        if cx == tx && cy == ty {
+            out.push(Candidate::any(0)); // eject
+            return;
+        }
+        // West-first: any westward component is consumed first and alone.
+        if tx < cx {
+            out.push(Candidate::any(WEST));
+            return;
+        }
+        // Otherwise: fully adaptive among the productive directions.
+        if tx > cx {
+            out.push(Candidate::any(EAST));
+        }
+        if ty > cy {
+            out.push(Candidate::any(NORTH));
+        } else if ty < cy {
+            out.push(Candidate::any(SOUTH));
+        }
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        // Minimal routing: Manhattan distance, as on the plain mesh.
+        self.base.hops(a, b)
+    }
+
+    fn reorders(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::checks::{check_all_candidates_deliver, check_routing_delivers, check_spec};
+    use super::super::hop_profile;
+    use super::*;
+
+    #[test]
+    fn spec_is_well_formed() {
+        check_spec(&AdaptiveMesh::d2(4, 4));
+        check_spec(&AdaptiveMesh::d2(8, 8));
+    }
+
+    #[test]
+    fn routing_delivers_everywhere() {
+        check_routing_delivers(&AdaptiveMesh::d2(4, 4), 8);
+    }
+
+    #[test]
+    fn every_adaptive_choice_delivers() {
+        check_all_candidates_deliver(&AdaptiveMesh::d2(4, 4), 8);
+        check_all_candidates_deliver(&AdaptiveMesh::d2(8, 8), 16);
+    }
+
+    #[test]
+    fn west_moves_are_deterministic_east_moves_adaptive() {
+        let m = AdaptiveMesh::d2(4, 4);
+        let mut out = Vec::new();
+        // Router (2,2) = 10 heading to (0,0) = 0: west only.
+        m.route(10, NodeId::new(0), &RouteState::default(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, WEST);
+        // Router (0,0) heading to (2,2) = 10: east or north.
+        out.clear();
+        m.route(0, NodeId::new(10), &RouteState::default(), &mut out);
+        let ports: Vec<u8> = out.iter().map(|c| c.port).collect();
+        assert_eq!(ports, vec![EAST, NORTH]);
+    }
+
+    #[test]
+    fn distance_profile_matches_the_plain_mesh() {
+        let (avg_a, max_a) = hop_profile(&AdaptiveMesh::d2(8, 8));
+        let (avg_m, max_m) = hop_profile(&super::super::Mesh::d2(8, 8));
+        assert_eq!(max_a, max_m);
+        assert!((avg_a - avg_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turn_model_is_deadlock_free_under_stress() {
+        // All-pairs random traffic with a single VC must fully drain; a
+        // broken turn model would wedge.
+        use crate::{Fabric, FabricConfig, Lane, Packet};
+        use nifdy_sim::{PacketId, SimRng};
+        let mut fab = Fabric::new(
+            Box::new(AdaptiveMesh::d2(4, 4)),
+            FabricConfig::default().with_seed(9),
+        );
+        let mut rng = SimRng::from_seed_stream(42, 0);
+        let mut injected = 0u64;
+        let mut ejected = 0u64;
+        for _ in 0..60_000 {
+            for n in 0..16 {
+                let src = NodeId::new(n);
+                if injected < 400 && rng.gen_bool(0.1) && fab.can_inject(src, Lane::Request) {
+                    injected += 1;
+                    let mut dst = rng.gen_range_usize(0..15);
+                    if dst >= n {
+                        dst += 1;
+                    }
+                    fab.inject(
+                        src,
+                        Packet::data(PacketId::new(injected), src, NodeId::new(dst), 8),
+                    );
+                }
+                while fab.eject(src, Lane::Request).is_some() {
+                    ejected += 1;
+                }
+            }
+            fab.step();
+            if injected == 400 && ejected == 400 {
+                return;
+            }
+        }
+        panic!("adaptive mesh wedged: {ejected}/{injected} drained");
+    }
+}

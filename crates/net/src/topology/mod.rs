@@ -1,0 +1,351 @@
+//! Network topologies: structure (routers and links) plus routing logic.
+//!
+//! Each topology builds a [`FabricSpec`] — the static graph of routers,
+//! links, and node attachment points — and supplies a routing function that
+//! the fabric queries per hop. Adaptive topologies (fat trees going up,
+//! multibutterflies) return several candidates and the fabric picks among
+//! them; deterministic topologies return exactly one.
+
+mod adaptive_mesh;
+mod butterfly;
+mod fattree;
+mod mesh;
+
+pub use adaptive_mesh::AdaptiveMesh;
+pub use butterfly::Butterfly;
+pub use fattree::{Cm5FatTree, FatTree};
+pub use mesh::{Mesh, Torus};
+
+use nifdy_sim::NodeId;
+
+/// Where a router output link terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Another router's input port.
+    Router {
+        /// Destination router index.
+        router: u32,
+        /// Input-port index at the destination router.
+        in_port: u8,
+    },
+    /// A node's ejection interface.
+    Node(u32),
+}
+
+/// Static description of one router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterSpec {
+    /// Number of input ports (including any node-injection ports).
+    pub in_ports: u8,
+    /// Output links; index in this vector is the output-port number.
+    pub links: Vec<Endpoint>,
+}
+
+/// How a node attaches to the fabric.
+///
+/// Direct networks (meshes, tori, trees) attach injection and ejection to
+/// the same router; indirect networks (butterflies) inject at stage 0 and
+/// eject at the last stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAttach {
+    /// Router receiving this node's injected flits.
+    pub inj_router: u32,
+    /// Input port at `inj_router` dedicated to this node.
+    pub inj_port: u8,
+    /// Router whose output port ejects to this node.
+    pub ej_router: u32,
+    /// Output port at `ej_router` dedicated to this node.
+    pub ej_port: u8,
+}
+
+/// The full static graph of a fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricSpec {
+    /// All routers; index is the router id.
+    pub routers: Vec<RouterSpec>,
+    /// Attachment points, indexed by node.
+    pub attaches: Vec<NodeAttach>,
+}
+
+impl FabricSpec {
+    /// Total number of unidirectional router-to-router links.
+    pub fn num_internal_links(&self) -> usize {
+        self.routers
+            .iter()
+            .flat_map(|r| &r.links)
+            .filter(|e| matches!(e, Endpoint::Router { .. }))
+            .count()
+    }
+}
+
+/// Virtual-channel selection constraint attached to a route candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcSel {
+    /// Any virtual channel of the packet's lane may be allocated.
+    Any,
+    /// Only VC class `k` of the lane may be used (e.g. torus dateline
+    /// classes).
+    Class(u8),
+}
+
+/// One permissible next hop for a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Output port to take.
+    pub port: u8,
+    /// Virtual-channel constraint on that port.
+    pub vc: VcSel,
+}
+
+impl Candidate {
+    /// Candidate on `port` with no VC constraint.
+    pub const fn any(port: u8) -> Self {
+        Candidate {
+            port,
+            vc: VcSel::Any,
+        }
+    }
+}
+
+/// Per-worm routing state carried through the network.
+///
+/// Dimension-order tori lock the travel direction per dimension at injection
+/// and switch dateline VC classes when crossing a wraparound link; other
+/// topologies leave this at the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteState {
+    /// Per-dimension direction bits chosen at injection (1 = positive).
+    pub dir_bits: u8,
+    /// Current dateline VC class.
+    pub vc_class: u8,
+    /// Topology-private scratch (e.g. the dimension currently being
+    /// traversed, so datelines reset between dimensions).
+    pub aux: u8,
+}
+
+/// A network topology: static structure plus per-hop routing.
+///
+/// This trait is object-safe; fabrics store a `Box<dyn Topology>`.
+pub trait Topology: std::fmt::Debug {
+    /// Short human-readable name ("8x8 mesh", "4-ary fat tree (64)").
+    fn name(&self) -> String;
+
+    /// Number of attached nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Builds the static router/link graph.
+    fn spec(&self) -> FabricSpec;
+
+    /// Initial routing state for a packet from `src` to `dst`.
+    fn init_route(&self, src: NodeId, dst: NodeId) -> RouteState {
+        let _ = (src, dst);
+        RouteState::default()
+    }
+
+    /// Appends the permissible next hops at `router` for a packet headed to
+    /// `dst` with routing state `state`. Candidates must be non-empty for
+    /// every reachable destination.
+    fn route(&self, router: u32, dst: NodeId, state: &RouteState, out: &mut Vec<Candidate>);
+
+    /// Updates routing state when the head flit departs `router` via `port`
+    /// (e.g. switching dateline VC class on a wraparound hop).
+    fn on_hop(&self, router: u32, port: u8, state: &mut RouteState) {
+        let _ = (router, port, state);
+    }
+
+    /// Number of link hops (per this topology's own convention, matching the
+    /// paper's Table 3) between two nodes.
+    fn hops(&self, a: NodeId, b: NodeId) -> u32;
+
+    /// Whether this topology can deliver packets of one sender/receiver pair
+    /// out of order (multiple paths or multiple VCs). Single-path,
+    /// single-VC networks (the mesh with one VC, the butterfly) deliver in
+    /// order by construction; in the paper such networks get no in-order
+    /// benefit from NIFDY.
+    fn reorders(&self) -> bool;
+
+    /// Minimum virtual channels per lane this topology needs for deadlock
+    /// freedom (tori need 2 for their dateline classes).
+    fn min_vcs_per_lane(&self) -> u8 {
+        1
+    }
+}
+
+/// Computes the average and maximum hop count over all ordered node pairs.
+///
+/// Used to reproduce the distance columns of Table 3.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_net::topology::{hop_profile, Mesh};
+///
+/// let mesh = Mesh::d2(8, 8);
+/// let (avg, max) = hop_profile(&mesh);
+/// assert_eq!(max, 14);
+/// // 16/3 over ordered pairs excluding self (the paper rounds to 6).
+/// assert!((avg - 16.0 / 3.0).abs() < 0.01);
+/// ```
+pub fn hop_profile(topo: &dyn Topology) -> (f64, u32) {
+    let n = topo.num_nodes();
+    let mut total = 0u64;
+    let mut max = 0u32;
+    let mut pairs = 0u64;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let h = topo.hops(NodeId::new(a), NodeId::new(b));
+            total += u64::from(h);
+            max = max.max(h);
+            pairs += 1;
+        }
+    }
+    (total as f64 / pairs as f64, max)
+}
+
+#[cfg(test)]
+pub(crate) mod checks {
+    //! Shared structural validation used by every topology's tests.
+
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Asserts structural sanity of a spec: link endpoints in range, node
+    /// attaches consistent, each router input port fed by at most one link,
+    /// every node has exactly one injection and one ejection point.
+    pub fn check_spec(topo: &dyn Topology) {
+        let spec = topo.spec();
+        let nodes = topo.num_nodes();
+        assert_eq!(spec.attaches.len(), nodes, "one attach per node");
+
+        // Every link endpoint must exist.
+        let mut fed: HashSet<(u32, u8)> = HashSet::new();
+        let mut ejected: HashSet<u32> = HashSet::new();
+        for (r, router) in spec.routers.iter().enumerate() {
+            for link in &router.links {
+                match *link {
+                    Endpoint::Router { router: t, in_port } => {
+                        assert!((t as usize) < spec.routers.len(), "router {r} links to missing router {t}");
+                        assert!(
+                            in_port < spec.routers[t as usize].in_ports,
+                            "router {r} links to missing in-port {in_port} of router {t}"
+                        );
+                        assert!(
+                            fed.insert((t, in_port)),
+                            "input port ({t},{in_port}) fed by two links"
+                        );
+                    }
+                    Endpoint::Node(node) => {
+                        assert!((node as usize) < nodes, "eject link to missing node {node}");
+                        assert!(ejected.insert(node), "node {node} has two ejection links");
+                    }
+                }
+            }
+        }
+        for (n, at) in spec.attaches.iter().enumerate() {
+            assert!((at.inj_router as usize) < spec.routers.len());
+            assert!(at.inj_port < spec.routers[at.inj_router as usize].in_ports);
+            assert!(
+                fed.insert((at.inj_router, at.inj_port)),
+                "node {n} injection port also fed by a link"
+            );
+            let ej = &spec.routers[at.ej_router as usize];
+            assert!(
+                (at.ej_port as usize) < ej.links.len(),
+                "node {n} ejection port missing"
+            );
+            assert_eq!(
+                ej.links[at.ej_port as usize],
+                Endpoint::Node(n as u32),
+                "node {n} ejection port does not point back at the node"
+            );
+        }
+    }
+
+    /// Follows the routing function from every source to every destination,
+    /// asserting delivery within `max_hops` router traversals. Always takes
+    /// the first candidate (the fabric may pick any).
+    pub fn check_routing_delivers(topo: &dyn Topology, max_hops: u32) {
+        let spec = topo.spec();
+        let n = topo.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                let src = NodeId::new(a);
+                let dst = NodeId::new(b);
+                let mut state = topo.init_route(src, dst);
+                let mut router = spec.attaches[a].inj_router;
+                let mut hops = 0;
+                loop {
+                    assert!(
+                        hops <= max_hops,
+                        "{}: route {a}->{b} exceeded {max_hops} hops",
+                        topo.name()
+                    );
+                    let mut cands = Vec::new();
+                    topo.route(router, dst, &state, &mut cands);
+                    assert!(
+                        !cands.is_empty(),
+                        "{}: no route at router {router} for {a}->{b}",
+                        topo.name()
+                    );
+                    let port = cands[0].port;
+                    topo.on_hop(router, port, &mut state);
+                    match spec.routers[router as usize].links[port as usize] {
+                        Endpoint::Node(node) => {
+                            assert_eq!(node as usize, b, "{}: misdelivery {a}->{b}", topo.name());
+                            break;
+                        }
+                        Endpoint::Router { router: t, .. } => {
+                            router = t;
+                            hops += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exhaustively follows *every* candidate combination breadth-first,
+    /// asserting that all adaptive choices still deliver correctly.
+    pub fn check_all_candidates_deliver(topo: &dyn Topology, max_hops: u32) {
+        let spec = topo.spec();
+        let n = topo.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                let src = NodeId::new(a);
+                let dst = NodeId::new(b);
+                let mut frontier = vec![(spec.attaches[a].inj_router, topo.init_route(src, dst))];
+                let mut hops = 0;
+                while !frontier.is_empty() {
+                    assert!(
+                        hops <= max_hops,
+                        "{}: adaptive route {a}->{b} exceeded {max_hops} hops",
+                        topo.name()
+                    );
+                    let mut next = Vec::new();
+                    for (router, state) in frontier {
+                        let mut cands = Vec::new();
+                        topo.route(router, dst, &state, &mut cands);
+                        assert!(!cands.is_empty());
+                        for c in cands {
+                            let mut s2 = state;
+                            topo.on_hop(router, c.port, &mut s2);
+                            match spec.routers[router as usize].links[c.port as usize] {
+                                Endpoint::Node(node) => {
+                                    assert_eq!(node as usize, b);
+                                }
+                                Endpoint::Router { router: t, .. } => next.push((t, s2)),
+                            }
+                        }
+                    }
+                    next.sort_by_key(|(r, s)| (*r, s.dir_bits, s.vc_class, s.aux));
+                    next.dedup();
+                    frontier = next;
+                    hops += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulation timestamp, measured in machine cycles.
+///
+/// All latencies and overheads in the NIFDY paper are expressed in processor
+/// cycles (e.g. `T_send = 40`, `T_receive = 60`); `Cycle` keeps those
+/// quantities from being confused with other integers.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_sim::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let end = start + 44;
+/// assert_eq!(end - start, 44);
+/// assert_eq!(end.as_u64(), 144);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero timestamp, i.e. the beginning of the simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable timestamp; useful as an "infinite" deadline.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp at `cycles` cycles after the start of simulation.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the timestamp `delta` cycles later, saturating at [`Cycle::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, delta: u64) -> Self {
+        Cycle(self.0.saturating_add(delta))
+    }
+
+    /// Returns the number of cycles from `earlier` to `self`, or zero if
+    /// `earlier` is in the future.
+    #[inline]
+    pub const fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Elapsed cycles between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(value: u64) -> Self {
+        Cycle(value)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let c = Cycle::new(10);
+        assert_eq!((c + 5) - c, 5);
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Cycle::MAX.saturating_add(1), Cycle::MAX);
+        assert_eq!(Cycle::new(5).saturating_since(Cycle::new(9)), 0);
+        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(5)), 4);
+    }
+
+    #[test]
+    fn ordering_matches_time() {
+        assert!(Cycle::new(3) < Cycle::new(4));
+        assert_eq!(Cycle::from(7u64), Cycle::new(7));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(12).to_string(), "cycle 12");
+    }
+}

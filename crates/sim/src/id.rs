@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Identifier of a processing node (processor + network interface pair).
+///
+/// The paper assumes 16 bits are enough for node identification ("allowing
+/// 65536 different nodes"); we store a `u32` for convenience but the same
+/// bound is honored by [`NodeId::MAX_NODES`].
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_sim::NodeId;
+///
+/// let n = NodeId::new(12);
+/// assert_eq!(n.index(), 12);
+/// assert_eq!(n.to_string(), "n12");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Maximum number of nodes representable by the 16-bit wire format the
+    /// paper assumes for packet headers.
+    pub const MAX_NODES: usize = 1 << 16;
+
+    /// Creates a node identifier from its machine index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`NodeId::MAX_NODES`].
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < Self::MAX_NODES,
+            "node index {index} exceeds the 16-bit wire format"
+        );
+        NodeId(index as u32)
+    }
+
+    /// Returns the machine index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Globally unique identifier for a packet, assigned at creation.
+///
+/// Used only for bookkeeping (tracking arenas, latency accounting, test
+/// assertions); it is *not* part of the simulated wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet identifier from a raw counter value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PacketId(raw)
+    }
+
+    /// Returns the raw counter value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_round_trip() {
+        assert_eq!(NodeId::new(63).index(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit")]
+    fn node_out_of_range_panics() {
+        let _ = NodeId::new(NodeId::MAX_NODES);
+    }
+
+    #[test]
+    fn packet_id_round_trip() {
+        assert_eq!(PacketId::new(9).as_u64(), 9);
+        assert_eq!(PacketId::new(9).to_string(), "pkt#9");
+    }
+}

@@ -1,0 +1,178 @@
+//! The cyclic-shift (C-shift) all-to-all pattern of §4.3, from Brewer &
+//! Kuszmaul [BK94].
+//!
+//! The pattern has `P − 1` phases: in phase `p`, processor `i` sends a block
+//! to processor `(i + p) mod P`. "As long as the phases remain separate,
+//! each receiver is matched with exactly one sender. However ... some nodes
+//! may finish the current phase early and move on to the next phase,
+//! resulting in one node receiving from two senders", which snowballs into
+//! the congestion of Figure 5. Strata's fix is a barrier between phases;
+//! NIFDY's admission control achieves the same stability without barriers.
+
+use nifdy::{Delivered, OutboundPacket};
+use nifdy_net::UserData;
+use nifdy_sim::{Cycle, NodeId};
+
+use crate::processor::{Action, NodeWorkload};
+use crate::SoftwareModel;
+
+/// Configuration for the C-shift workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CShiftConfig {
+    /// Payload words each processor transfers to each partner.
+    pub words_per_partner: u32,
+    /// Insert a barrier between phases (the Strata software fix).
+    pub barriers: bool,
+    /// Request bulk dialogs for the block transfers.
+    pub bulk: bool,
+    /// The messaging-layer model (sets packets per block and overheads).
+    pub sw: SoftwareModel,
+}
+
+impl CShiftConfig {
+    /// A block transfer of `words_per_partner` words per phase, no barriers.
+    pub fn new(words_per_partner: u32, sw: SoftwareModel) -> Self {
+        CShiftConfig {
+            words_per_partner,
+            barriers: false,
+            bulk: true,
+            sw,
+        }
+    }
+
+    /// Enables inter-phase barriers.
+    pub fn with_barriers(mut self, on: bool) -> Self {
+        self.barriers = on;
+        self
+    }
+
+    /// Builds the per-node workloads for `num_nodes` processors.
+    pub fn build(&self, num_nodes: usize) -> Vec<Box<dyn NodeWorkload>> {
+        (0..num_nodes)
+            .map(|i| -> Box<dyn NodeWorkload> {
+                Box::new(CShift::new(*self, NodeId::new(i), num_nodes))
+            })
+            .collect()
+    }
+
+    /// Total packets one node sends over the whole pattern.
+    pub fn packets_per_node(&self, num_nodes: usize) -> u64 {
+        u64::from(self.sw.packets_for_message(self.words_per_partner)) * (num_nodes as u64 - 1)
+    }
+}
+
+/// Per-node C-shift state.
+#[derive(Debug)]
+pub struct CShift {
+    cfg: CShiftConfig,
+    node: NodeId,
+    p: usize,
+    phase: usize,
+    payloads: Vec<u16>,
+    sent_this_phase: u32,
+    need_barrier: bool,
+    msg_id: u64,
+}
+
+impl CShift {
+    /// Creates the workload for one node.
+    pub fn new(cfg: CShiftConfig, node: NodeId, num_nodes: usize) -> Self {
+        let payloads = cfg.sw.packet_payloads(cfg.words_per_partner);
+        CShift {
+            cfg,
+            node,
+            p: num_nodes,
+            phase: 1,
+            payloads,
+            sent_this_phase: 0,
+            need_barrier: false,
+            msg_id: 0,
+        }
+    }
+
+    fn partner(&self) -> NodeId {
+        NodeId::new((self.node.index() + self.phase) % self.p)
+    }
+}
+
+impl NodeWorkload for CShift {
+    fn next_action(&mut self, _now: Cycle) -> Action {
+        if self.need_barrier {
+            self.need_barrier = false;
+            return Action::Barrier;
+        }
+        if self.phase >= self.p {
+            return Action::Done;
+        }
+        let dst = self.partner();
+        let idx = self.sent_this_phase;
+        let pkts = self.payloads.len() as u32;
+        self.sent_this_phase += 1;
+        let pkt = OutboundPacket::new(dst, self.cfg.sw.packet_words)
+            .with_bulk(self.cfg.bulk && pkts > 1)
+            .with_user(UserData {
+                msg_id: self.msg_id,
+                pkt_index: idx,
+                msg_packets: pkts,
+                user_words: self.payloads[idx as usize],
+            });
+        if self.sent_this_phase == pkts {
+            self.phase += 1;
+            self.sent_this_phase = 0;
+            self.msg_id += 1;
+            if self.cfg.barriers && self.phase < self.p {
+                self.need_barrier = true;
+            }
+        }
+        Action::Send(pkt)
+    }
+
+    fn on_receive(&mut self, _pkt: &Delivered, _now: Cycle) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_phase_targets_the_shifted_partner() {
+        let cfg = CShiftConfig::new(15, SoftwareModel::cm5_library(false));
+        let mut w = CShift::new(cfg, NodeId::new(2), 8);
+        let pkts = cfg.sw.packets_for_message(15);
+        for phase in 1..8usize {
+            for _ in 0..pkts {
+                match w.next_action(Cycle::ZERO) {
+                    Action::Send(p) => assert_eq!(p.dst, NodeId::new((2 + phase) % 8)),
+                    other => panic!("expected send, got {other:?}"),
+                }
+            }
+        }
+        assert_eq!(w.next_action(Cycle::ZERO), Action::Done);
+    }
+
+    #[test]
+    fn barriers_appear_between_phases_when_enabled() {
+        let cfg = CShiftConfig::new(6, SoftwareModel::cm5_library(false)).with_barriers(true);
+        let pkts = cfg.sw.packets_for_message(6);
+        let mut w = CShift::new(cfg, NodeId::new(0), 4);
+        let mut seq = Vec::new();
+        loop {
+            let a = w.next_action(Cycle::ZERO);
+            if a == Action::Done {
+                break;
+            }
+            seq.push(a);
+        }
+        let barriers = seq.iter().filter(|a| matches!(a, Action::Barrier)).count();
+        let sends = seq.iter().filter(|a| matches!(a, Action::Send(_))).count();
+        assert_eq!(sends as u32, pkts * 3);
+        assert_eq!(barriers, 2, "P-1 phases need P-2 interior barriers");
+    }
+
+    #[test]
+    fn in_order_library_sends_fewer_packets() {
+        let with = CShiftConfig::new(60, SoftwareModel::cm5_library(false));
+        let without = CShiftConfig::new(60, SoftwareModel::cm5_library(true));
+        assert!(with.packets_per_node(32) < without.packets_per_node(32));
+    }
+}

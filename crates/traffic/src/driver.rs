@@ -1,0 +1,261 @@
+//! The simulation driver: one fabric, one NIC and one processor per node,
+//! all stepped cycle-synchronously, with global barrier coordination.
+
+use nifdy::{BufferedNic, Nic, NifdyConfig, NifdyUnit, PlainNic};
+use nifdy_net::Fabric;
+use nifdy_sim::NodeId;
+
+use crate::processor::{NodeWorkload, ProcEvent, Processor};
+use crate::SoftwareModel;
+
+/// Which network interface model to attach to every node — the three
+/// configurations the paper compares.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NicChoice {
+    /// "No NIFDY": the minimal interface.
+    Plain,
+    /// "Buffering only": NIFDY's buffer budget without its protocol. The
+    /// budget is taken from the given config's
+    /// [`total_buffers`](NifdyConfig::total_buffers) so comparisons stay
+    /// fair.
+    BuffersOnly(NifdyConfig),
+    /// The NIFDY unit.
+    Nifdy(NifdyConfig),
+}
+
+impl NicChoice {
+    /// Builds one NIC per node.
+    pub fn build(&self, num_nodes: usize) -> Vec<Box<dyn Nic>> {
+        (0..num_nodes)
+            .map(|i| -> Box<dyn Nic> {
+                let node = NodeId::new(i);
+                match self {
+                    NicChoice::Plain => Box::new(PlainNic::new(node)),
+                    NicChoice::BuffersOnly(cfg) => {
+                        Box::new(BufferedNic::new(node, cfg.total_buffers()))
+                    }
+                    NicChoice::Nifdy(cfg) => Box::new(NifdyUnit::new(node, cfg.clone())),
+                }
+            })
+            .collect()
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NicChoice::Plain => "none",
+            NicChoice::BuffersOnly(_) => "buffers",
+            NicChoice::Nifdy(_) => "nifdy",
+        }
+    }
+}
+
+/// A complete simulation: fabric, interfaces, processors, workloads.
+pub struct Driver {
+    fab: Fabric,
+    nics: Vec<Box<dyn Nic>>,
+    procs: Vec<Processor>,
+    wls: Vec<Box<dyn NodeWorkload>>,
+    barrier_cost: u64,
+}
+
+impl Driver {
+    /// Assembles a driver. One workload per node, in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of workloads does not match the fabric's nodes.
+    pub fn new(
+        fab: Fabric,
+        choice: &NicChoice,
+        sw: SoftwareModel,
+        wls: Vec<Box<dyn NodeWorkload>>,
+    ) -> Self {
+        let n = fab.num_nodes();
+        assert_eq!(wls.len(), n, "need one workload per node");
+        let nics = choice.build(n);
+        let procs = (0..n).map(|i| Processor::new(NodeId::new(i), sw)).collect();
+        Driver {
+            fab,
+            nics,
+            procs,
+            wls,
+            barrier_cost: 40,
+        }
+    }
+
+    /// Overrides the cost charged to every node when a barrier releases
+    /// (the CM-5's dedicated control network made barriers cheap; default
+    /// 40 cycles).
+    pub fn with_barrier_cost(mut self, cost: u64) -> Self {
+        self.barrier_cost = cost;
+        self
+    }
+
+    /// The simulated fabric (topology, time, delivery statistics).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fab
+    }
+
+    /// Per-node processor state and counters.
+    pub fn processors(&self) -> &[Processor] {
+        &self.procs
+    }
+
+    /// Per-node interface counters.
+    pub fn nic(&self, node: usize) -> &dyn Nic {
+        self.nics[node].as_ref()
+    }
+
+    /// Total packets the processors have received.
+    pub fn packets_received(&self) -> u64 {
+        self.procs.iter().map(|p| p.stats().received.get()).sum()
+    }
+
+    /// Total useful payload words received.
+    pub fn user_words_received(&self) -> u64 {
+        self.procs.iter().map(|p| p.stats().user_words.get()).sum()
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let now = self.fab.now();
+        for i in 0..self.procs.len() {
+            let ev = self.procs[i].step(self.nics[i].as_mut(), self.wls[i].as_mut(), now);
+            debug_assert!(matches!(ev, ProcEvent::None | ProcEvent::EnteredBarrier));
+        }
+        // Barrier release: every node is blocked in the barrier or done.
+        let any_waiting = self.procs.iter().any(|p| p.in_barrier());
+        if any_waiting && self.procs.iter().all(|p| p.in_barrier() || p.is_done()) {
+            for p in &mut self.procs {
+                if p.in_barrier() {
+                    p.release_barrier(now, self.barrier_cost);
+                }
+            }
+        }
+        for nic in &mut self.nics {
+            nic.step(&mut self.fab);
+        }
+        self.fab.step();
+    }
+
+    /// Runs for exactly `cycles` cycles.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs, invoking `sample` every `period` cycles, for `cycles` total.
+    pub fn run_sampled<F: FnMut(&Driver)>(&mut self, cycles: u64, period: u64, mut sample: F) {
+        assert!(period > 0, "sampling period must be positive");
+        for c in 0..cycles {
+            if c % period == 0 {
+                sample(self);
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until every workload has finished and the network has drained,
+    /// or `limit` cycles elapse. Returns `true` on completion.
+    pub fn run_until_quiet(&mut self, limit: u64) -> bool {
+        while self.fab.now().as_u64() < limit {
+            self.step();
+            if self.procs.iter().all(|p| p.is_done())
+                && self.nics.iter().all(|n| n.is_idle())
+                && self.fab.in_network() == 0
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::Action;
+    use nifdy::{Delivered, OutboundPacket};
+    use nifdy_net::topology::Mesh;
+    use nifdy_net::FabricConfig;
+    use nifdy_sim::Cycle;
+
+    /// Everyone sends `count` packets to the next node, with one barrier in
+    /// the middle.
+    struct RingBurst {
+        node: usize,
+        n: usize,
+        sent: u32,
+        count: u32,
+        did_barrier: bool,
+    }
+
+    impl NodeWorkload for RingBurst {
+        fn next_action(&mut self, _now: Cycle) -> Action {
+            if self.sent == self.count / 2 && !self.did_barrier {
+                self.did_barrier = true;
+                return Action::Barrier;
+            }
+            if self.sent < self.count {
+                self.sent += 1;
+                let dst = NodeId::new((self.node + 1) % self.n);
+                Action::Send(OutboundPacket::new(dst, 8))
+            } else {
+                Action::Done
+            }
+        }
+        fn on_receive(&mut self, _pkt: &Delivered, _now: Cycle) {}
+    }
+
+    fn ring_driver(choice: NicChoice) -> Driver {
+        let fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let wls: Vec<Box<dyn NodeWorkload>> = (0..16)
+            .map(|i| -> Box<dyn NodeWorkload> {
+                Box::new(RingBurst {
+                    node: i,
+                    n: 16,
+                    sent: 0,
+                    count: 10,
+                    did_barrier: false,
+                })
+            })
+            .collect();
+        Driver::new(fab, &choice, SoftwareModel::synthetic(), wls)
+    }
+
+    #[test]
+    fn nifdy_driver_completes_a_ring_exchange() {
+        let mut d = ring_driver(NicChoice::Nifdy(NifdyConfig::mesh()));
+        assert!(d.run_until_quiet(3_000_000), "did not drain");
+        assert_eq!(d.packets_received(), 160);
+        for p in d.processors() {
+            assert_eq!(p.stats().barriers.get(), 1);
+        }
+    }
+
+    #[test]
+    fn all_three_nic_choices_complete() {
+        for choice in [
+            NicChoice::Plain,
+            NicChoice::BuffersOnly(NifdyConfig::mesh()),
+            NicChoice::Nifdy(NifdyConfig::mesh()),
+        ] {
+            let mut d = ring_driver(choice.clone());
+            assert!(
+                d.run_until_quiet(3_000_000),
+                "{} did not drain",
+                choice.label()
+            );
+            assert_eq!(d.packets_received(), 160, "{}", choice.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(NicChoice::Plain.label(), "none");
+        assert_eq!(NicChoice::BuffersOnly(NifdyConfig::mesh()).label(), "buffers");
+        assert_eq!(NicChoice::Nifdy(NifdyConfig::mesh()).label(), "nifdy");
+    }
+}

@@ -1,0 +1,55 @@
+//! Workloads and processor models for evaluating NIFDY.
+//!
+//! This crate reproduces the traffic side of the paper's evaluation:
+//!
+//! * [`SoftwareModel`] — the measured CM-5 software overheads (Table 2) and
+//!   the packetization rules that give NIFDY its in-order payload benefit,
+//! * [`Processor`] — a polling processor ("only polling message reception is
+//!   allowed") driving any [`Nic`](nifdy::Nic) through a [`NodeWorkload`],
+//! * [`Driver`] — the cycle-synchronous simulation loop with global
+//!   barriers,
+//! * workloads: synthetic heavy/light bursts (§4.1), the cyclic shift
+//!   (§4.3), EM3D (§4.4), and radix-sort scan/coalesce (§4.5).
+//!
+//! # Examples
+//!
+//! Running the heavy synthetic pattern over a mesh with NIFDY:
+//!
+//! ```
+//! use nifdy::NifdyConfig;
+//! use nifdy_net::topology::Mesh;
+//! use nifdy_net::{Fabric, FabricConfig};
+//! use nifdy_traffic::{Driver, NicChoice, SoftwareModel, SyntheticConfig};
+//!
+//! let fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+//! let wls = SyntheticConfig::heavy(42).build(16);
+//! let mut driver = Driver::new(
+//!     fab,
+//!     &NicChoice::Nifdy(NifdyConfig::mesh()),
+//!     SoftwareModel::synthetic(),
+//!     wls,
+//! );
+//! driver.run_cycles(20_000);
+//! assert!(driver.packets_received() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cshift;
+mod driver;
+mod em3d;
+mod openloop;
+mod overheads;
+mod processor;
+mod radix;
+mod synthetic;
+
+pub use cshift::{CShift, CShiftConfig};
+pub use driver::{Driver, NicChoice};
+pub use em3d::{Em3d, Em3dParams, Em3dPlan};
+pub use openloop::{OpenLoop, OpenLoopConfig};
+pub use overheads::{table2, SoftwareModel};
+pub use processor::{Action, NodeWorkload, ProcEvent, ProcStats, Processor};
+pub use radix::{Coalesce, CoalesceConfig, Scan, ScanConfig};
+pub use synthetic::{Synthetic, SyntheticConfig};

@@ -1,0 +1,161 @@
+//! Open-loop (rate-controlled) uniform-random traffic, used to trace the
+//! throughput/latency curve of §1's *operating range* argument:
+//! "Interconnection networks deliver maximum performance when the offered
+//! load is limited to a fraction of the maximum bandwidth ... when the
+//! offered load exceeds the operating range, throughput falls off
+//! dramatically."
+//!
+//! Each node offers one single-packet message to a uniformly random
+//! destination every `interval` cycles. When the interface refuses a packet
+//! the processor retries (the source queue backs up), so saturation shows
+//! up as a throughput plateau plus a latency blow-up.
+
+use nifdy::{Delivered, OutboundPacket};
+use nifdy_net::UserData;
+use nifdy_sim::{Cycle, NodeId, SimRng};
+
+use crate::processor::{Action, NodeWorkload};
+
+/// Configuration for the open-loop pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopConfig {
+    /// Cycles between successive send attempts per node (1/rate).
+    pub interval: u64,
+    /// Wire packet size in words.
+    pub packet_words: u16,
+    /// Base seed (per-node streams derived from it).
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// Uniform-random single-packet traffic at one packet per `interval`
+    /// cycles per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64, seed: u64) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        OpenLoopConfig {
+            interval,
+            packet_words: 8,
+            seed,
+        }
+    }
+
+    /// Builds the per-node workloads.
+    pub fn build(&self, num_nodes: usize) -> Vec<Box<dyn NodeWorkload>> {
+        (0..num_nodes)
+            .map(|i| -> Box<dyn NodeWorkload> {
+                Box::new(OpenLoop {
+                    cfg: *self,
+                    node: NodeId::new(i),
+                    num_nodes,
+                    rng: SimRng::from_seed_stream(self.seed, i as u64),
+                    next_due: (i as u64 * 7) % self.interval, // desynchronize
+                    offered: 0,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Per-node open-loop generator.
+#[derive(Debug)]
+pub struct OpenLoop {
+    cfg: OpenLoopConfig,
+    node: NodeId,
+    num_nodes: usize,
+    rng: SimRng,
+    next_due: u64,
+    offered: u64,
+}
+
+impl OpenLoop {
+    /// Packets offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+impl NodeWorkload for OpenLoop {
+    fn next_action(&mut self, now: Cycle) -> Action {
+        if now.as_u64() < self.next_due {
+            return Action::Compute(self.next_due - now.as_u64());
+        }
+        self.next_due += self.cfg.interval;
+        self.offered += 1;
+        let mut dst = self.rng.gen_range_usize(0..self.num_nodes - 1);
+        if dst >= self.node.index() {
+            dst += 1;
+        }
+        Action::Send(
+            OutboundPacket::new(NodeId::new(dst), self.cfg.packet_words).with_user(UserData {
+                msg_id: self.offered,
+                pkt_index: 0,
+                msg_packets: 1,
+                user_words: self.cfg.packet_words - 1,
+            }),
+        )
+    }
+
+    fn on_receive(&mut self, _pkt: &Delivered, _now: Cycle) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{Driver, NicChoice};
+    use crate::SoftwareModel;
+    use nifdy::NifdyConfig;
+    use nifdy_net::topology::Mesh;
+    use nifdy_net::{Fabric, FabricConfig};
+
+    #[test]
+    fn rate_is_respected_when_unloaded() {
+        let fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let cfg = OpenLoopConfig::new(500, 3);
+        let mut d = Driver::new(
+            fab,
+            &NicChoice::Nifdy(NifdyConfig::mesh()),
+            SoftwareModel::synthetic(),
+            cfg.build(16),
+        );
+        d.run_cycles(20_000);
+        let delivered = d.packets_received();
+        // 16 nodes * 20000/500 = 640 offered; nearly all should arrive.
+        assert!(
+            (500..=640).contains(&delivered),
+            "unloaded open loop delivered {delivered}"
+        );
+    }
+
+    #[test]
+    fn saturation_caps_throughput() {
+        let run = |interval: u64| {
+            let fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+            let cfg = OpenLoopConfig::new(interval, 3);
+            let mut d = Driver::new(
+                fab,
+                &NicChoice::Plain,
+                SoftwareModel::synthetic(),
+                cfg.build(16),
+            );
+            d.run_cycles(30_000);
+            d.packets_received()
+        };
+        let slow = run(400);
+        let fast = run(25);
+        // 16x the offered load cannot produce 16x the throughput.
+        assert!(
+            fast < slow * 12,
+            "no saturation visible: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = OpenLoopConfig::new(0, 1);
+    }
+}

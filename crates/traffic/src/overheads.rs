@@ -1,0 +1,215 @@
+//! Software overhead models (Table 2 and §2.4.3 of the paper).
+//!
+//! The paper calibrated its simulator against a real CM-5: "we ran several
+//! tests on a real CM-5 to estimate packet sending and receiving overheads
+//! as well as CM-5 network latency and bandwidth. These parameters,
+//! summarized in Table 2, agree closely with those reported in [vE93]."
+//! For the worked parameter examples of §2.4.3 the paper assumes
+//! `T_send = 40` and `T_receive = 60` cycles, with 2 cycles of NIFDY
+//! processing per ack end.
+
+/// Measured CM-5 Active Message costs (Table 2), in processor cycles.
+pub mod table2 {
+    /// Active message send.
+    pub const AM_SEND: u64 = 33;
+    /// Active message poll when no message is pending.
+    pub const AM_POLL_EMPTY: u64 = 22;
+    /// Active message receive (dispatch, handle, return).
+    pub const AM_RECEIVE: u64 = 50;
+    /// One-way latency including software, from send to the beginning of
+    /// the handler.
+    pub const ONE_WAY_LATENCY: u64 = 95;
+}
+
+/// Per-packet software costs plus the packetization rules a messaging layer
+/// implies.
+///
+/// The `reorder_in_software` flag models the §2.2 / §4.4 distinction: on a
+/// network that can reorder packets, a library *not* backed by NIFDY's
+/// in-order delivery pays extra receive overhead to reconstruct order
+/// (\[KC94\] measured up to 30% of transfer time) and must tag every packet
+/// with bookkeeping words, reducing payload.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_traffic::SoftwareModel;
+///
+/// let plain = SoftwareModel::cm5_library(true);   // software reordering
+/// let nifdy = SoftwareModel::cm5_library(false);  // NIFDY delivers in order
+/// assert!(nifdy.t_receive < plain.t_receive);
+/// assert!(nifdy.payload_words_per_packet() > plain.payload_words_per_packet());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareModel {
+    /// Cycles the processor spends sending one packet.
+    pub t_send: u64,
+    /// Cycles to receive one packet (dispatch, handle, return).
+    pub t_receive: u64,
+    /// Cycles for an unsuccessful poll.
+    pub t_poll: u64,
+    /// Total packet size on the wire, in words (header included).
+    pub packet_words: u16,
+    /// Bookkeeping words each packet must carry when the library cannot
+    /// rely on in-order delivery (sequence/offset tags).
+    pub bookkeeping_words: u16,
+    /// Whether the library reorders packets in software (no NIFDY on a
+    /// reordering network).
+    pub reorder_in_software: bool,
+}
+
+impl SoftwareModel {
+    /// The synthetic-workload model of §4.1: 8-word packets, the §2.4.3
+    /// overhead assumptions.
+    pub fn synthetic() -> Self {
+        SoftwareModel {
+            t_send: 40,
+            t_receive: 60,
+            t_poll: 22,
+            packet_words: 8,
+            bookkeeping_words: 2,
+            reorder_in_software: false,
+        }
+    }
+
+    /// The CMAM/Split-C library model used by the C-shift, EM3D and radix
+    /// workloads: 6-word packets, Table 2 overheads.
+    ///
+    /// With `reorder_in_software`, receive costs grow by the \[KC94\]
+    /// reordering share and every packet loses bookkeeping payload.
+    pub fn cm5_library(reorder_in_software: bool) -> Self {
+        let base = table2::AM_RECEIVE;
+        SoftwareModel {
+            t_send: table2::AM_SEND,
+            // Software reordering adds ~30% to receive processing [KC94].
+            t_receive: if reorder_in_software { base * 13 / 10 } else { base },
+            t_poll: table2::AM_POLL_EMPTY,
+            packet_words: 6,
+            bookkeeping_words: 2,
+            reorder_in_software,
+        }
+    }
+
+    /// Useful payload words one packet carries under this model (header word
+    /// excluded; bookkeeping excluded when reordering in software).
+    pub fn payload_words_per_packet(&self) -> u16 {
+        let header = 1;
+        let book = if self.reorder_in_software {
+            self.bookkeeping_words
+        } else {
+            0
+        };
+        self.packet_words - header - book
+    }
+
+    /// Exact per-packet payload split for a message of `user_words` words:
+    /// without in-order delivery every packet carries up to
+    /// [`payload_words_per_packet`](Self::payload_words_per_packet); with it,
+    /// the first packet also carries the message bookkeeping and later
+    /// packets are pure payload.
+    ///
+    /// The returned vector sums to `user_words` and its length equals
+    /// [`packets_for_message`](Self::packets_for_message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user_words` is zero.
+    pub fn packet_payloads(&self, user_words: u32) -> Vec<u16> {
+        assert!(user_words > 0, "messages must carry some payload");
+        let per = u32::from(self.payload_words_per_packet());
+        let mut left = user_words;
+        let mut out = Vec::new();
+        if !self.reorder_in_software {
+            let first = u32::from(self.packet_words - 1 - self.bookkeeping_words);
+            let take = left.min(first);
+            out.push(take as u16);
+            left -= take;
+        }
+        while left > 0 {
+            let take = left.min(per);
+            out.push(take as u16);
+            left -= take;
+        }
+        out
+    }
+
+    /// Number of packets a message of `user_words` payload words requires.
+    /// In-order delivery lets every packet after the first carry pure data
+    /// (§2.2: "later packets need not include any bookkeeping information");
+    /// the first packet always carries the message header/bookkeeping.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nifdy_traffic::SoftwareModel;
+    ///
+    /// let with = SoftwareModel::cm5_library(false);
+    /// let without = SoftwareModel::cm5_library(true);
+    /// // A 60-word transfer: 5 words/pkt in order vs 3 words/pkt without.
+    /// assert_eq!(with.packets_for_message(60), 13);
+    /// assert_eq!(without.packets_for_message(60), 20);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user_words` is zero.
+    pub fn packets_for_message(&self, user_words: u32) -> u32 {
+        assert!(user_words > 0, "messages must carry some payload");
+        let per = u32::from(self.payload_words_per_packet());
+        if self.reorder_in_software {
+            user_words.div_ceil(per)
+        } else {
+            // First packet initializes the destination (bookkeeping), the
+            // rest are pure payload.
+            let first = u32::from(self.packet_words - 1 - self.bookkeeping_words);
+            if user_words <= first {
+                1
+            } else {
+                1 + (user_words - first).div_ceil(per)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants_are_the_measured_cm5_costs() {
+        // Encoded in consts so regressions in the constants themselves are
+        // caught at compile time.
+        const _: () = assert!(table2::AM_SEND < table2::AM_RECEIVE);
+        const _: () = assert!(table2::ONE_WAY_LATENCY > table2::AM_RECEIVE);
+        assert_eq!(table2::AM_POLL_EMPTY, 22);
+    }
+
+    #[test]
+    fn in_order_library_is_cheaper_and_denser() {
+        let with = SoftwareModel::cm5_library(false);
+        let without = SoftwareModel::cm5_library(true);
+        assert!(with.t_receive < without.t_receive);
+        assert_eq!(with.payload_words_per_packet(), 5);
+        assert_eq!(without.payload_words_per_packet(), 3);
+    }
+
+    #[test]
+    fn packet_counts_shrink_with_in_order_delivery() {
+        let with = SoftwareModel::cm5_library(false);
+        let without = SoftwareModel::cm5_library(true);
+        for words in [1u32, 3, 5, 15, 60, 100] {
+            assert!(
+                with.packets_for_message(words) <= without.packets_for_message(words),
+                "words={words}"
+            );
+        }
+        assert_eq!(with.packets_for_message(3), 1);
+        assert_eq!(with.packets_for_message(9), 3); // 3 + 5 + 1
+    }
+
+    #[test]
+    #[should_panic(expected = "payload")]
+    fn zero_word_messages_rejected() {
+        let _ = SoftwareModel::synthetic().packets_for_message(0);
+    }
+}

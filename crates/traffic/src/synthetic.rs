@@ -1,0 +1,300 @@
+//! The synthetic bursty traffic patterns of §4.1.
+//!
+//! Both patterns consist of *phases separated by barriers*. A sending node
+//! "will attempt to send its packets (typically 100 to 300 of them) as
+//! quickly as possible", as consecutive multi-packet messages to randomly
+//! chosen destinations.
+//!
+//! * **Heavy**: every node sends every phase; message lengths are uniform
+//!   on 1..=5 packets.
+//! * **Light**: each node sends with 33% probability per phase; the message
+//!   length distribution includes 10- and 20-packet messages ("most messages
+//!   are short, but long messages account for more packets overall"), and
+//!   nodes pseudo-randomly enter non-responsive periods during which they
+//!   neither send nor poll.
+//!
+//! Each node draws from its own [`SimRng`] stream, so "the same sequence of
+//! bursts is generated regardless of network and NIFDY configuration used".
+
+use nifdy::{Delivered, OutboundPacket};
+use nifdy_net::UserData;
+use nifdy_sim::{Cycle, NodeId, SimRng};
+
+use crate::processor::{Action, NodeWorkload};
+
+/// Configuration of the synthetic pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Heavy (true) or light (false) traffic.
+    pub heavy: bool,
+    /// Packets a sending node emits per phase.
+    pub packets_per_phase: u32,
+    /// Wire packet size in words (the paper uses 8-word packets here).
+    pub packet_words: u16,
+    /// Messages at least this long request a bulk dialog.
+    pub bulk_threshold: u32,
+    /// Probability of entering a non-responsive period at a decision point
+    /// (light traffic only).
+    pub nonresponsive_prob: f64,
+    /// Length of a non-responsive period, in cycles.
+    pub nonresponsive_cycles: u64,
+    /// Base seed; combined with the node index for per-node streams.
+    pub seed: u64,
+    /// Upper bound on message length in packets (Figure 4 uses 1 to study
+    /// pure scalar traffic).
+    pub max_msg_len: u32,
+}
+
+impl SyntheticConfig {
+    /// The heavy pattern of Figure 2.
+    pub fn heavy(seed: u64) -> Self {
+        SyntheticConfig {
+            heavy: true,
+            packets_per_phase: 150,
+            packet_words: 8,
+            bulk_threshold: 4,
+            nonresponsive_prob: 0.0,
+            nonresponsive_cycles: 0,
+            seed,
+            max_msg_len: 5,
+        }
+    }
+
+    /// Short-message variant: every message is a single packet and bulk is
+    /// never requested (the Figure 4 scalability study).
+    pub fn short_messages(seed: u64) -> Self {
+        let mut cfg = SyntheticConfig::heavy(seed);
+        cfg.max_msg_len = 1;
+        cfg.bulk_threshold = u32::MAX;
+        cfg
+    }
+
+    /// The light pattern of Figure 3.
+    pub fn light(seed: u64) -> Self {
+        SyntheticConfig {
+            heavy: false,
+            packets_per_phase: 150,
+            packet_words: 8,
+            bulk_threshold: 4,
+            nonresponsive_prob: 0.004,
+            nonresponsive_cycles: 400,
+            seed,
+            max_msg_len: 20,
+        }
+    }
+
+    /// Builds the per-node workloads for a machine of `num_nodes`.
+    pub fn build(&self, num_nodes: usize) -> Vec<Box<dyn NodeWorkload>> {
+        (0..num_nodes)
+            .map(|i| -> Box<dyn NodeWorkload> {
+                Box::new(Synthetic::new(self.clone(), NodeId::new(i), num_nodes))
+            })
+            .collect()
+    }
+}
+
+/// Per-node synthetic traffic generator.
+#[derive(Debug)]
+pub struct Synthetic {
+    cfg: SyntheticConfig,
+    node: NodeId,
+    num_nodes: usize,
+    rng: SimRng,
+    sending_this_phase: bool,
+    left_in_phase: u32,
+    msg_dst: NodeId,
+    msg_left: u32,
+    msg_len: u32,
+    msg_id: u64,
+    pkt_in_msg: u32,
+}
+
+impl Synthetic {
+    /// Creates the generator for one node.
+    pub fn new(cfg: SyntheticConfig, node: NodeId, num_nodes: usize) -> Self {
+        let rng = SimRng::from_seed_stream(cfg.seed, node.index() as u64);
+        let mut s = Synthetic {
+            cfg,
+            node,
+            num_nodes,
+            rng,
+            sending_this_phase: false,
+            left_in_phase: 0,
+            msg_dst: node,
+            msg_left: 0,
+            msg_len: 0,
+            msg_id: 0,
+            pkt_in_msg: 0,
+        };
+        s.begin_phase();
+        s
+    }
+
+    fn begin_phase(&mut self) {
+        self.sending_this_phase = self.cfg.heavy || self.rng.gen_bool(1.0 / 3.0);
+        self.left_in_phase = if self.sending_this_phase {
+            self.cfg.packets_per_phase
+        } else {
+            0
+        };
+        self.msg_left = 0;
+    }
+
+    fn begin_message(&mut self) {
+        // New random destination, never self.
+        let mut dst = self.rng.gen_range_usize(0..self.num_nodes - 1);
+        if dst >= self.node.index() {
+            dst += 1;
+        }
+        self.msg_dst = NodeId::new(dst);
+        self.msg_len = if self.cfg.heavy {
+            self.rng.gen_range_u64(1..6) as u32
+        } else {
+            // Mostly short; 10s and 20s carry most of the volume.
+            match self.rng.gen_range_u64(0..10) {
+                0..=5 => self.rng.gen_range_u64(1..4) as u32,
+                6..=7 => 10,
+                _ => 20,
+            }
+        };
+        self.msg_len = self
+            .msg_len
+            .min(self.cfg.max_msg_len.max(1))
+            .min(self.left_in_phase.max(1));
+        self.msg_left = self.msg_len;
+        self.msg_id += 1;
+        self.pkt_in_msg = 0;
+    }
+}
+
+impl NodeWorkload for Synthetic {
+    fn next_action(&mut self, _now: Cycle) -> Action {
+        if !self.sending_this_phase || self.left_in_phase == 0 {
+            // Possibly go non-responsive (light traffic), otherwise barrier
+            // into the next phase once everyone is ready; poll meanwhile.
+            if self.cfg.nonresponsive_prob > 0.0 && self.rng.gen_bool(self.cfg.nonresponsive_prob)
+            {
+                return Action::Compute(self.cfg.nonresponsive_cycles);
+            }
+            if self.left_in_phase == 0 && self.sending_this_phase {
+                // Finished this phase's budget: next phase via barrier.
+                self.begin_phase();
+                return Action::Barrier;
+            }
+            if !self.sending_this_phase {
+                // Receivers idle-poll; they re-enter a phase at the barrier
+                // together with everyone else. To keep every node
+                // participating in barriers, a non-sender joins immediately.
+                self.begin_phase();
+                return Action::Barrier;
+            }
+            return Action::Idle;
+        }
+        if self.msg_left == 0 {
+            self.begin_message();
+        }
+        // Occasional non-responsive period even while sending.
+        if self.cfg.nonresponsive_prob > 0.0 && self.rng.gen_bool(self.cfg.nonresponsive_prob / 4.0)
+        {
+            return Action::Compute(self.cfg.nonresponsive_cycles);
+        }
+        self.msg_left -= 1;
+        self.left_in_phase -= 1;
+        let idx = self.pkt_in_msg;
+        self.pkt_in_msg += 1;
+        let pkt = OutboundPacket::new(self.msg_dst, self.cfg.packet_words)
+            .with_bulk(self.msg_len >= self.cfg.bulk_threshold)
+            .with_user(UserData {
+                msg_id: self.msg_id,
+                pkt_index: idx,
+                msg_packets: self.msg_len,
+                user_words: self.cfg.packet_words - 1,
+            });
+        Action::Send(pkt)
+    }
+
+    fn on_receive(&mut self, _pkt: &Delivered, _now: Cycle) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut Synthetic, max: usize) -> Vec<Action> {
+        (0..max).map(|_| s.next_action(Cycle::ZERO)).collect()
+    }
+
+    #[test]
+    fn heavy_nodes_always_send_their_budget() {
+        let cfg = SyntheticConfig::heavy(1);
+        let mut s = Synthetic::new(cfg, NodeId::new(0), 16);
+        let actions = drain(&mut s, 150);
+        assert!(actions.iter().all(|a| matches!(a, Action::Send(_))));
+        // The 151st action is the phase barrier.
+        assert_eq!(s.next_action(Cycle::ZERO), Action::Barrier);
+    }
+
+    #[test]
+    fn messages_never_target_self() {
+        let cfg = SyntheticConfig::heavy(2);
+        let mut s = Synthetic::new(cfg, NodeId::new(5), 16);
+        for _ in 0..150 {
+            if let Action::Send(p) = s.next_action(Cycle::ZERO) {
+                assert_ne!(p.dst, NodeId::new(5));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_message_lengths_stay_in_one_to_five() {
+        let cfg = SyntheticConfig::heavy(3);
+        let mut s = Synthetic::new(cfg, NodeId::new(0), 16);
+        let mut lens = Vec::new();
+        for _ in 0..600 {
+            if let Action::Send(p) = s.next_action(Cycle::ZERO) {
+                if p.user.pkt_index == 0 {
+                    lens.push(p.user.msg_packets);
+                }
+            }
+        }
+        assert!(lens.iter().all(|&l| (1..=5).contains(&l)), "{lens:?}");
+        assert!(lens.contains(&1) && lens.contains(&5));
+    }
+
+    #[test]
+    fn light_traffic_includes_long_messages_and_nonresponsive_periods() {
+        let cfg = SyntheticConfig::light(4);
+        let mut s = Synthetic::new(cfg, NodeId::new(0), 16);
+        let mut saw_long = false;
+        let mut saw_compute = false;
+        for _ in 0..5_000 {
+            match s.next_action(Cycle::ZERO) {
+                Action::Send(p) => saw_long |= p.user.msg_packets >= 10,
+                Action::Compute(_) => saw_compute = true,
+                _ => {}
+            }
+        }
+        assert!(saw_long, "no long messages in light traffic");
+        assert!(saw_compute, "no non-responsive periods in light traffic");
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mk = || Synthetic::new(SyntheticConfig::heavy(9), NodeId::new(3), 64);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..300 {
+            assert_eq!(a.next_action(Cycle::ZERO), b.next_action(Cycle::ZERO));
+        }
+    }
+
+    #[test]
+    fn bulk_requested_only_for_long_messages() {
+        let cfg = SyntheticConfig::heavy(7);
+        let mut s = Synthetic::new(cfg, NodeId::new(0), 16);
+        for _ in 0..600 {
+            if let Action::Send(p) = s.next_action(Cycle::ZERO) {
+                assert_eq!(p.want_bulk, p.user.msg_packets >= 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The Figure 5/6 story in one binary: run the cyclic-shift all-to-all on
+//! the CM-5-style fat tree four ways and watch NIFDY's admission control
+//! beat software barriers.
+//!
+//! ```text
+//! cargo run --release --example cshift_showdown
+//! ```
+
+use nifdy_net::Fabric;
+use nifdy_sim::NodeId;
+use nifdy_traffic::{CShiftConfig, Driver, NicChoice, SoftwareModel};
+use nifdy_harness::{heat_map, NetworkKind};
+
+fn run(choice: &NicChoice, barriers: bool, inorder: bool) -> (u64, f64, Vec<Vec<f64>>) {
+    let kind = NetworkKind::Cm5;
+    let nodes = 32;
+    let fab = Fabric::new(kind.topology(nodes, 1), kind.fabric_config(1));
+    let sw = SoftwareModel::cm5_library(!inorder);
+    let cfg = CShiftConfig::new(45, sw).with_barriers(barriers);
+    let mut driver = Driver::new(fab, choice, sw, cfg.build(nodes));
+
+    let mut series = vec![Vec::new(); nodes];
+    let cap = 3_000_000u64;
+    let mut finish = cap;
+    for c in 0..cap {
+        if c % 8_000 == 0 {
+            for (r, s) in series.iter_mut().enumerate() {
+                s.push(f64::from(driver.fabric().pending_for(NodeId::new(r))));
+            }
+        }
+        driver.step();
+        if driver.processors().iter().all(|p| p.is_done()) && driver.fabric().in_network() == 0 {
+            finish = c;
+            break;
+        }
+    }
+    let words = driver.user_words_received() as f64;
+    (finish, words / (finish.max(1) as f64 / 1000.0), series)
+}
+
+fn main() {
+    let preset = NetworkKind::Cm5.nifdy_preset();
+    println!("C-shift, 32 nodes, CM-5-style fat tree, 45 words per partner\n");
+
+    let cases = [
+        ("plain, no barriers", NicChoice::Plain, false, false),
+        ("plain + barriers (Strata-style)", NicChoice::Plain, true, false),
+        ("NIFDY, flow control only", NicChoice::Nifdy(preset.clone()), false, false),
+        ("NIFDY + in-order library", NicChoice::Nifdy(preset.clone()), false, true),
+    ];
+    let mut maps = Vec::new();
+    for (label, choice, barriers, inorder) in &cases {
+        let (finish, wpk, series) = run(choice, *barriers, *inorder);
+        println!("{label:35} finished at cycle {finish:>9}  ({wpk:.1} words/kcycle)");
+        maps.push((label, series));
+    }
+
+    println!();
+    for (label, series) in [&maps[0], &maps[2]] {
+        println!("{}", heat_map(label, series));
+    }
+    println!(
+        "Without NIFDY, dark streaks persist: a receiver that falls behind \
+         accumulates packets and slows every matched sender. With NIFDY the \
+         'rightful' sender owns the bulk dialog, so perturbations dissipate."
+    );
+}

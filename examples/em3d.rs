@@ -1,0 +1,68 @@
+//! EM3D (§4.4) across two networks: the irregular-graph workload whose
+//! cross-processor arcs turn into message traffic. Compares the three
+//! interface models plus NIFDY's in-order payload benefit.
+//!
+//! ```text
+//! cargo run --release --example em3d
+//! ```
+
+use nifdy_net::Fabric;
+use nifdy_traffic::{Driver, Em3dParams, Em3dPlan, NicChoice, SoftwareModel};
+use nifdy_harness::NetworkKind;
+
+fn cycles_per_iter(kind: NetworkKind, choice: &NicChoice, inorder: bool) -> f64 {
+    let fab = Fabric::new(kind.topology(64, 1), kind.fabric_config(1));
+    let sw = SoftwareModel::cm5_library(!inorder && kind.reorders());
+    let mut params = Em3dParams::more_communication(1);
+    // A quarter of the paper's graph keeps the run under a minute while
+    // preserving the communication shape.
+    params.n_nodes /= 4;
+    params.iters = 2;
+    let mut driver = Driver::new(fab, choice, sw, params.build(64, sw));
+    assert!(driver.run_until_quiet(50_000_000), "EM3D did not finish");
+    driver.fabric().now().as_u64() as f64 / f64::from(params.iters)
+}
+
+fn main() {
+    let mut params = Em3dParams::more_communication(1);
+    params.n_nodes /= 4;
+    let plan = Em3dPlan::generate(params, 64);
+    let remote_arcs: u64 = plan
+        .sends
+        .iter()
+        .flat_map(|v| v.iter().map(|(_, w)| u64::from(*w)))
+        .sum();
+    println!(
+        "EM3D, 64 processors, n_nodes={}, d_nodes={}, local_p={}%, dist_span={}",
+        params.n_nodes, params.d_nodes, params.local_p, params.dist_span
+    );
+    println!("remote value updates per iteration: {remote_arcs}\n");
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "network", "none", "buffers", "nifdy-", "nifdy"
+    );
+    for kind in [NetworkKind::FatTree, NetworkKind::Mesh2D] {
+        let preset = kind.nifdy_preset();
+        let none = cycles_per_iter(kind, &NicChoice::Plain, false);
+        let buffers = cycles_per_iter(kind, &NicChoice::BuffersOnly(preset.clone()), false);
+        let flow = cycles_per_iter(kind, &NicChoice::Nifdy(preset.clone()), false);
+        let inorder = cycles_per_iter(kind, &NicChoice::Nifdy(preset), true);
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            kind.label(),
+            none,
+            buffers,
+            flow,
+            inorder
+        );
+    }
+    println!(
+        "\nColumns are cycles per iteration (lower is better). 'nifdy-' is \
+         flow control only; 'nifdy' also lets the library exploit in-order \
+         delivery (denser packets, cheaper receive path). On the mesh the \
+         network already delivers in order, so all columns use the in-order \
+         library and the protocol changes little — exactly the paper's \
+         Figure 8 pattern."
+    );
+}

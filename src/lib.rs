@@ -1,0 +1,15 @@
+//! Root crate of the NIFDY reproduction workspace: re-exports the member
+//! crates so examples and integration tests can use one dependency.
+//!
+//! See the individual crates for the real APIs:
+//! [`nifdy`] (the protocol), [`nifdy_net`] (fabrics), [`nifdy_traffic`]
+//! (workloads), [`nifdy_harness`] (paper experiments), [`nifdy_sim`]
+//! (kernel).
+
+#![forbid(unsafe_code)]
+
+pub use nifdy;
+pub use nifdy_harness;
+pub use nifdy_net;
+pub use nifdy_sim;
+pub use nifdy_traffic;

@@ -1,0 +1,133 @@
+//! The paper's qualitative claims, asserted at smoke scale. These are the
+//! *shape* checks of EXPERIMENTS.md: who wins, roughly by how much, and
+//! where NIFDY is supposed to be neutral.
+
+use nifdy_harness::{fig23, fig5, fig6, fig9, table3, NetworkKind, Scale};
+use nifdy_traffic::NicChoice;
+
+/// "Our results show that it delivers more packets than the same network
+/// without NIFDY" — allow a small tolerance at smoke scale.
+#[test]
+fn heavy_traffic_nifdy_is_at_least_competitive_everywhere() {
+    let (_, points) = fig23::run(true, Scale::Smoke, 1);
+    for kind in NetworkKind::ALL {
+        let get = |cfg: &str| {
+            points
+                .iter()
+                .find(|p| p.network == kind.label() && p.config == cfg)
+                .expect("cell present")
+                .packets
+        };
+        let (none, nifdy) = (get("none"), get("nifdy"));
+        assert!(
+            nifdy as f64 >= 0.93 * none as f64,
+            "{}: nifdy {} vs none {}",
+            kind.label(),
+            nifdy,
+            none
+        );
+    }
+}
+
+/// "The utility of NIFDY increases as a network's bisection bandwidth
+/// decreases": the CM-5 tree (lowest bisection per node) should gain more
+/// from NIFDY under light traffic than the full fat tree.
+#[test]
+fn light_traffic_gain_is_largest_on_low_bisection_networks() {
+    let (_, points) = fig23::run(false, Scale::Smoke, 1);
+    let ratio = |kind: NetworkKind| {
+        let get = |cfg: &str| {
+            points
+                .iter()
+                .find(|p| p.network == kind.label() && p.config == cfg)
+                .expect("cell present")
+                .packets as f64
+        };
+        get("nifdy") / get("none").max(1.0)
+    };
+    let cm5 = ratio(NetworkKind::Cm5);
+    let full = ratio(NetworkKind::FatTree);
+    assert!(
+        cm5 + 0.05 >= full,
+        "low-bisection CM-5 gain ({cm5:.2}) should be at least the full tree's ({full:.2})"
+    );
+}
+
+/// Figure 5: "these perturbations dissipate" — NIFDY bounds per-receiver
+/// congestion below the uncontrolled run's peak.
+#[test]
+fn cshift_congestion_is_bounded_by_nifdy() {
+    let (_, without, with) = fig5::run(Scale::Smoke, 2);
+    assert!(without.peak >= with.peak, "{} < {}", without.peak, with.peak);
+}
+
+/// Figure 6: NIFDY's admission control is at least as good as optimized
+/// barriers, and exploiting in-order delivery adds on top.
+#[test]
+fn cshift_nifdy_matches_barriers_and_inorder_wins() {
+    let (_, results) = fig6::run(Scale::Smoke, 3);
+    let by = |label: &str| {
+        results
+            .iter()
+            .find(|r| r.config == label)
+            .expect("config present")
+            .words_per_kcycle
+    };
+    let barriers = by("none+barriers");
+    let flow = by("nifdy (flow ctl only)");
+    let inorder = by("nifdy + in-order");
+    assert!(
+        flow >= 0.85 * barriers,
+        "flow control ({flow:.0}) should be in the ballpark of barriers ({barriers:.0})"
+    );
+    assert!(
+        inorder > flow,
+        "in-order ({inorder:.0}) must add on top of flow control ({flow:.0})"
+    );
+}
+
+/// Figure 9: "while adding delays between successive sends helped in all
+/// cases, it was more critical when NIFDY was not included."
+#[test]
+fn radix_scan_nifdy_reduces_the_need_for_delays() {
+    let kind = NetworkKind::SfFatTree; // highest latency: biggest NIFDY gain
+    let nifdy = NicChoice::Nifdy(kind.nifdy_preset());
+    let plain_nodelay = fig9::run_scan(kind, &NicChoice::Plain, 0, Scale::Smoke, 4);
+    let nifdy_nodelay = fig9::run_scan(kind, &nifdy, 0, Scale::Smoke, 4);
+    assert!(
+        nifdy_nodelay as f64 <= 1.1 * plain_nodelay as f64,
+        "NIFDY without delays ({nifdy_nodelay}) should not lose to plain ({plain_nodelay})"
+    );
+}
+
+/// §4.5: the coalesce phase is insensitive to NIFDY — "NIFDY's
+/// restrictiveness did not hurt performance".
+#[test]
+fn radix_coalesce_is_neutral() {
+    let kind = NetworkKind::FatTree;
+    let none = fig9::run_coalesce(kind, &NicChoice::Plain, Scale::Smoke, 5);
+    let with = fig9::run_coalesce(kind, &NicChoice::Nifdy(kind.nifdy_preset()), Scale::Smoke, 5);
+    let ratio = with as f64 / none as f64;
+    assert!((0.6..=1.67).contains(&ratio), "coalesce ratio {ratio:.2}");
+}
+
+/// Table 3 regime checks: the latency fits behave like the paper's
+/// (store-and-forward slope ≫ cut-through slope; butterfly constant hops).
+#[test]
+fn table3_profiles_match_paper_regimes() {
+    let (_, profiles) = table3::run(1);
+    let by = |label: &str| {
+        profiles
+            .iter()
+            .find(|p| p.network == label)
+            .expect("profile present")
+            .clone()
+    };
+    assert!(by("sf-fat-tree").lat_slope > 3.0 * by("fat-tree").lat_slope);
+    assert_eq!(by("butterfly").max_hops, 3);
+    assert_eq!(by("fat-tree").max_hops, 6);
+    assert_eq!(by("mesh-2d").max_hops, 14);
+    // Fat trees have more volume per node than the mesh (the paper's
+    // rationale for their generous parameters).
+    assert!(by("fat-tree").volume_flits_per_node > by("mesh-2d").volume_flits_per_node);
+}
