@@ -36,16 +36,44 @@ fn ablation_ack_timing(c: &mut Criterion) {
     let kind = NetworkKind::Mesh2D;
     let on_accept = kind.nifdy_preset();
     let on_insert = kind.nifdy_preset().with_ack_on_insert(true);
-    let a = fig23::run_cell(kind, &NicChoice::Nifdy(on_accept.clone()), true, SCALE, SEED);
-    let b = fig23::run_cell(kind, &NicChoice::Nifdy(on_insert.clone()), true, SCALE, SEED);
+    let a = fig23::run_cell(
+        kind,
+        &NicChoice::Nifdy(on_accept.clone()),
+        true,
+        SCALE,
+        SEED,
+    );
+    let b = fig23::run_cell(
+        kind,
+        &NicChoice::Nifdy(on_insert.clone()),
+        true,
+        SCALE,
+        SEED,
+    );
     println!("== ablation: ack timing (heavy mesh, packets delivered) ==");
     println!("ack on processor accept : {a}");
     println!("ack on FIFO insert      : {b}  (the paper found this variant weaker)");
     c.bench_function("ablation/ack-on-accept", |bch| {
-        bch.iter(|| fig23::run_cell(kind, &NicChoice::Nifdy(on_accept.clone()), true, SCALE, SEED))
+        bch.iter(|| {
+            fig23::run_cell(
+                kind,
+                &NicChoice::Nifdy(on_accept.clone()),
+                true,
+                SCALE,
+                SEED,
+            )
+        })
     });
     c.bench_function("ablation/ack-on-insert", |bch| {
-        bch.iter(|| fig23::run_cell(kind, &NicChoice::Nifdy(on_insert.clone()), true, SCALE, SEED))
+        bch.iter(|| {
+            fig23::run_cell(
+                kind,
+                &NicChoice::Nifdy(on_insert.clone()),
+                true,
+                SCALE,
+                SEED,
+            )
+        })
     });
 }
 

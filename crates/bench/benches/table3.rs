@@ -13,9 +13,7 @@ fn bench_table3(c: &mut Criterion) {
     c.bench_function("table3/probe-latency/fat-tree", |b| {
         b.iter(|| table3::probe_latency(NetworkKind::FatTree, 1))
     });
-    c.bench_function("table3/full-profile", |b| {
-        b.iter(|| table3::run(1).1.len())
-    });
+    c.bench_function("table3/full-profile", |b| b.iter(|| table3::run(1).1.len()));
 }
 
 criterion_group! {

@@ -228,10 +228,7 @@ mod tests {
     fn buffered_nic_accepts_up_to_capacity() {
         let mut nic = BufferedNic::new(NodeId::new(0), 8);
         for i in 0..4 {
-            assert!(nic.try_send(
-                OutboundPacket::new(NodeId::new(1 + i), 8),
-                Cycle::ZERO
-            ));
+            assert!(nic.try_send(OutboundPacket::new(NodeId::new(1 + i), 8), Cycle::ZERO));
         }
         assert!(!nic.try_send(OutboundPacket::new(NodeId::new(9), 8), Cycle::ZERO));
         assert_eq!(nic.stats().send_rejected.get(), 1);

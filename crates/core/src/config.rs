@@ -61,8 +61,37 @@ pub struct NifdyConfig {
     /// extra round-trip latency the optimization can introduce.
     pub piggyback_hold_cycles: u64,
     /// §6.2 lossy-network extension: retransmit unacknowledged packets after
-    /// this many cycles. `None` assumes the reliable fabrics of §1.1.
+    /// this many cycles. `None` assumes the reliable fabrics of §1.1. With
+    /// [`adaptive_rto`](NifdyConfig::adaptive_rto) set, this is only the
+    /// *initial* RTO; measured round trips take over from the first sample.
+    /// `Some(0)` is rejected by validation (it would retransmit every cycle
+    /// and flood the fabric).
     pub retx_timeout: Option<u64>,
+    /// Adapt the retransmission timeout to measured round trips: the unit
+    /// keeps a per-destination smoothed RTT and variance (EWMA, RFC
+    /// 6298-style `srtt + 4·rttvar`), applies Karn's rule (no samples from
+    /// retransmitted packets), and backs off exponentially — with a jittered
+    /// cap at [`rto_max`](NifdyConfig::rto_max) — on consecutive timeouts.
+    /// Without this flag the timeout is fixed at
+    /// [`retx_timeout`](NifdyConfig::retx_timeout), as in the seed §6.2
+    /// implementation.
+    pub adaptive_rto: bool,
+    /// Floor for the adaptive RTO in cycles (guards against spuriously
+    /// retransmitting when the measured round trip is tiny).
+    pub rto_min: u64,
+    /// Cap for the adaptive RTO in cycles; exponential backoff saturates
+    /// here (plus a small random jitter to de-synchronize senders).
+    pub rto_max: u64,
+    /// Maximum retransmissions per packet before the unit gives up and
+    /// surfaces a [`DeliveryFailure`](crate::DeliveryFailure) to the client.
+    /// `None` retries forever (the seed behavior); `Some(0)` is rejected by
+    /// validation.
+    pub retx_budget: Option<u32>,
+    /// Bound on the retransmission staging queue, in packets. When the
+    /// queue is full, a firing timer leaves its entry in place (it re-fires
+    /// next cycle) and the overflow is counted in
+    /// [`NicStats::retx_queue_overflow`](crate::NicStats::retx_queue_overflow).
+    pub retx_queue_cap: u16,
     /// Threshold (in queued packets for the same destination, beyond the
     /// current one) above which a software `want_bulk` request is actually
     /// put on the wire. Guards against dialogs granted to senders with
@@ -91,6 +120,11 @@ impl NifdyConfig {
             piggyback_acks: false,
             piggyback_hold_cycles: 64,
             retx_timeout: None,
+            adaptive_rto: false,
+            rto_min: 32,
+            rto_max: 20_000,
+            retx_budget: None,
+            retx_queue_cap: 64,
             bulk_request_min_backlog: 1,
         };
         if let Err(e) = cfg.validate() {
@@ -161,6 +195,35 @@ impl NifdyConfig {
         self
     }
 
+    /// Builder: adapt the RTO to measured round trips (EWMA + variance,
+    /// Karn's rule, exponential backoff with a jittered cap). Requires a
+    /// [`retx_timeout`](NifdyConfig::retx_timeout) as the initial RTO.
+    pub fn with_adaptive_rto(mut self, on: bool) -> Self {
+        self.adaptive_rto = on;
+        self
+    }
+
+    /// Builder: clamp the adaptive RTO to `[min, max]` cycles.
+    pub fn with_rto_bounds(mut self, min: u64, max: u64) -> Self {
+        self.rto_min = min;
+        self.rto_max = max;
+        self
+    }
+
+    /// Builder: bound retransmissions per packet; exceeding the budget
+    /// surfaces a typed [`DeliveryFailure`](crate::DeliveryFailure) instead
+    /// of retrying forever.
+    pub fn with_retx_budget(mut self, budget: u32) -> Self {
+        self.retx_budget = Some(budget);
+        self
+    }
+
+    /// Builder: bound the retransmission staging queue.
+    pub fn with_retx_queue_cap(mut self, cap: u16) -> Self {
+        self.retx_queue_cap = cap;
+        self
+    }
+
     /// Builder: override the arrivals FIFO capacity.
     ///
     /// # Panics
@@ -206,6 +269,23 @@ impl NifdyConfig {
             if self.window > 64 {
                 return Err("window too large for the wire sequence space".into());
             }
+        }
+        if self.retx_timeout == Some(0) {
+            return Err(
+                "retx_timeout of 0 would retransmit every cycle and flood the fabric".into(),
+            );
+        }
+        if self.retx_budget == Some(0) {
+            return Err("a retry budget of 0 would fail every packet on its first timeout".into());
+        }
+        if self.adaptive_rto && self.retx_timeout.is_none() {
+            return Err("adaptive_rto needs a retx_timeout as the initial RTO".into());
+        }
+        if self.rto_min == 0 || self.rto_min > self.rto_max {
+            return Err("rto bounds must satisfy 1 <= rto_min <= rto_max".into());
+        }
+        if self.retx_queue_cap == 0 {
+            return Err("the retransmission queue needs at least one slot".into());
         }
         Ok(())
     }
@@ -257,5 +337,50 @@ mod tests {
     #[test]
     fn butterfly_disables_bulk() {
         assert_eq!(NifdyConfig::butterfly().max_dialogs, 0);
+    }
+
+    #[test]
+    fn zero_retx_timeout_is_rejected() {
+        let cfg = NifdyConfig::mesh().with_retx_timeout(0);
+        assert!(cfg.validate().is_err(), "Some(0) must not validate");
+        assert!(NifdyConfig::mesh().with_retx_timeout(1).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_retry_budget_is_rejected() {
+        let cfg = NifdyConfig::mesh()
+            .with_retx_timeout(100)
+            .with_retx_budget(0);
+        assert!(cfg.validate().is_err(), "budget 0 must not validate");
+        let ok = NifdyConfig::mesh()
+            .with_retx_timeout(100)
+            .with_retx_budget(1);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn adaptive_rto_needs_an_initial_timeout() {
+        let cfg = NifdyConfig::mesh().with_adaptive_rto(true);
+        assert!(cfg.validate().is_err());
+        let ok = NifdyConfig::mesh()
+            .with_retx_timeout(500)
+            .with_adaptive_rto(true);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_rto_bounds_and_queue_cap_rejected() {
+        assert!(NifdyConfig::mesh()
+            .with_rto_bounds(0, 100)
+            .validate()
+            .is_err());
+        assert!(NifdyConfig::mesh()
+            .with_rto_bounds(200, 100)
+            .validate()
+            .is_err());
+        assert!(NifdyConfig::mesh()
+            .with_retx_queue_cap(0)
+            .validate()
+            .is_err());
     }
 }

@@ -62,9 +62,11 @@ pub mod analysis;
 mod baseline;
 mod config;
 mod nic;
+mod rto;
 mod unit;
 
 pub use baseline::{BufferedNic, PlainNic};
 pub use config::NifdyConfig;
-pub use nic::{Delivered, Nic, NicStats, OutboundPacket};
+pub use nic::{Delivered, DeliveryFailure, FailureKind, Nic, NicStats, OutboundPacket};
+pub use rto::RttEstimator;
 pub use unit::NifdyUnit;

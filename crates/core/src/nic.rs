@@ -55,6 +55,43 @@ impl OutboundPacket {
     }
 }
 
+/// Why a [`DeliveryFailure`] was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A scalar packet exhausted its retry budget without an acknowledgment.
+    Scalar,
+    /// A bulk dialog exhausted its retry budget mid-window and was torn
+    /// down; `unacked` packets of the dialog were never confirmed.
+    BulkDialog {
+        /// The wire dialog id of the torn-down dialog.
+        dialog: u8,
+        /// Packets sent but never acknowledged when the dialog was closed.
+        unacked: u64,
+    },
+}
+
+/// A typed, surfaced delivery failure: the interface abandoned a transfer
+/// after exhausting its retry budget instead of retrying forever.
+///
+/// Collected from the unit with [`Nic::take_failures`]. Exactly the §6.2
+/// robustness question the seed left open: a persistent link outage now
+/// produces one of these rather than a silent livelock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryFailure {
+    /// The node that gave up (the sender).
+    pub src: NodeId,
+    /// The unreachable destination.
+    pub dst: NodeId,
+    /// Cycle at which the budget was exhausted.
+    pub at: Cycle,
+    /// Retransmissions attempted before giving up.
+    pub retries: u32,
+    /// Scalar packet or bulk dialog.
+    pub kind: FailureKind,
+    /// Workload annotation of the failed packet (scalar failures only).
+    pub user: Option<UserData>,
+}
+
 /// A packet delivered to the processor by [`Nic::poll`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivered {
@@ -95,6 +132,46 @@ pub struct NicStats {
     pub bulk_out_of_order: Counter,
     /// Bulk-mode requests this node had rejected by receivers.
     pub dialogs_rejected: Counter,
+    /// Transfers abandoned after exhausting the retry budget (each one
+    /// surfaced as a [`DeliveryFailure`]).
+    pub delivery_failures: Counter,
+    /// Retransmission-timer firings deferred because the staging queue was
+    /// at [`retx_queue_cap`](crate::NifdyConfig::retx_queue_cap).
+    pub retx_queue_overflow: Counter,
+    /// Outgoing bulk dialogs torn down mid-window by the retry budget.
+    pub dialogs_torn_down: Counter,
+    /// Granted (receiver-side) dialog slots reclaimed after their sender
+    /// went silent (sender-side teardown or failure).
+    pub dialogs_reclaimed: Counter,
+}
+
+impl NicStats {
+    /// A progress fingerprint: changes whenever the interface does any
+    /// observable work. Drivers feed this to a
+    /// [`StallWatchdog`](nifdy_sim::StallWatchdog) — a busy interface whose
+    /// fingerprint stops moving is livelocked.
+    pub fn progress_fingerprint(&self) -> u64 {
+        [
+            &self.sent,
+            &self.sent_bulk,
+            &self.acks_sent,
+            &self.acks_received,
+            &self.delivered,
+            &self.send_rejected,
+            &self.retransmitted,
+            &self.duplicates_dropped,
+            &self.dialogs_granted,
+            &self.acks_piggybacked,
+            &self.bulk_out_of_order,
+            &self.dialogs_rejected,
+            &self.delivery_failures,
+            &self.retx_queue_overflow,
+            &self.dialogs_torn_down,
+            &self.dialogs_reclaimed,
+        ]
+        .iter()
+        .fold(0u64, |acc, c| acc.wrapping_add(c.get()))
+    }
 }
 
 /// A network interface attached to one node of a [`Fabric`].
@@ -131,4 +208,11 @@ pub trait Nic {
 
     /// Interface counters.
     fn stats(&self) -> &NicStats;
+
+    /// Drains delivery failures surfaced since the last call. Interfaces
+    /// without a retry budget never fail and return an empty list (the
+    /// default).
+    fn take_failures(&mut self) -> Vec<DeliveryFailure> {
+        Vec::new()
+    }
 }

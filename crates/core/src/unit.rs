@@ -22,27 +22,65 @@
 //!   keeps a copy and a timer per outstanding packet, retransmits on
 //!   timeout, and receivers discard duplicates via an alternating header bit
 //!   (scalar) or the window sequence numbers (bulk).
+//! * **Adaptive RTO.** With [`NifdyConfig::adaptive_rto`] set, the fixed
+//!   timeout becomes only the initial RTO: the unit keeps a per-destination
+//!   [`RttEstimator`], applies Karn's rule, backs off exponentially with a
+//!   jittered cap, and — when a [`retx_budget`](NifdyConfig::retx_budget) is
+//!   configured — abandons undeliverable transfers with a typed
+//!   [`DeliveryFailure`] instead of retrying forever.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use nifdy_net::{AckInfo, BulkGrant, BulkTag, Fabric, Lane, Packet, Wire};
-use nifdy_sim::{Cycle, NodeId, PacketId};
+use nifdy_sim::{Cycle, NodeId, PacketId, SimRng};
 
 use crate::config::NifdyConfig;
-use crate::nic::{Delivered, Nic, NicStats, OutboundPacket};
+use crate::nic::{Delivered, DeliveryFailure, FailureKind, Nic, NicStats, OutboundPacket};
+use crate::rto::RttEstimator;
 
 /// Sequence numbers travel on the wire modulo this space (the paper notes
 /// they "need only be as large as W"; we carry a byte and document that
 /// hardware would use `log2(2W)` bits).
 const SEQ_SPACE: u64 = 256;
 
+/// `SimRng` stream id of the retransmission-jitter generator (seeded by the
+/// node index, so units never share a jitter sequence).
+const JITTER_STREAM: u64 = 0x717;
+
 /// An entry in the outstanding packet table.
 #[derive(Debug)]
 struct OptEntry {
     dst: NodeId,
+    /// When the packet — or its most recent retransmission — was staged.
     sent_at: Cycle,
+    /// When the original transmission was staged (RTT sampling base).
+    first_sent: Cycle,
+    /// Retransmissions so far (Karn's rule: sample RTT only when zero).
+    retries: u32,
+    /// Cycles after `sent_at` at which the retransmission timer fires.
+    wait: u64,
+    /// The packet's alternating duplicate bit; an arriving scalar ack clears
+    /// this entry only when its echo matches (stale re-acks for an earlier
+    /// packet must not release a newer, possibly-lost one).
+    dup_bit: bool,
     /// Copy kept for retransmission (§6.2 only).
     copy: Option<Packet>,
+}
+
+/// An unacknowledged bulk packet held for retransmission.
+#[derive(Debug)]
+struct BulkCopy {
+    /// Absolute sequence number.
+    seq: u64,
+    pkt: Packet,
+    /// When the original transmission was staged (RTT sampling base).
+    first_sent: Cycle,
+    /// When the packet was last (re)staged.
+    last_sent: Cycle,
+    /// Retransmissions so far.
+    retries: u32,
+    /// Cycles after `last_sent` at which the retransmission timer fires.
+    wait: u64,
 }
 
 /// Sender-side state of the single outgoing bulk dialog.
@@ -58,8 +96,8 @@ struct OutDialog {
     /// The exit packet has been sent; no further traffic to `peer` until the
     /// dialog fully drains (preserves pairwise order).
     exiting: bool,
-    /// Unacked copies for retransmission: (abs seq, packet, last sent).
-    copies: VecDeque<(u64, Packet, Cycle)>,
+    /// Unacked copies for retransmission, in sequence order.
+    copies: VecDeque<BulkCopy>,
 }
 
 /// Receiver-side state of one granted dialog slot.
@@ -72,6 +110,8 @@ struct InDialog {
     buf: BTreeMap<u64, Packet>,
     /// Delivered count as of the last window ack sent.
     last_acked: u64,
+    /// Last cycle any packet of this dialog arrived (reclaim watchdog).
+    last_activity: Cycle,
 }
 
 /// Tombstone for a recently closed dialog slot (lossy-network robustness:
@@ -132,6 +172,16 @@ pub struct NifdyUnit {
     bulk_request_pending: Option<NodeId>,
     retx_queue: VecDeque<Packet>,
     alt_bits: HashMap<NodeId, bool>,
+    /// Peers whose outgoing bulk dialog was torn down by the retry budget:
+    /// traffic to them stays scalar (a fresh dialog against the receiver's
+    /// stale slot state could not resynchronize).
+    bulk_poisoned: HashSet<NodeId>,
+    /// Per-destination round-trip estimators (adaptive RTO only).
+    rtt: HashMap<NodeId, RttEstimator>,
+    /// Jitter source for the retransmission backoff.
+    jitter: SimRng,
+    /// Typed failures awaiting [`Nic::take_failures`].
+    failures: Vec<DeliveryFailure>,
 
     // Receiver side.
     arrivals: VecDeque<Packet>,
@@ -167,6 +217,10 @@ impl NifdyUnit {
             bulk_request_pending: None,
             retx_queue: VecDeque::new(),
             alt_bits: HashMap::new(),
+            bulk_poisoned: HashSet::new(),
+            rtt: HashMap::new(),
+            jitter: SimRng::from_seed_stream(node.index() as u64, JITTER_STREAM),
+            failures: Vec::new(),
             arrivals: VecDeque::with_capacity(cfg.arrivals_capacity as usize),
             dialogs: (0..d).map(|_| None).collect(),
             closed: (0..d).map(|_| None).collect(),
@@ -201,6 +255,54 @@ impl NifdyUnit {
         self.out_dialog
             .as_ref()
             .map(|d| (d.next_seq - d.acked, d.window))
+    }
+
+    /// Smoothed round-trip estimate to `dst` in cycles, once adaptive RTO
+    /// has collected at least one sample.
+    pub fn srtt(&self, dst: NodeId) -> Option<u64> {
+        self.rtt.get(&dst).and_then(RttEstimator::srtt)
+    }
+
+    /// True when a torn-down bulk dialog has downgraded traffic to `dst` to
+    /// scalar-only mode.
+    pub fn bulk_poisoned(&self, dst: NodeId) -> bool {
+        self.bulk_poisoned.contains(&dst)
+    }
+
+    /// Timeout for a *fresh* transmission to `dst`: the configured fixed
+    /// value, or the per-destination RFC 6298-style estimate clamped to
+    /// `[rto_min, rto_max]` when adaptive RTO is on.
+    fn fresh_rto(&self, dst: NodeId) -> u64 {
+        let base = self.cfg.retx_timeout.unwrap_or(0);
+        if !self.cfg.adaptive_rto {
+            return base;
+        }
+        self.rtt
+            .get(&dst)
+            .and_then(RttEstimator::rto)
+            .map(|r| r.clamp(self.cfg.rto_min, self.cfg.rto_max))
+            .unwrap_or(base)
+    }
+
+    /// Timeout for the retransmission after `retries` attempts: exponential
+    /// backoff saturating at `rto_max`, plus up to 1/8 jitter so synchronized
+    /// senders de-correlate. The legacy fixed-timeout path has neither.
+    fn backoff_rto(&mut self, dst: NodeId, retries: u32) -> u64 {
+        let rto = self.fresh_rto(dst);
+        if !self.cfg.adaptive_rto {
+            return rto;
+        }
+        let capped = rto
+            .saturating_mul(1u64 << retries.min(10))
+            .min(self.cfg.rto_max);
+        capped + self.jitter.gen_range_u64(0..capped / 8 + 1)
+    }
+
+    /// Feeds one RTT sample for `dst`; callers enforce Karn's rule.
+    fn sample_rtt(&mut self, dst: NodeId, rtt: u64) {
+        if self.cfg.adaptive_rto {
+            self.rtt.entry(dst).or_default().sample(rtt);
+        }
     }
 
     fn next_packet_id(&mut self) -> PacketId {
@@ -242,10 +344,11 @@ impl NifdyUnit {
                 window: self.cfg.window,
             };
         }
-        let free = self.dialogs.iter().enumerate().find(|(i, d)| {
-            d.is_none()
-                && self.closed[*i].is_none_or(|c| c.until <= self.now)
-        });
+        let free = self
+            .dialogs
+            .iter()
+            .enumerate()
+            .find(|(i, d)| d.is_none() && self.closed[*i].is_none_or(|c| c.until <= self.now));
         match free {
             Some((slot, _)) => {
                 self.dialogs[slot] = Some(InDialog {
@@ -253,6 +356,7 @@ impl NifdyUnit {
                     expected: 0,
                     buf: BTreeMap::new(),
                     last_acked: 0,
+                    last_activity: self.now,
                 });
                 self.closed[slot] = None;
                 self.peer_dialog.insert(src, slot as u8);
@@ -282,16 +386,30 @@ impl NifdyUnit {
         }
         let grant = self.decide_grant(bulk_request, pkt.src);
         self.last_acked_bit.insert(pkt.src, dup_bit);
-        self.queue_ack(pkt.src, AckInfo::Scalar { grant });
+        self.queue_ack(
+            pkt.src,
+            AckInfo::Scalar {
+                grant,
+                echo: dup_bit,
+            },
+        );
     }
 
     /// Processes a delayed acknowledgment (sender side).
     fn handle_ack(&mut self, from: NodeId, info: AckInfo) {
         self.stats.acks_received.incr();
         match info {
-            AckInfo::Scalar { grant } => {
-                if let Some(i) = self.opt.iter().position(|e| e.dst == from) {
-                    self.opt.swap_remove(i);
+            AckInfo::Scalar { grant, echo } => {
+                if let Some(i) = self
+                    .opt
+                    .iter()
+                    .position(|e| e.dst == from && e.dup_bit == echo)
+                {
+                    let e = self.opt.swap_remove(i);
+                    if e.retries == 0 {
+                        let rtt = self.now.saturating_since(e.first_sent);
+                        self.sample_rtt(from, rtt);
+                    }
                 }
                 match grant {
                     BulkGrant::Granted { dialog, window } => {
@@ -324,6 +442,8 @@ impl NifdyUnit {
                 cum_seq,
                 terminate,
             } => {
+                let now = self.now;
+                let mut samples: Vec<u64> = Vec::new();
                 let Some(d) = &mut self.out_dialog else {
                     return; // stale ack after the dialog closed
                 };
@@ -340,12 +460,19 @@ impl NifdyUnit {
                 }
                 if count > d.acked {
                     d.acked = count;
-                    while d.copies.front().is_some_and(|(s, _, _)| *s < count) {
-                        d.copies.pop_front();
+                    while d.copies.front().is_some_and(|c| c.seq < count) {
+                        let c = d.copies.pop_front().expect("nonempty");
+                        // Karn's rule: retransmitted copies give no sample.
+                        if c.retries == 0 {
+                            samples.push(now.saturating_since(c.first_sent));
+                        }
                     }
                 }
                 if terminate || (d.exiting && d.acked == d.next_seq) {
                     self.out_dialog = None;
+                }
+                for s in samples {
+                    self.sample_rtt(from, s);
                 }
             }
         }
@@ -373,6 +500,7 @@ impl NifdyUnit {
             return;
         }
         let d = self.dialogs[slot].as_mut().expect("checked above");
+        d.last_activity = self.now;
         let delta = (u64::from(tag.seq) + SEQ_SPACE - (d.expected % SEQ_SPACE)) % SEQ_SPACE;
         if delta >= u64::from(self.cfg.window) {
             // Duplicate or out-of-window: discard, refresh the cumulative ack.
@@ -414,7 +542,13 @@ impl NifdyUnit {
                     break;
                 };
                 d.expected += 1;
-                let exit = matches!(pkt.wire, Wire::Data { bulk_exit: true, .. });
+                let exit = matches!(
+                    pkt.wire,
+                    Wire::Data {
+                        bulk_exit: true,
+                        ..
+                    }
+                );
                 let peer = d.peer;
                 let delivered = d.expected;
                 let half = if self.cfg.bulk_ack_every_packet {
@@ -438,7 +572,15 @@ impl NifdyUnit {
                             terminate: false,
                         },
                     );
-                    let linger = self.cfg.retx_timeout.map_or(0, |t| 4 * t);
+                    let linger = self.cfg.retx_timeout.map_or(0, |t| {
+                        // Adaptive senders may back off as far as rto_max, so
+                        // the tombstone must outlive that schedule too.
+                        4 * if self.cfg.adaptive_rto {
+                            self.cfg.rto_max
+                        } else {
+                            t
+                        }
+                    });
                     self.closed[slot] = Some(ClosedDialog {
                         peer,
                         final_count: delivered,
@@ -486,7 +628,13 @@ impl NifdyUnit {
                         unreachable!()
                     };
                     let grant = self.decide_grant(bulk_request, src);
-                    self.queue_ack(src, AckInfo::Scalar { grant });
+                    self.queue_ack(
+                        src,
+                        AckInfo::Scalar {
+                            grant,
+                            echo: dup_bit,
+                        },
+                    );
                 }
                 return true;
             }
@@ -581,14 +729,23 @@ impl NifdyUnit {
                 d.exiting = true;
             }
             if self.cfg.retx_timeout.is_some() {
+                let wait = self.fresh_rto(out.dst);
                 let d = self.out_dialog.as_mut().expect("still in dialog");
-                d.copies.push_back((d.next_seq - 1, pkt.clone(), self.now));
+                d.copies.push_back(BulkCopy {
+                    seq: d.next_seq - 1,
+                    pkt: pkt.clone(),
+                    first_sent: self.now,
+                    last_sent: self.now,
+                    retries: 0,
+                    wait,
+                });
             }
             self.stats.sent_bulk.incr();
         } else {
             let request = out.want_bulk
                 && self.out_dialog.is_none()
                 && self.bulk_request_pending.is_none()
+                && !self.bulk_poisoned.contains(&out.dst)
                 && self.backlog_for(out.dst, usize::MAX)
                     >= usize::from(self.cfg.bulk_request_min_backlog);
             let dup_bit = if self.cfg.retx_timeout.is_some() {
@@ -607,9 +764,14 @@ impl NifdyUnit {
                 piggy_ack: piggy,
             };
             if out.needs_ack {
+                let wait = self.fresh_rto(out.dst);
                 self.opt.push(OptEntry {
                     dst: out.dst,
                     sent_at: self.now,
+                    first_sent: self.now,
+                    retries: 0,
+                    wait,
+                    dup_bit,
                     copy: self.cfg.retx_timeout.map(|_| pkt.clone()),
                 });
             }
@@ -621,28 +783,154 @@ impl NifdyUnit {
         pkt
     }
 
-    /// Fires retransmission timers (§6.2).
+    /// Fires retransmission timers (§6.2), applying the adaptive-RTO backoff,
+    /// the bounded staging queue, and the retry budget.
     fn check_retx(&mut self) {
-        let Some(timeout) = self.cfg.retx_timeout else {
+        if self.cfg.retx_timeout.is_none() {
             return;
-        };
-        for e in &mut self.opt {
-            if self.now.saturating_since(e.sent_at) >= timeout {
-                if let Some(copy) = &e.copy {
-                    self.retx_queue.push_back(copy.clone());
-                    self.stats.retransmitted.incr();
-                }
+        }
+        let budget = self.cfg.retx_budget;
+        let cap = self.cfg.retx_queue_cap as usize;
+
+        // Scalar OPT entries.
+        let mut i = 0;
+        while i < self.opt.len() {
+            if self.now.saturating_since(self.opt[i].sent_at) < self.opt[i].wait {
+                i += 1;
+                continue;
+            }
+            if budget.is_some_and(|b| self.opt[i].retries >= b) {
+                let e = self.opt.swap_remove(i);
+                self.fail_scalar(e);
+                continue; // swap_remove moved a new entry into index i
+            }
+            if self.retx_queue.len() >= cap {
+                // Timer state untouched: the firing is deferred, not lost,
+                // and re-fires as soon as the staging queue drains.
+                self.stats.retx_queue_overflow.incr();
+                i += 1;
+                continue;
+            }
+            if let Some(copy) = self.opt[i].copy.clone() {
+                self.retx_queue.push_back(copy);
+                self.stats.retransmitted.incr();
+                let (dst, retries) = (self.opt[i].dst, self.opt[i].retries + 1);
+                let wait = self.backoff_rto(dst, retries);
+                let e = &mut self.opt[i];
+                e.retries = retries;
                 e.sent_at = self.now;
+                e.wait = wait;
+            } else {
+                self.opt[i].sent_at = self.now;
+            }
+            i += 1;
+        }
+
+        // Bulk dialog copies; one exhausted copy tears the whole dialog down.
+        if let Some(mut d) = self.out_dialog.take() {
+            let peer = d.peer;
+            let mut dead = false;
+            for c in &mut d.copies {
+                if self.now.saturating_since(c.last_sent) < c.wait {
+                    continue;
+                }
+                if budget.is_some_and(|b| c.retries >= b) {
+                    dead = true;
+                    break;
+                }
+                if self.retx_queue.len() >= cap {
+                    self.stats.retx_queue_overflow.incr();
+                    continue;
+                }
+                self.retx_queue.push_back(c.pkt.clone());
+                self.stats.retransmitted.incr();
+                c.retries += 1;
+                c.last_sent = self.now;
+                c.wait = self.backoff_rto(peer, c.retries);
+            }
+            if dead {
+                self.teardown_dialog(d);
+            } else {
+                self.out_dialog = Some(d);
             }
         }
-        if let Some(d) = &mut self.out_dialog {
-            for (_, copy, sent_at) in &mut d.copies {
-                if self.now.saturating_since(*sent_at) >= timeout {
-                    self.retx_queue.push_back(copy.clone());
-                    self.stats.retransmitted.incr();
-                    *sent_at = self.now;
-                }
+    }
+
+    /// Abandons a scalar packet whose retry budget is exhausted.
+    fn fail_scalar(&mut self, e: OptEntry) {
+        self.stats.delivery_failures.incr();
+        if self.bulk_request_pending == Some(e.dst) {
+            // The abandoned packet carried the bulk request; release the
+            // latch so later traffic isn't stuck awaiting a grant that will
+            // never come.
+            self.bulk_request_pending = None;
+        }
+        self.failures.push(DeliveryFailure {
+            src: self.node,
+            dst: e.dst,
+            at: self.now,
+            retries: e.retries,
+            kind: FailureKind::Scalar,
+            user: e.copy.as_ref().map(|p| p.user),
+        });
+    }
+
+    /// Tears down the outgoing bulk dialog after budget exhaustion: surfaces
+    /// a typed failure, downgrades the peer to scalar-only, and discards
+    /// staged retransmissions of the dead dialog.
+    fn teardown_dialog(&mut self, d: OutDialog) {
+        self.stats.dialogs_torn_down.incr();
+        self.stats.delivery_failures.incr();
+        self.bulk_poisoned.insert(d.peer);
+        let retries = d.copies.iter().map(|c| c.retries).max().unwrap_or(0);
+        self.failures.push(DeliveryFailure {
+            src: self.node,
+            dst: d.peer,
+            at: self.now,
+            retries,
+            kind: FailureKind::BulkDialog {
+                dialog: d.dialog,
+                unacked: d.next_seq - d.acked,
+            },
+            user: None,
+        });
+        let peer = d.peer;
+        self.retx_queue
+            .retain(|p| !(p.dst == peer && matches!(p.wire, Wire::Data { bulk: Some(_), .. })));
+    }
+
+    /// Receiver-side garbage collection: a granted dialog whose sender has
+    /// been silent longer than any retransmission schedule could span is
+    /// reclaimed (the sender tore it down or failed), freeing the slot and
+    /// letting the unit reach idle. Buffered out-of-order packets are lost —
+    /// their gap can never be filled.
+    fn reclaim_dialogs(&mut self) {
+        let (Some(t), Some(budget)) = (self.cfg.retx_timeout, self.cfg.retx_budget) else {
+            return;
+        };
+        let span = if self.cfg.adaptive_rto {
+            self.cfg.rto_max
+        } else {
+            t
+        };
+        let limit = span.saturating_mul(u64::from(budget) + 4);
+        for slot in 0..self.dialogs.len() {
+            let Some(d) = &self.dialogs[slot] else {
+                continue;
+            };
+            if self.now.saturating_since(d.last_activity) < limit {
+                continue;
             }
+            let peer = d.peer;
+            let final_count = d.expected;
+            self.stats.dialogs_reclaimed.incr();
+            self.closed[slot] = Some(ClosedDialog {
+                peer,
+                final_count,
+                until: self.now + 4 * span,
+            });
+            self.dialogs[slot] = None;
+            self.peer_dialog.remove(&peer);
         }
     }
 }
@@ -692,7 +980,11 @@ impl Nic for NifdyUnit {
                 self.ack_delay.push_back((ready, ack.src, info));
             }
         }
-        while self.ack_delay.front().is_some_and(|(r, _, _)| *r <= self.now) {
+        while self
+            .ack_delay
+            .front()
+            .is_some_and(|(r, _, _)| *r <= self.now)
+        {
             let (_, from, info) = self.ack_delay.pop_front().expect("nonempty");
             self.handle_ack(from, info);
         }
@@ -748,8 +1040,9 @@ impl Nic for NifdyUnit {
         //    acks.
         self.drain_dialogs();
 
-        // 4. Retransmission timers.
+        // 4. Retransmission timers and the receiver-side reclaim watchdog.
         self.check_retx();
+        self.reclaim_dialogs();
 
         // 5. Inject one standalone ack if the reply lane is free. With §6.1
         //    piggybacking, an ack whose destination has reverse data queued
@@ -801,13 +1094,17 @@ impl Nic for NifdyUnit {
     fn stats(&self) -> &NicStats {
         &self.stats
     }
+
+    fn take_failures(&mut self) -> Vec<DeliveryFailure> {
+        std::mem::take(&mut self.failures)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nifdy_net::{FabricConfig, UserData};
     use nifdy_net::topology::Mesh;
+    use nifdy_net::{FabricConfig, UserData};
 
     fn unit(cfg: NifdyConfig) -> NifdyUnit {
         NifdyUnit::new(NodeId::new(0), cfg)
@@ -843,7 +1140,10 @@ mod tests {
             BulkGrant::Granted { .. }
         ));
         assert_eq!(u.decide_grant(true, NodeId::new(3)), BulkGrant::Rejected);
-        assert_eq!(u.decide_grant(false, NodeId::new(4)), BulkGrant::NotRequested);
+        assert_eq!(
+            u.decide_grant(false, NodeId::new(4)),
+            BulkGrant::NotRequested
+        );
     }
 
     #[test]
@@ -927,7 +1227,10 @@ mod tests {
                 terminate: false,
             },
         );
-        assert!(u.out_dialog.is_none(), "dialog must close after the exit ack");
+        assert!(
+            u.out_dialog.is_none(),
+            "dialog must close after the exit ack"
+        );
     }
 
     #[test]
@@ -936,17 +1239,26 @@ mod tests {
         u.opt.push(OptEntry {
             dst: NodeId::new(1),
             sent_at: Cycle::ZERO,
+            first_sent: Cycle::ZERO,
+            retries: 0,
+            wait: 0,
+            dup_bit: false,
             copy: None,
         });
         u.opt.push(OptEntry {
             dst: NodeId::new(2),
             sent_at: Cycle::ZERO,
+            first_sent: Cycle::ZERO,
+            retries: 0,
+            wait: 0,
+            dup_bit: false,
             copy: None,
         });
         u.handle_ack(
             NodeId::new(1),
             AckInfo::Scalar {
                 grant: BulkGrant::NotRequested,
+                echo: false,
             },
         );
         assert_eq!(u.opt_occupancy(), 1);
@@ -956,6 +1268,7 @@ mod tests {
             NodeId::new(1),
             AckInfo::Scalar {
                 grant: BulkGrant::NotRequested,
+                echo: false,
             },
         );
         assert_eq!(u.opt_occupancy(), 1);
@@ -1038,6 +1351,231 @@ mod tests {
         assert!(u.try_send(p, now));
         let idx = u.pick_eligible().expect("bypass eligible");
         assert_eq!(u.pool[idx].dst, NodeId::new(3));
+    }
+
+    #[test]
+    fn adaptive_rto_tracks_acked_round_trips() {
+        let mut u = unit(
+            NifdyConfig::mesh()
+                .with_retx_timeout(2_500)
+                .with_adaptive_rto(true),
+        );
+        let dst = NodeId::new(1);
+        assert_eq!(u.fresh_rto(dst), 2_500, "no samples yet: initial RTO");
+        assert!(u.try_send(OutboundPacket::new(dst, 8), Cycle::ZERO));
+        let _ = u.launch(u.pick_eligible().expect("eligible"));
+        u.now = Cycle::new(80);
+        u.handle_ack(
+            dst,
+            AckInfo::Scalar {
+                grant: BulkGrant::NotRequested,
+                echo: true,
+            },
+        );
+        assert_eq!(u.srtt(dst), Some(80));
+        // rto = srtt + 4·rttvar = 80 + 4·40, within [rto_min, rto_max].
+        assert_eq!(u.fresh_rto(dst), 240);
+    }
+
+    #[test]
+    fn retransmitted_packets_do_not_feed_the_estimator() {
+        // Karn's rule: an ack for a retransmitted packet is ambiguous.
+        let mut u = unit(
+            NifdyConfig::mesh()
+                .with_retx_timeout(10)
+                .with_adaptive_rto(true),
+        );
+        let dst = NodeId::new(1);
+        assert!(u.try_send(OutboundPacket::new(dst, 8), Cycle::ZERO));
+        let _ = u.launch(u.pick_eligible().expect("eligible"));
+        u.now = Cycle::new(10);
+        u.check_retx();
+        assert_eq!(u.stats.retransmitted.get(), 1);
+        u.now = Cycle::new(5_000);
+        u.handle_ack(
+            dst,
+            AckInfo::Scalar {
+                grant: BulkGrant::NotRequested,
+                echo: true,
+            },
+        );
+        assert_eq!(u.srtt(dst), None, "ambiguous sample must be discarded");
+    }
+
+    #[test]
+    fn adaptive_backoff_grows_exponentially_to_the_cap() {
+        let mut u = unit(
+            NifdyConfig::mesh()
+                .with_retx_timeout(100)
+                .with_adaptive_rto(true)
+                .with_rto_bounds(32, 1_000),
+        );
+        let dst = NodeId::new(1);
+        let w1 = u.backoff_rto(dst, 1);
+        assert!((200..=225).contains(&w1), "doubled plus jitter, got {w1}");
+        let w9 = u.backoff_rto(dst, 9);
+        assert!(
+            (1_000..=1_125).contains(&w9),
+            "capped at rto_max plus jitter, got {w9}"
+        );
+    }
+
+    #[test]
+    fn scalar_retry_budget_surfaces_a_typed_failure() {
+        let mut u = unit(
+            NifdyConfig::mesh()
+                .with_retx_timeout(10)
+                .with_retx_budget(2),
+        );
+        let dst = NodeId::new(2);
+        assert!(u.try_send(OutboundPacket::new(dst, 8), Cycle::ZERO));
+        let _ = u.launch(u.pick_eligible().expect("eligible"));
+        for t in 1..=100u64 {
+            u.now = Cycle::new(t * 10);
+            u.check_retx();
+        }
+        assert_eq!(u.opt_occupancy(), 0, "entry abandoned, not retried forever");
+        assert_eq!(u.stats.retransmitted.get(), 2, "budget bounds the retries");
+        assert_eq!(u.stats.delivery_failures.get(), 1);
+        let failures = u.take_failures();
+        assert_eq!(failures.len(), 1);
+        let f = failures[0];
+        assert_eq!((f.dst, f.retries, f.kind), (dst, 2, FailureKind::Scalar));
+        assert!(
+            f.user.is_some(),
+            "payload annotation travels with the failure"
+        );
+        assert!(u.take_failures().is_empty(), "failures drain exactly once");
+    }
+
+    #[test]
+    fn bulk_budget_exhaustion_tears_down_and_poisons() {
+        let mut u = unit(
+            NifdyConfig::new(4, 4, 1, 4)
+                .with_retx_timeout(10)
+                .with_retx_budget(1),
+        );
+        let peer = NodeId::new(3);
+        let mut pkt = Packet::data(PacketId::new(9), NodeId::new(0), peer, 8);
+        pkt.wire = Wire::Data {
+            bulk_request: false,
+            bulk_exit: false,
+            bulk: Some(BulkTag { dialog: 0, seq: 1 }),
+            needs_ack: true,
+            dup_bit: false,
+            piggy_ack: None,
+        };
+        u.out_dialog = Some(OutDialog {
+            peer,
+            dialog: 0,
+            window: 4,
+            next_seq: 3,
+            acked: 1,
+            exiting: false,
+            copies: VecDeque::from([BulkCopy {
+                seq: 1,
+                pkt,
+                first_sent: Cycle::ZERO,
+                last_sent: Cycle::ZERO,
+                retries: 1,
+                wait: 10,
+            }]),
+        });
+        u.now = Cycle::new(50);
+        u.check_retx();
+        assert!(u.out_dialog.is_none(), "dialog torn down");
+        assert!(u.bulk_poisoned(peer), "peer downgraded to scalar-only");
+        assert_eq!(u.stats.dialogs_torn_down.get(), 1);
+        let failures = u.take_failures();
+        assert_eq!(
+            failures[0].kind,
+            FailureKind::BulkDialog {
+                dialog: 0,
+                unacked: 2
+            }
+        );
+    }
+
+    #[test]
+    fn poisoned_peers_fall_back_to_scalar() {
+        let mut u = unit(
+            NifdyConfig::new(8, 8, 1, 4)
+                .with_retx_timeout(10)
+                .with_retx_budget(1),
+        );
+        let dst = NodeId::new(2);
+        u.bulk_poisoned.insert(dst);
+        for _ in 0..4 {
+            assert!(u.try_send(OutboundPacket::new(dst, 8).with_bulk(true), Cycle::ZERO));
+        }
+        let pkt = u.launch(u.pick_eligible().expect("eligible"));
+        assert!(
+            matches!(
+                pkt.wire,
+                Wire::Data {
+                    bulk_request: false,
+                    ..
+                }
+            ),
+            "poisoned peer must not be asked for a new dialog"
+        );
+        assert!(u.bulk_request_pending.is_none());
+    }
+
+    #[test]
+    fn staging_queue_bound_defers_timer_firings() {
+        let mut u = unit(
+            NifdyConfig::mesh()
+                .with_retx_timeout(10)
+                .with_retx_queue_cap(1),
+        );
+        let mk = |n: usize| OptEntry {
+            dst: NodeId::new(n),
+            sent_at: Cycle::ZERO,
+            first_sent: Cycle::ZERO,
+            retries: 0,
+            wait: 10,
+            dup_bit: false,
+            copy: Some(Packet::data(
+                PacketId::new(n as u64),
+                NodeId::new(0),
+                NodeId::new(n),
+                8,
+            )),
+        };
+        u.opt.push(mk(1));
+        u.opt.push(mk(2));
+        u.now = Cycle::new(20);
+        u.check_retx();
+        assert_eq!(u.retx_queue.len(), 1, "cap enforced");
+        assert_eq!(u.stats.retx_queue_overflow.get(), 1);
+        let deferred = u.opt.iter().find(|e| e.retries == 0).expect("deferred");
+        assert_eq!(deferred.sent_at, Cycle::ZERO, "deferred firing keeps state");
+        // Once the queue drains, the deferred entry fires immediately.
+        u.retx_queue.clear();
+        u.check_retx();
+        assert_eq!(u.stats.retransmitted.get(), 2);
+    }
+
+    #[test]
+    fn silent_granted_dialog_is_reclaimed() {
+        let mut u = unit(
+            NifdyConfig::new(4, 4, 1, 4)
+                .with_retx_timeout(10)
+                .with_retx_budget(2),
+        );
+        let peer = NodeId::new(3);
+        assert!(matches!(
+            u.decide_grant(true, peer),
+            BulkGrant::Granted { .. }
+        ));
+        assert!(!u.is_idle(), "granted slot keeps the unit busy");
+        u.now = Cycle::new(10 * (2 + 4)); // span · (budget + 4)
+        u.reclaim_dialogs();
+        assert!(u.dialogs.iter().all(|d| d.is_none()), "slot reclaimed");
+        assert_eq!(u.stats.dialogs_reclaimed.get(), 1);
+        assert!(u.closed[0].is_some(), "tombstone left for late duplicates");
+        assert!(u.is_idle());
     }
 
     #[test]

@@ -112,9 +112,7 @@ fn bulk_dialog_keeps_order_over_a_reordering_multibutterfly() {
     let total = 60u32;
     let mut queued = 0u32;
     while got[9].len() < total as usize {
-        while queued < total
-            && bed.nics[0].try_send(msg(9, queued, total, true), bed.fab.now())
-        {
+        while queued < total && bed.nics[0].try_send(msg(9, queued, total, true), bed.fab.now()) {
             queued += 1;
         }
         if let Some((unacked, window)) = bed.nics[0].bulk_outstanding() {
@@ -170,7 +168,10 @@ fn dialog_slots_are_limited_and_rejections_fall_back_to_scalar() {
             .map(|(_, u)| u.pkt_index)
             .collect();
         assert_eq!(seq.len(), total as usize);
-        assert!(seq.windows(2).all(|w| w[0] < w[1]), "order broken for {src_node}");
+        assert!(
+            seq.windows(2).all(|w| w[0] < w[1]),
+            "order broken for {src_node}"
+        );
     }
     let rejections: u64 = [1, 2]
         .iter()
@@ -211,7 +212,10 @@ fn dialogs_are_regranted_after_exit() {
         bed.nics[15].stats().dialogs_granted.get()
     );
     let seq: Vec<u32> = got[15].iter().map(|(_, u)| u.pkt_index).collect();
-    assert!(seq.windows(2).all(|w| w[0] < w[1]), "order broken across dialogs");
+    assert!(
+        seq.windows(2).all(|w| w[0] < w[1]),
+        "order broken across dialogs"
+    );
 }
 
 #[test]
@@ -227,9 +231,7 @@ fn retransmission_delivers_exactly_once_in_order_over_a_lossy_fabric() {
     let total = 25u32;
     let mut queued = 0u32;
     while got[10].len() < total as usize {
-        while queued < total
-            && bed.nics[3].try_send(msg(10, queued, total, false), bed.fab.now())
-        {
+        while queued < total && bed.nics[3].try_send(msg(10, queued, total, false), bed.fab.now()) {
             queued += 1;
         }
         bed.step(&mut got);
@@ -262,13 +264,14 @@ fn bulk_retransmission_survives_loss() {
     let total = 40u32;
     let mut queued = 0u32;
     while got[12].len() < total as usize {
-        while queued < total
-            && bed.nics[1].try_send(msg(12, queued, total, true), bed.fab.now())
-        {
+        while queued < total && bed.nics[1].try_send(msg(12, queued, total, true), bed.fab.now()) {
             queued += 1;
         }
         bed.step(&mut got);
-        assert!(bed.fab.now().as_u64() < 10_000_000, "bulk lossy run timed out");
+        assert!(
+            bed.fab.now().as_u64() < 10_000_000,
+            "bulk lossy run timed out"
+        );
     }
     for _ in 0..80_000 {
         bed.step(&mut got);
@@ -291,7 +294,11 @@ fn no_ack_bypass_sends_without_protocol_state() {
         while !bed.nics[0].try_send(p, bed.fab.now()) {
             bed.step(&mut got);
         }
-        assert_eq!(bed.nics[0].opt_occupancy(), 0, "no-ack packets must skip the OPT");
+        assert_eq!(
+            bed.nics[0].opt_occupancy(),
+            0,
+            "no-ack packets must skip the OPT"
+        );
     }
     bed.run_until(&mut got, 1_000_000, |s| s[15].len() == 10);
     assert_eq!(bed.nics[15].stats().acks_sent.get(), 0, "no acks expected");
@@ -459,10 +466,8 @@ fn piggybacked_acks_ride_replies_in_request_reply_traffic() {
                 }
                 while owed[node] > 0 {
                     let peer = if node == 0 { 15 } else { 0 };
-                    if bed.nics[node].try_send(
-                        msg(peer, exchanged as u32, 1, false),
-                        bed.fab.now(),
-                    ) {
+                    if bed.nics[node].try_send(msg(peer, exchanged as u32, 1, false), bed.fab.now())
+                    {
                         owed[node] -= 1;
                         exchanged += 1;
                     } else {
@@ -566,9 +571,7 @@ fn opt_full_blocks_new_destinations_until_acks_return() {
         bed.step(&mut got);
     }
     assert_eq!(bed.nics[0].opt_occupancy(), 1, "O=1 exceeded");
-    bed.run_until(&mut got, 500_000, |s| {
-        s[15].len() == 1 && s[12].len() == 1
-    });
+    bed.run_until(&mut got, 500_000, |s| s[15].len() == 1 && s[12].len() == 1);
 }
 
 #[test]
@@ -604,14 +607,8 @@ fn reorder_window_is_genuinely_exercised_on_the_fat_tree() {
     let total = 150u32;
     let mut queued = 0u32;
     let mut bg = vec![0u32; 64];
-    while got[63]
-        .iter()
-        .filter(|(s, _)| *s == NodeId::new(0))
-        .count()
-        < total as usize
-    {
-        while queued < total && bed.nics[0].try_send(msg(63, queued, total, true), bed.fab.now())
-        {
+    while got[63].iter().filter(|(s, _)| *s == NodeId::new(0)).count() < total as usize {
+        while queued < total && bed.nics[0].try_send(msg(63, queued, total, true), bed.fab.now()) {
             queued += 1;
         }
         for s in 1..32 {

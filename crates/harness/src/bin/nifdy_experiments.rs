@@ -6,11 +6,11 @@
 
 use std::process::ExitCode;
 
-use nifdy_harness::{ext, fig23, fig4, fig5, fig6, fig78, fig9, sweep, table3, Scale};
+use nifdy_harness::{ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, sweep, table3, Scale};
 
 const USAGE: &str = "usage: nifdy-experiments \
     <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
-    |ext:adaptive|ext:loadsweep> [--full|--quick|--smoke] [--seed N]";
+    |ext:adaptive|ext:loadsweep|ext:lossy> [--full|--quick|--smoke] [--seed N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,6 +95,11 @@ fn main() -> ExitCode {
     }
     if target == "ext:loadsweep" {
         let (table, _) = ext::run_loadsweep(scale, seed);
+        println!("{table}");
+        matched = true;
+    }
+    if target == "ext:lossy" || target == "ext-lossy" {
+        let (table, _) = ext_lossy::run_lossy(scale, seed);
         println!("{table}");
         matched = true;
     }

@@ -1,0 +1,231 @@
+//! Extension experiment: goodput and tail latency under bursty loss.
+//!
+//! [`run_lossy`] drives an 8×8 mesh whose fault plane injects
+//! Gilbert–Elliott bursty loss (hitting data *and* ack packets) at a range
+//! of mean loss rates, and compares the §6.2 retransmission extension with
+//! a fixed timeout against the adaptive RTO (per-destination RTT estimate,
+//! Karn's rule, exponential backoff), in both scalar and bulk mode.
+//!
+//! The expected picture: with a conservative fixed timeout, every loss
+//! costs a full timeout period, so goodput collapses as loss rises; the
+//! adaptive RTO converges to a timeout near the true round trip and
+//! recovers losses orders of magnitude faster, at identical delivery
+//! guarantees (the sweep asserts exactly-once, in-order delivery as it
+//! runs).
+
+use nifdy::{Nic, NifdyConfig, NifdyUnit, OutboundPacket};
+use nifdy_net::topology::Mesh;
+use nifdy_net::{Fabric, FabricConfig, FaultConfig, GilbertElliott, UserData};
+use nifdy_sim::NodeId;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Nodes in the sweep fabric (8×8 mesh).
+const NODES: usize = 64;
+
+/// Conservative fixed retransmission timeout, in cycles — the §6.2 seed
+/// setting, sized for worst-case congestion rather than the common case.
+const FIXED_RTO: u64 = 2_500;
+
+/// One cell of the lossy sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyPoint {
+    /// `"scalar"` or `"bulk"`.
+    pub mode: &'static str,
+    /// `"fixed"` or `"adaptive"`.
+    pub rto: &'static str,
+    /// Mean Gilbert–Elliott loss, percent.
+    pub loss_pct: u32,
+    /// Packets delivered to processors (out of `64 · count`).
+    pub delivered: u64,
+    /// Delivered packets per 1000 cycles, over the time to finish.
+    pub goodput: f64,
+    /// 99th-percentile NIC-to-processor delivery latency, cycles.
+    pub p99_latency: u64,
+    /// Total retransmissions across all nodes.
+    pub retransmitted: u64,
+}
+
+/// Runs one configuration cell: every node sends `count` packets to the
+/// node half the machine away, and the cell ends when all `64 · count`
+/// packets are delivered (or a generous cycle limit trips).
+///
+/// Panics if any packet is delivered out of order or twice — the sweep
+/// doubles as an end-to-end protocol check under loss.
+fn lossy_cell(bulk: bool, adaptive: bool, loss_pct: u32, count: u32, seed: u64) -> LossyPoint {
+    let mut fcfg = FabricConfig::default().with_seed(seed);
+    if loss_pct > 0 {
+        let ge = GilbertElliott::with_mean_loss(f64::from(loss_pct) / 100.0);
+        fcfg = fcfg.with_fault(FaultConfig::default().with_burst(ge));
+    }
+    let mut fab = Fabric::new(Box::new(Mesh::d2(8, 8)), fcfg);
+    let base = NifdyConfig::mesh().with_retx_timeout(FIXED_RTO);
+    let ncfg = if adaptive {
+        base.with_adaptive_rto(true)
+    } else {
+        base
+    };
+    let mut nics: Vec<NifdyUnit> = (0..NODES)
+        .map(|i| NifdyUnit::new(NodeId::new(i), ncfg.clone()))
+        .collect();
+
+    let partner = |i: usize| NodeId::new((i + NODES / 2) % NODES);
+    let mut offered = vec![0u32; NODES];
+    let mut expected = vec![0u32; NODES];
+    let mut latencies: Vec<u64> = Vec::new();
+    let total = u64::from(count) * NODES as u64;
+    let mut delivered = 0u64;
+    let limit = u64::from(count) * 30_000 + 200_000;
+    let mut finish = limit;
+
+    while fab.now().as_u64() < limit {
+        let now = fab.now();
+        for (i, nic) in nics.iter_mut().enumerate() {
+            if offered[i] < count {
+                let user = UserData {
+                    // The send cycle rides in msg_id so delivery latency
+                    // needs no side table; pkt_index carries the in-order
+                    // sequence check.
+                    msg_id: now.as_u64(),
+                    pkt_index: offered[i],
+                    msg_packets: count,
+                    user_words: 6,
+                };
+                let pkt = OutboundPacket::new(partner(i), 8)
+                    .with_bulk(bulk)
+                    .with_user(user);
+                if nic.try_send(pkt, now) {
+                    offered[i] += 1;
+                }
+            }
+        }
+        for nic in &mut nics {
+            nic.step(&mut fab);
+        }
+        fab.step();
+        let now = fab.now();
+        for (i, nic) in nics.iter_mut().enumerate() {
+            while let Some(d) = nic.poll(now) {
+                assert_eq!(d.src, partner(i), "wrong source at node {i}");
+                assert_eq!(
+                    d.user.pkt_index, expected[i],
+                    "out-of-order or duplicate delivery at node {i}"
+                );
+                expected[i] += 1;
+                latencies.push(now.as_u64().saturating_sub(d.user.msg_id));
+                delivered += 1;
+            }
+        }
+        if delivered == total {
+            finish = fab.now().as_u64();
+            break;
+        }
+    }
+
+    latencies.sort_unstable();
+    let p99 = if latencies.is_empty() {
+        0
+    } else {
+        latencies[(latencies.len() - 1) * 99 / 100]
+    };
+    let retransmitted = nics.iter().map(|n| n.stats().retransmitted.get()).sum();
+    LossyPoint {
+        mode: if bulk { "bulk" } else { "scalar" },
+        rto: if adaptive { "adaptive" } else { "fixed" },
+        loss_pct,
+        delivered,
+        goodput: delivered as f64 * 1000.0 / finish.max(1) as f64,
+        p99_latency: p99,
+        retransmitted,
+    }
+}
+
+/// The full sweep: loss ∈ {0, 2, 5, 10, 20}% × {scalar, bulk} ×
+/// {fixed, adaptive} RTO, on the 8×8 mesh.
+pub fn run_lossy(scale: Scale, seed: u64) -> (Table, Vec<LossyPoint>) {
+    let count = scale.count(1_000) as u32;
+    let mut table = Table::new(
+        format!(
+            "ext: bursty-loss sweep on the 8x8 mesh ({count} packets/node, \
+             Gilbert-Elliott bursts hit data and acks, fixed RTO {FIXED_RTO})"
+        ),
+        vec![
+            "loss%".into(),
+            "mode".into(),
+            "rto".into(),
+            "delivered".into(),
+            "goodput pkt/kcyc".into(),
+            "p99 latency".into(),
+            "retx".into(),
+        ],
+    );
+    let mut points = Vec::new();
+    for loss_pct in [0u32, 2, 5, 10, 20] {
+        for bulk in [false, true] {
+            for adaptive in [false, true] {
+                let p = lossy_cell(bulk, adaptive, loss_pct, count, seed);
+                table.row(vec![
+                    p.loss_pct.to_string(),
+                    p.mode.into(),
+                    p.rto.into(),
+                    p.delivered.to_string(),
+                    format!("{:.2}", p.goodput),
+                    p.p99_latency.to_string(),
+                    p.retransmitted.to_string(),
+                ]);
+                points.push(p);
+            }
+        }
+    }
+    (table, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_rto_beats_fixed_under_bursty_loss() {
+        // The headline acceptance check: at 10% bursty loss on the 8x8
+        // mesh, the adaptive RTO delivers measurably higher goodput than
+        // the fixed timeout, in both scalar and bulk mode, with everything
+        // delivered exactly once (asserted inside the cells).
+        let (_, points) = run_lossy(Scale::Smoke, 7);
+        assert_eq!(points.len(), 20);
+        // Sanity on the clean end of the sweep: with no loss, the fixed
+        // 2500-cycle timeout never fires (no healthy round trip gets close).
+        for p in points
+            .iter()
+            .filter(|p| p.loss_pct == 0 && p.rto == "fixed")
+        {
+            assert_eq!(p.retransmitted, 0, "{} retransmitted losslessly", p.mode);
+        }
+        let get = |mode: &str, rto: &str| {
+            points
+                .iter()
+                .find(|p| p.loss_pct == 10 && p.mode == mode && p.rto == rto)
+                .expect("cell")
+        };
+        for mode in ["scalar", "bulk"] {
+            let fixed = get(mode, "fixed");
+            let adaptive = get(mode, "adaptive");
+            assert_eq!(
+                fixed.delivered, adaptive.delivered,
+                "{mode}: both variants must deliver everything"
+            );
+            assert!(
+                adaptive.goodput > fixed.goodput,
+                "{mode}: adaptive goodput {:.2} must beat fixed {:.2}",
+                adaptive.goodput,
+                fixed.goodput
+            );
+            assert!(
+                adaptive.p99_latency < fixed.p99_latency,
+                "{mode}: adaptive p99 {} must beat fixed {}",
+                adaptive.p99_latency,
+                fixed.p99_latency
+            );
+        }
+    }
+}

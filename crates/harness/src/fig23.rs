@@ -21,7 +21,13 @@ pub struct ThroughputPoint {
 }
 
 /// Runs one synthetic-traffic cell.
-pub fn run_cell(kind: NetworkKind, choice: &NicChoice, heavy: bool, scale: Scale, seed: u64) -> u64 {
+pub fn run_cell(
+    kind: NetworkKind,
+    choice: &NicChoice,
+    heavy: bool,
+    scale: Scale,
+    seed: u64,
+) -> u64 {
     let fab = Fabric::new(kind.topology(64, seed), kind.fabric_config(seed));
     let cfg = if heavy {
         SyntheticConfig::heavy(seed)

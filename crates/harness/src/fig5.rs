@@ -62,9 +62,7 @@ pub fn run_one(choice: &NicChoice, scale: Scale, seed: u64) -> CongestionTrace {
             }
         }
         driver.step();
-        if driver.processors().iter().all(|p| p.is_done())
-            && driver.fabric().in_network() == 0
-        {
+        if driver.processors().iter().all(|p| p.is_done()) && driver.fabric().in_network() == 0 {
             finish = c;
             break;
         }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ext;
+pub mod ext_lossy;
 pub mod fig23;
 pub mod fig4;
 pub mod fig5;
@@ -39,5 +40,5 @@ pub mod sweep;
 pub mod table3;
 
 pub use networks::NetworkKind;
-pub use report::{heat_map, Table};
+pub use report::{fault_summary, heat_map, Table};
 pub use scale::Scale;

@@ -69,7 +69,11 @@ impl NetworkKind {
             }
             NetworkKind::Mesh3D => {
                 let side = (nodes as f64).cbrt().round() as usize;
-                assert_eq!(side * side * side, nodes, "mesh-3d needs a cubic node count");
+                assert_eq!(
+                    side * side * side,
+                    nodes,
+                    "mesh-3d needs a cubic node count"
+                );
                 Box::new(Mesh::d3(side, side, side))
             }
             NetworkKind::Torus2D => {

@@ -1,5 +1,7 @@
 //! Fabric-wide configuration knobs.
 
+use crate::fault::FaultConfig;
+
 /// How routers forward packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SwitchingPolicy {
@@ -69,8 +71,12 @@ pub struct FabricConfig {
     /// extension.
     pub drop_prob: f64,
     /// Seed for the fabric's internal randomness (adaptive route choice,
-    /// drop lottery).
+    /// drop lottery). The fault plane derives its own decorrelated stream
+    /// from the same seed.
     pub seed: u64,
+    /// Fault-injection plane configuration (bursty loss, lane-asymmetric
+    /// loss, scheduled link outages, targeted drops). Inactive by default.
+    pub fault: FaultConfig,
 }
 
 impl Default for FabricConfig {
@@ -85,6 +91,7 @@ impl Default for FabricConfig {
             max_packet_flits: 8,
             drop_prob: 0.0,
             seed: 0,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -132,6 +139,12 @@ impl FabricConfig {
         self
     }
 
+    /// Installs a fault-injection plane configuration.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Sets the maximum packet size in flits.
     pub fn with_max_packet_flits(mut self, flits: u16) -> Self {
         self.max_packet_flits = flits;
@@ -172,6 +185,7 @@ impl FabricConfig {
         if !(0.0..=1.0).contains(&self.drop_prob) {
             return Err("drop_prob must be within [0, 1]".into());
         }
+        self.fault.validate()?;
         Ok(())
     }
 }
@@ -195,14 +209,36 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_values() {
-        assert!(FabricConfig::default().with_vcs_per_lane(0).validate().is_err());
-        assert!(FabricConfig::default().with_vc_buf_flits(0).validate().is_err());
-        assert!(FabricConfig::default().with_flit_cycles(0).validate().is_err());
-        assert!(FabricConfig::default().with_drop_prob(1.5).validate().is_err());
+        assert!(FabricConfig::default()
+            .with_vcs_per_lane(0)
+            .validate()
+            .is_err());
+        assert!(FabricConfig::default()
+            .with_vc_buf_flits(0)
+            .validate()
+            .is_err());
+        assert!(FabricConfig::default()
+            .with_flit_cycles(0)
+            .validate()
+            .is_err());
+        assert!(FabricConfig::default()
+            .with_drop_prob(1.5)
+            .validate()
+            .is_err());
     }
 
     #[test]
     fn total_vcs_covers_both_lanes() {
         assert_eq!(FabricConfig::default().with_vcs_per_lane(2).total_vcs(), 4);
+    }
+
+    #[test]
+    fn fault_plane_config_is_validated_too() {
+        let bad =
+            FabricConfig::default().with_fault(FaultConfig::default().with_data_drop_prob(3.0));
+        assert!(bad.validate().is_err());
+        let good =
+            FabricConfig::default().with_fault(FaultConfig::default().with_ack_drop_prob(0.1));
+        assert_eq!(good.validate(), Ok(()));
     }
 }

@@ -15,6 +15,7 @@ use nifdy_sim::metrics::{Counter, Stats};
 use nifdy_sim::{Cycle, NodeId, SimRng};
 
 use crate::config::{FabricConfig, SwitchingPolicy};
+use crate::fault::{DropCause, FaultPlane};
 use crate::packet::{Lane, Packet};
 use crate::topology::{Candidate, Endpoint, RouteState, Topology, VcSel};
 
@@ -152,10 +153,37 @@ pub struct FabricStats {
     pub injected: [Counter; 2],
     /// Packets fully delivered to ejection queues, per lane.
     pub delivered: [Counter; 2],
-    /// Packets dropped at the edge (lossy-network experiments).
+    /// Packets dropped at the edge, all causes combined (legacy uniform
+    /// lottery plus every fault-plane model).
     pub dropped: Counter,
+    /// Drops by the legacy uniform lottery
+    /// ([`FabricConfig::drop_prob`](crate::FabricConfig::drop_prob)).
+    pub dropped_uniform: Counter,
+    /// Fault-plane drops of data (request-lane) packets by uniform lane loss.
+    pub dropped_data: Counter,
+    /// Fault-plane drops of ack (reply-lane) packets by uniform lane loss.
+    pub dropped_ack: Counter,
+    /// Fault-plane drops by the Gilbert–Elliott burst chain.
+    pub dropped_burst: Counter,
+    /// Fault-plane drops by scheduled link-down windows.
+    pub dropped_link_down: Counter,
+    /// Fault-plane drops by per-destination targeted loss.
+    pub dropped_targeted: Counter,
     /// Injection-to-delivery latency of request-lane packets, in cycles.
     pub latency: Stats,
+}
+
+impl FabricStats {
+    fn count_fault_drop(&mut self, cause: DropCause) {
+        self.dropped.incr();
+        match cause {
+            DropCause::Data => self.dropped_data.incr(),
+            DropCause::Ack => self.dropped_ack.incr(),
+            DropCause::Burst => self.dropped_burst.incr(),
+            DropCause::LinkDown => self.dropped_link_down.incr(),
+            DropCause::Targeted => self.dropped_targeted.incr(),
+        }
+    }
 }
 
 /// A simulated interconnection network.
@@ -191,6 +219,7 @@ pub struct Fabric {
     arena: WormArena,
     now: Cycle,
     rng: SimRng,
+    faults: FaultPlane,
     stats: FabricStats,
     pending_per_dst: Vec<u32>,
     route_buf: Vec<Candidate>,
@@ -285,6 +314,7 @@ impl Fabric {
 
         let num_nodes = topo.num_nodes();
         let seed = cfg.seed;
+        let faults = FaultPlane::new(cfg.fault.clone(), seed);
         Fabric {
             cfg,
             topo,
@@ -293,6 +323,7 @@ impl Fabric {
             arena: WormArena::default(),
             now: Cycle::ZERO,
             rng: SimRng::from_seed_stream(seed, 0xFAB),
+            faults,
             stats: FabricStats::default(),
             pending_per_dst: vec![0; num_nodes],
             route_buf: Vec::with_capacity(8),
@@ -329,11 +360,23 @@ impl Fabric {
         &self.stats
     }
 
+    /// The fault-injection plane (for inspecting burst state or scheduled
+    /// outages).
+    #[inline]
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.faults
+    }
+
     /// Number of packets currently inside the fabric (including ejection
     /// queues not yet drained).
     #[inline]
     pub fn in_network(&self) -> usize {
-        self.arena.active + self.nodes.iter().map(|n| n.ready[0].len() + n.ready[1].len()).sum::<usize>()
+        self.arena.active
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.ready[0].len() + n.ready[1].len())
+                .sum::<usize>()
     }
 
     /// Packets currently bound for (or queued at) `dst` — the Figure 5
@@ -450,15 +493,13 @@ impl Fabric {
                     self.routers[r].outs[p].in_flight[0].is_some(),
                     self.routers[r].outs[p].in_flight[1].is_some(),
                 ];
-                let Some(lane) = self.advancing_lane(busy, self.routers[r].outs[p].mux_rr)
-                else {
+                let Some(lane) = self.advancing_lane(busy, self.routers[r].outs[p].mux_rr) else {
                     continue;
                 };
                 if busy[0] && busy[1] {
                     self.routers[r].outs[p].mux_rr ^= 1;
                 }
-                let (flit, dvc, rem) =
-                    self.routers[r].outs[p].in_flight[lane].expect("busy lane");
+                let (flit, dvc, rem) = self.routers[r].outs[p].in_flight[lane].expect("busy lane");
                 if rem > 1 {
                     self.routers[r].outs[p].in_flight[lane] = Some((flit, dvc, rem - 1));
                     continue;
@@ -538,6 +579,11 @@ impl Fabric {
         self.pending_per_dst[packet.dst.index()] -= 1;
         if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
             self.stats.dropped.incr();
+            self.stats.dropped_uniform.incr();
+            return;
+        }
+        if let Some(cause) = self.faults.judge(self.now, &packet) {
+            self.stats.count_fault_drop(cause);
             return;
         }
         self.stats.delivered[lane.index()].incr();
@@ -560,8 +606,7 @@ impl Fabric {
             .lane_vc_range(lane)
             .filter(|&vc| self.routers[r].outs[p].owner[vc].is_some())
             .count();
-        self.nodes[node].ready[lane.index()].len() + owned
-            < self.cfg.eject_ready_pkts as usize
+        self.nodes[node].ready[lane.index()].len() + owned < self.cfg.eject_ready_pkts as usize
     }
 
     /// Phase B: each idle output port picks one eligible flit and starts
@@ -636,7 +681,14 @@ impl Fabric {
 
     /// Routing + VC allocation for a head flit waiting at `(ip, vc)`;
     /// returns the downstream VC to use on port `p`, if any.
-    fn head_allocation(&mut self, r: usize, p: usize, ip: usize, vc: usize, flit: Flit) -> Option<u8> {
+    fn head_allocation(
+        &mut self,
+        r: usize,
+        p: usize,
+        ip: usize,
+        vc: usize,
+        flit: Flit,
+    ) -> Option<u8> {
         let worm = self.arena.get(flit.worm);
         let lane = worm.packet.lane;
         let flits = worm.flits;
@@ -704,7 +756,10 @@ impl Fabric {
         dvc: u8,
         is_head: bool,
     ) {
-        let (popped, _) = self.routers[r].ins[ip].vcs[vc].buf.pop_front().expect("flit present");
+        let (popped, _) = self.routers[r].ins[ip].vcs[vc]
+            .buf
+            .pop_front()
+            .expect("flit present");
         debug_assert_eq!(popped, flit);
         self.routers[r].lane_flits[vc / self.cfg.vcs_per_lane as usize] -= 1;
         let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
@@ -802,7 +857,12 @@ mod tests {
     use crate::topology::{Butterfly, Cm5FatTree, FatTree, Mesh, Torus};
     use nifdy_sim::PacketId;
 
-    fn drive_one(topo: Box<dyn Topology>, cfg: FabricConfig, src: usize, dst: usize) -> (Packet, u64) {
+    fn drive_one(
+        topo: Box<dyn Topology>,
+        cfg: FabricConfig,
+        src: usize,
+        dst: usize,
+    ) -> (Packet, u64) {
         let mut fab = Fabric::new(topo, cfg);
         let (s, d) = (NodeId::new(src), NodeId::new(dst));
         fab.inject(s, Packet::data(PacketId::new(1), s, d, 8));
@@ -841,9 +901,19 @@ mod tests {
 
     #[test]
     fn butterfly_delivers() {
-        let (p, _) = drive_one(Box::new(Butterfly::new(64, 1, 0)), FabricConfig::default(), 5, 5);
+        let (p, _) = drive_one(
+            Box::new(Butterfly::new(64, 1, 0)),
+            FabricConfig::default(),
+            5,
+            5,
+        );
         assert_eq!(p.dst, NodeId::new(5));
-        let (p, _) = drive_one(Box::new(Butterfly::new(64, 2, 3)), FabricConfig::default(), 0, 63);
+        let (p, _) = drive_one(
+            Box::new(Butterfly::new(64, 2, 3)),
+            FabricConfig::default(),
+            0,
+            63,
+        );
         assert_eq!(p.dst, NodeId::new(63));
     }
 
@@ -899,10 +969,7 @@ mod tests {
         // roughly one worm in before its injection slot never frees. This is
         // exactly the secondary blocking the paper describes.
         assert!(sent >= 15, "every sender should land at least one packet");
-        assert!(
-            sent < 200,
-            "backpressure never reached the injection ports"
-        );
+        assert!(sent < 200, "backpressure never reached the injection ports");
         // Only the single ready-queue slot may complete; nothing is dropped.
         let completed = fab.stats().delivered[0].get() as u32;
         assert!(completed <= 1, "only the ready-queue head may complete");
@@ -984,7 +1051,10 @@ mod tests {
         let dropped = fab.stats().dropped.get();
         let delivered = fab.stats().delivered[0].get();
         assert_eq!(dropped + delivered, 100);
-        assert!(dropped > 10 && delivered > 10, "drop lottery looks broken: {dropped} dropped");
+        assert!(
+            dropped > 10 && delivered > 10,
+            "drop lottery looks broken: {dropped} dropped"
+        );
     }
 
     #[test]

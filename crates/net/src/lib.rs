@@ -40,11 +40,13 @@
 
 mod config;
 mod fabric;
+mod fault;
 mod packet;
 pub mod topology;
 
 pub use config::{FabricConfig, SwitchingPolicy};
 pub use fabric::{Fabric, FabricStats};
+pub use fault::{DropCause, FaultConfig, FaultPlane, GilbertElliott, LinkWindow, TargetedDrop};
 pub use packet::{
     AckInfo, BulkGrant, BulkTag, DialogId, Lane, Packet, PacketStamp, SeqNo, UserData, Wire,
     ACK_WORDS,

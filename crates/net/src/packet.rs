@@ -80,6 +80,11 @@ pub enum AckInfo {
     Scalar {
         /// Bulk-mode grant decision for the acked packet's request bit.
         grant: BulkGrant,
+        /// Echo of the acknowledged packet's alternating duplicate bit, so
+        /// the sender can tell a stale re-ack (for an earlier, spuriously
+        /// retransmitted packet) from the ack of the packet currently
+        /// outstanding. Always `false` when retransmission is disabled.
+        echo: bool,
     },
     /// Combined (sliding-window) acknowledgment for a bulk dialog: everything
     /// up to and including `cum_seq` has been received in order.
@@ -280,6 +285,7 @@ mod tests {
             NodeId::new(0),
             AckInfo::Scalar {
                 grant: BulkGrant::NotRequested,
+                echo: false,
             },
         );
         assert_eq!(a.lane, Lane::Reply);

@@ -143,9 +143,7 @@ impl Topology for Butterfly {
                         let t = if self.dilation == 1 {
                             let pos = self.stages - 2 - s;
                             let low_span = K.pow(pos as u32);
-                            (w / (low_span * K)) * (low_span * K)
-                                + j * low_span
-                                + (w % low_span)
+                            (w / (low_span * K)) * (low_span * K) + j * low_span + (w % low_span)
                         } else if valid.len() >= self.dilation {
                             // Sample without replacement across copies.
                             loop {
@@ -258,10 +256,9 @@ mod tests {
         // Stage-0 router 0, direction 0 = links 0 and 1: distinct routers.
         let (a, b) = (&spec.routers[0].links[0], &spec.routers[0].links[1]);
         match (a, b) {
-            (
-                Endpoint::Router { router: ra, .. },
-                Endpoint::Router { router: rb, .. },
-            ) => assert_ne!(ra, rb),
+            (Endpoint::Router { router: ra, .. }, Endpoint::Router { router: rb, .. }) => {
+                assert_ne!(ra, rb)
+            }
             other => panic!("unexpected endpoints {other:?}"),
         }
     }

@@ -340,19 +340,15 @@ impl Topology for Cm5FatTree {
         for l in 0..self.leaves() {
             let g = l / 4;
             let c = l % 4; // position within group
-            let mut links: Vec<Endpoint> = (0..4)
-                .map(|p| Endpoint::Node((l * 4 + p) as u32))
-                .collect();
+            let mut links: Vec<Endpoint> =
+                (0..4).map(|p| Endpoint::Node((l * 4 + p) as u32)).collect();
             for i in 0..2 {
                 links.push(Endpoint::Router {
                     router: self.mid_id(g, i),
                     in_port: c as u8, // mid's down in-port for this leaf
                 });
             }
-            routers.push(RouterSpec {
-                in_ports: 6,
-                links,
-            });
+            routers.push(RouterSpec { in_ports: 6, links });
         }
         // Mids: down ports 0..4 to the group's leaves, up ports 4,5 to tops.
         for g in 0..self.groups() {
@@ -370,10 +366,7 @@ impl Topology for Cm5FatTree {
                         in_port: g as u8, // top's down in-port for this group
                     });
                 }
-                routers.push(RouterSpec {
-                    in_ports: 6,
-                    links,
-                });
+                routers.push(RouterSpec { in_ports: 6, links });
             }
         }
         // Tops: down port per group, to mid (g, i(t)).

@@ -93,7 +93,10 @@ impl Torus {
 
 impl Grid {
     fn new(dims: Vec<usize>, wrap: bool) -> Self {
-        assert!(!dims.is_empty() && dims.len() <= 4, "1-4 dimensions supported");
+        assert!(
+            !dims.is_empty() && dims.len() <= 4,
+            "1-4 dimensions supported"
+        );
         assert!(
             dims.iter().all(|&d| d >= 2),
             "every dimension must have at least 2 routers"

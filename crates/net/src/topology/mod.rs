@@ -227,7 +227,10 @@ pub(crate) mod checks {
             for link in &router.links {
                 match *link {
                     Endpoint::Router { router: t, in_port } => {
-                        assert!((t as usize) < spec.routers.len(), "router {r} links to missing router {t}");
+                        assert!(
+                            (t as usize) < spec.routers.len(),
+                            "router {r} links to missing router {t}"
+                        );
                         assert!(
                             in_port < spec.routers[t as usize].in_ports,
                             "router {r} links to missing in-port {in_port} of router {t}"

@@ -37,7 +37,12 @@ fn stream_time(mut fab: Fabric, dst: usize, lane: Lane, count: u64) -> u64 {
 fn time_multiplexed_lanes_have_hard_bandwidth_isolation() {
     // On the CM-5 fabric, request-lane throughput must be identical whether
     // or not the reply lane is saturated: the slots are dedicated.
-    let mk = || Fabric::new(Box::new(Cm5FatTree::new(32)), FabricConfig::default().with_time_mux(true));
+    let mk = || {
+        Fabric::new(
+            Box::new(Cm5FatTree::new(32)),
+            FabricConfig::default().with_time_mux(true),
+        )
+    };
 
     // Baseline: request stream alone.
     let t_alone = stream_time(mk(), 31, Lane::Request, 50);
@@ -199,7 +204,9 @@ fn cut_through_beats_wormhole_with_tiny_buffers_under_contention() {
     // toward one receiver plus a bystander stream, the bystander should
     // do no worse under cut-through.
     fn bystander_time(policy: SwitchingPolicy, buf: u16) -> u64 {
-        let cfg = FabricConfig::default().with_policy(policy).with_vc_buf_flits(buf);
+        let cfg = FabricConfig::default()
+            .with_policy(policy)
+            .with_vc_buf_flits(buf);
         let mut fab = Fabric::new(Box::new(Mesh::d2(4, 4)), cfg);
         // Hot traffic: 1,2,3 -> 0 (never drained). Bystander: 7 -> 4.
         for (i, s) in [1usize, 2, 3].iter().enumerate() {

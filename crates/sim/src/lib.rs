@@ -11,7 +11,10 @@
 //!   keeps *"dedicated state for each pseudo-random number generator"* so the
 //!   same bursts are generated regardless of configuration),
 //! * [`metrics`] — counters, running statistics, histograms and time series
-//!   used to produce the paper's tables and figures.
+//!   used to produce the paper's tables and figures,
+//! * [`StallWatchdog`] — cycle-driven detection of units that stay busy
+//!   without making progress (livelock and lost-wakeup tripwire for lossy
+//!   fabrics).
 //!
 //! # Examples
 //!
@@ -32,7 +35,9 @@ mod cycle;
 mod id;
 pub mod metrics;
 mod rng;
+mod watchdog;
 
 pub use cycle::Cycle;
 pub use id::{NodeId, PacketId};
 pub use rng::SimRng;
+pub use watchdog::{StallReport, StallWatchdog};

@@ -1,9 +1,9 @@
 //! The simulation driver: one fabric, one NIC and one processor per node,
 //! all stepped cycle-synchronously, with global barrier coordination.
 
-use nifdy::{BufferedNic, Nic, NifdyConfig, NifdyUnit, PlainNic};
+use nifdy::{BufferedNic, DeliveryFailure, Nic, NifdyConfig, NifdyUnit, PlainNic};
 use nifdy_net::Fabric;
-use nifdy_sim::NodeId;
+use nifdy_sim::{NodeId, StallWatchdog};
 
 use crate::processor::{NodeWorkload, ProcEvent, Processor};
 use crate::SoftwareModel;
@@ -57,6 +57,8 @@ pub struct Driver {
     procs: Vec<Processor>,
     wls: Vec<Box<dyn NodeWorkload>>,
     barrier_cost: u64,
+    watchdog: Option<StallWatchdog>,
+    failures: Vec<DeliveryFailure>,
 }
 
 impl Driver {
@@ -81,6 +83,8 @@ impl Driver {
             procs,
             wls,
             barrier_cost: 40,
+            watchdog: None,
+            failures: Vec::new(),
         }
     }
 
@@ -90,6 +94,22 @@ impl Driver {
     pub fn with_barrier_cost(mut self, cost: u64) -> Self {
         self.barrier_cost = cost;
         self
+    }
+
+    /// Arms a per-node stall watchdog: a NIC that stays busy for `limit`
+    /// cycles without its counters moving aborts the run with a panic,
+    /// turning a would-be hang into a diagnosable failure. Pick a limit
+    /// comfortably above the longest legitimate quiet period (with
+    /// retransmission configured, several times the maximum RTO).
+    pub fn with_stall_watchdog(mut self, limit: u64) -> Self {
+        self.watchdog = Some(StallWatchdog::new(limit, self.nics.len()));
+        self
+    }
+
+    /// Typed delivery failures surfaced by the interfaces so far (retry
+    /// budgets exhausted; see [`DeliveryFailure`]).
+    pub fn delivery_failures(&self) -> &[DeliveryFailure] {
+        &self.failures
     }
 
     /// The simulated fabric (topology, time, delivery statistics).
@@ -133,8 +153,15 @@ impl Driver {
                 }
             }
         }
-        for nic in &mut self.nics {
+        for (i, nic) in self.nics.iter_mut().enumerate() {
             nic.step(&mut self.fab);
+            self.failures.extend(nic.take_failures());
+            if let Some(dog) = &mut self.watchdog {
+                let fp = nic.stats().progress_fingerprint();
+                if let Some(report) = dog.observe(i, now, fp, !nic.is_idle()) {
+                    panic!("stall watchdog tripped: {report}");
+                }
+            }
         }
         self.fab.step();
     }
@@ -253,9 +280,51 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_stays_quiet_on_a_healthy_run() {
+        let mut d = ring_driver(NicChoice::Nifdy(NifdyConfig::mesh())).with_stall_watchdog(50_000);
+        assert!(d.run_until_quiet(3_000_000), "did not drain");
+        assert_eq!(d.packets_received(), 160);
+        assert!(d.delivery_failures().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stall watchdog tripped")]
+    fn watchdog_trips_on_a_genuine_livelock() {
+        // Total loss with no retransmission: the sender's OPT entry waits
+        // for an ack that can never come. The watchdog converts the hang
+        // into a panic.
+        let fab = Fabric::new(
+            Box::new(Mesh::d2(4, 4)),
+            FabricConfig::default().with_drop_prob(1.0),
+        );
+        let wls: Vec<Box<dyn NodeWorkload>> = (0..16)
+            .map(|i| -> Box<dyn NodeWorkload> {
+                Box::new(RingBurst {
+                    node: i,
+                    n: 16,
+                    sent: 0,
+                    count: 2,
+                    did_barrier: true,
+                })
+            })
+            .collect();
+        let mut d = Driver::new(
+            fab,
+            &NicChoice::Nifdy(NifdyConfig::mesh()),
+            SoftwareModel::synthetic(),
+            wls,
+        )
+        .with_stall_watchdog(5_000);
+        let _ = d.run_until_quiet(1_000_000);
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(NicChoice::Plain.label(), "none");
-        assert_eq!(NicChoice::BuffersOnly(NifdyConfig::mesh()).label(), "buffers");
+        assert_eq!(
+            NicChoice::BuffersOnly(NifdyConfig::mesh()).label(),
+            "buffers"
+        );
         assert_eq!(NicChoice::Nifdy(NifdyConfig::mesh()).label(), "nifdy");
     }
 }

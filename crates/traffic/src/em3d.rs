@@ -131,10 +131,7 @@ impl Em3dPlan {
             }
         }
         Em3dPlan {
-            sends: words
-                .into_iter()
-                .map(|m| m.into_iter().collect())
-                .collect(),
+            sends: words.into_iter().map(|m| m.into_iter().collect()).collect(),
             expected,
         }
     }
@@ -287,9 +284,9 @@ mod tests {
         let plan = Em3dPlan::generate(p, 64);
         for (src, sends) in plan.sends.iter().enumerate() {
             for &(dst, _) in sends {
-                let d = (src as i64 - dst as i64).rem_euclid(64).min(
-                    (dst as i64 - src as i64).rem_euclid(64),
-                );
+                let d = (src as i64 - dst as i64)
+                    .rem_euclid(64)
+                    .min((dst as i64 - src as i64).rem_euclid(64));
                 assert!(d <= i64::from(p.dist_span), "{src}->{dst} too far");
             }
         }
@@ -303,7 +300,13 @@ mod tests {
         };
         let sw = SoftwareModel::cm5_library(false);
         let plan = Em3dPlan::generate(p, 4);
-        let mut w = Em3d::new(p, sw, NodeId::new(0), plan.sends[0].clone(), plan.expected[0]);
+        let mut w = Em3d::new(
+            p,
+            sw,
+            NodeId::new(0),
+            plan.sends[0].clone(),
+            plan.expected[0],
+        );
         let mut computes = 0;
         let mut barriers = 0;
         let mut sends = 0;

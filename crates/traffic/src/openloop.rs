@@ -147,10 +147,7 @@ mod tests {
         let slow = run(400);
         let fast = run(25);
         // 16x the offered load cannot produce 16x the throughput.
-        assert!(
-            fast < slow * 12,
-            "no saturation visible: {fast} vs {slow}"
-        );
+        assert!(fast < slow * 12, "no saturation visible: {fast} vs {slow}");
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl SoftwareModel {
         SoftwareModel {
             t_send: table2::AM_SEND,
             // Software reordering adds ~30% to receive processing [KC94].
-            t_receive: if reorder_in_software { base * 13 / 10 } else { base },
+            t_receive: if reorder_in_software {
+                base * 13 / 10
+            } else {
+                base
+            },
             t_poll: table2::AM_POLL_EMPTY,
             packet_words: 6,
             bookkeeping_words: 2,

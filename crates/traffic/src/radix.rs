@@ -262,7 +262,12 @@ mod tests {
             sw,
         };
         let fab = Fabric::new(Box::new(Mesh::d2(2, 2)), FabricConfig::default());
-        let mut d = Driver::new(fab, &NicChoice::Nifdy(NifdyConfig::mesh()), sw, cfg.build(4));
+        let mut d = Driver::new(
+            fab,
+            &NicChoice::Nifdy(NifdyConfig::mesh()),
+            sw,
+            cfg.build(4),
+        );
         assert!(d.run_until_quiet(2_000_000));
         assert_eq!(d.packets_received(), 4 * 30);
         for p in d.processors() {

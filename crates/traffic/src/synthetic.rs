@@ -172,8 +172,7 @@ impl NodeWorkload for Synthetic {
         if !self.sending_this_phase || self.left_in_phase == 0 {
             // Possibly go non-responsive (light traffic), otherwise barrier
             // into the next phase once everyone is ready; poll meanwhile.
-            if self.cfg.nonresponsive_prob > 0.0 && self.rng.gen_bool(self.cfg.nonresponsive_prob)
-            {
+            if self.cfg.nonresponsive_prob > 0.0 && self.rng.gen_bool(self.cfg.nonresponsive_prob) {
                 return Action::Compute(self.cfg.nonresponsive_cycles);
             }
             if self.left_in_phase == 0 && self.sending_this_phase {

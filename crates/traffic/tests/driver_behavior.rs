@@ -1,10 +1,11 @@
 //! Integration tests of the processor/driver layer: receive priority,
-//! barrier semantics with finished nodes, send-overhead pacing, and
-//! determinism of offered traffic across interface configurations.
+//! barrier semantics with finished nodes, send-overhead pacing,
+//! determinism of offered traffic across interface configurations, and
+//! fault handling (a dead link must surface typed failures, not hang).
 
-use nifdy::{Delivered, NifdyConfig, OutboundPacket};
+use nifdy::{Delivered, FailureKind, NifdyConfig, OutboundPacket};
 use nifdy_net::topology::Mesh;
-use nifdy_net::{Fabric, FabricConfig, UserData};
+use nifdy_net::{Fabric, FabricConfig, FaultConfig, LinkWindow, UserData};
 use nifdy_sim::{Cycle, NodeId};
 use nifdy_traffic::{Action, Driver, NicChoice, NodeWorkload, SoftwareModel, SyntheticConfig};
 
@@ -146,6 +147,57 @@ fn receive_has_priority_over_new_sends() {
         "receive starvation: {}",
         d.processors()[0].stats().received.get()
     );
+}
+
+#[test]
+fn persistent_link_down_surfaces_typed_failures_without_hanging() {
+    // Node 3's edge link never comes back up. With a retry budget, the
+    // senders must abandon the packets, surface typed failures through the
+    // driver, and drain to quiet — under an armed stall watchdog, so a hang
+    // would panic rather than time out silently.
+    let dead = NodeId::new(3);
+    let fab = Fabric::new(
+        Box::new(Mesh::d2(2, 2)),
+        FabricConfig::default().with_fault(
+            FaultConfig::default().with_link_window(LinkWindow::edge(dead, 0, u64::MAX)),
+        ),
+    );
+    let wls: Vec<Box<dyn NodeWorkload>> = (0..4)
+        .map(|i| -> Box<dyn NodeWorkload> {
+            if i == 0 {
+                // Two doomed packets to the dead node, one healthy packet.
+                Box::new(Script::new(vec![
+                    send_to(3, 0),
+                    send_to(3, 1),
+                    send_to(1, 0),
+                ]))
+            } else {
+                Box::new(Script::new(vec![]))
+            }
+        })
+        .collect();
+    let cfg = NifdyConfig::mesh()
+        .with_retx_timeout(500)
+        .with_retx_budget(3);
+    let mut d = Driver::new(fab, &NicChoice::Nifdy(cfg), SoftwareModel::synthetic(), wls)
+        .with_stall_watchdog(100_000);
+    assert!(
+        d.run_until_quiet(2_000_000),
+        "dead link wedged the simulation"
+    );
+    assert_eq!(d.packets_received(), 1, "healthy packet still delivered");
+    let failures = d.delivery_failures();
+    assert_eq!(failures.len(), 2, "one typed failure per doomed packet");
+    for f in failures {
+        assert_eq!(f.dst, dead);
+        assert_eq!(f.retries, 3, "budget bounds the retries");
+        assert_eq!(f.kind, FailureKind::Scalar);
+    }
+    let users: Vec<u32> = failures
+        .iter()
+        .map(|f| f.user.expect("copy retained").pkt_index)
+        .collect();
+    assert_eq!(users, vec![0, 1], "failures identify the lost payloads");
 }
 
 #[test]

@@ -6,10 +6,10 @@
 //! cargo run --release --example cshift_showdown
 //! ```
 
+use nifdy_harness::{heat_map, NetworkKind};
 use nifdy_net::Fabric;
 use nifdy_sim::NodeId;
 use nifdy_traffic::{CShiftConfig, Driver, NicChoice, SoftwareModel};
-use nifdy_harness::{heat_map, NetworkKind};
 
 fn run(choice: &NicChoice, barriers: bool, inorder: bool) -> (u64, f64, Vec<Vec<f64>>) {
     let kind = NetworkKind::Cm5;
@@ -44,9 +44,24 @@ fn main() {
 
     let cases = [
         ("plain, no barriers", NicChoice::Plain, false, false),
-        ("plain + barriers (Strata-style)", NicChoice::Plain, true, false),
-        ("NIFDY, flow control only", NicChoice::Nifdy(preset.clone()), false, false),
-        ("NIFDY + in-order library", NicChoice::Nifdy(preset.clone()), false, true),
+        (
+            "plain + barriers (Strata-style)",
+            NicChoice::Plain,
+            true,
+            false,
+        ),
+        (
+            "NIFDY, flow control only",
+            NicChoice::Nifdy(preset.clone()),
+            false,
+            false,
+        ),
+        (
+            "NIFDY + in-order library",
+            NicChoice::Nifdy(preset.clone()),
+            false,
+            true,
+        ),
     ];
     let mut maps = Vec::new();
     for (label, choice, barriers, inorder) in &cases {

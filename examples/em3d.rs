@@ -6,9 +6,9 @@
 //! cargo run --release --example em3d
 //! ```
 
+use nifdy_harness::NetworkKind;
 use nifdy_net::Fabric;
 use nifdy_traffic::{Driver, Em3dParams, Em3dPlan, NicChoice, SoftwareModel};
-use nifdy_harness::NetworkKind;
 
 fn cycles_per_iter(kind: NetworkKind, choice: &NicChoice, inorder: bool) -> f64 {
     let fab = Fabric::new(kind.topology(64, 1), kind.fabric_config(1));

@@ -35,12 +35,14 @@ fn main() {
         for i in 0..16 {
             let dst = NodeId::new(15 - i);
             while queued[i] < total_per_node {
-                let pkt = OutboundPacket::new(dst, 8).with_bulk(true).with_user(UserData {
-                    msg_id: i as u64,
-                    pkt_index: queued[i],
-                    msg_packets: total_per_node,
-                    user_words: 7,
-                });
+                let pkt = OutboundPacket::new(dst, 8)
+                    .with_bulk(true)
+                    .with_user(UserData {
+                        msg_id: i as u64,
+                        pkt_index: queued[i],
+                        msg_packets: total_per_node,
+                        user_words: 7,
+                    });
                 if !nics[i].try_send(pkt, fab.now()) {
                     break;
                 }
@@ -61,7 +63,10 @@ fn main() {
     }
 
     let retx: u64 = nics.iter().map(|n| n.stats().retransmitted.get()).sum();
-    let dups: u64 = nics.iter().map(|n| n.stats().duplicates_dropped.get()).sum();
+    let dups: u64 = nics
+        .iter()
+        .map(|n| n.stats().duplicates_dropped.get())
+        .sum();
     let dropped = fab.stats().dropped.get();
     println!("fabric drop probability : {drop_prob}");
     println!("packets dropped by fabric: {dropped} (data + acks)");

@@ -121,10 +121,60 @@ fn nifdy_survives_the_lossy_fabric_under_a_real_workload() {
         kind.fabric_config(5).with_drop_prob(0.05),
     );
     let nic = kind.nifdy_preset().with_retx_timeout(3_000);
-    let mut d = Driver::new(fab, &NicChoice::Nifdy(nic), sw, cfg.build(64));
-    assert!(d.run_until_quiet(80_000_000), "lossy C-shift never finished");
+    let mut d =
+        Driver::new(fab, &NicChoice::Nifdy(nic), sw, cfg.build(64)).with_stall_watchdog(500_000);
+    assert!(
+        d.run_until_quiet(80_000_000),
+        "lossy C-shift never finished"
+    );
     let expected = cfg.packets_per_node(64) * 64;
-    assert_eq!(d.packets_received(), expected, "loss leaked to the workload");
+    assert_eq!(
+        d.packets_received(),
+        expected,
+        "loss leaked to the workload"
+    );
+}
+
+#[test]
+fn adaptive_rto_survives_the_fault_plane_under_a_real_workload() {
+    // The full fault plane on a real workload: bursty loss that also takes
+    // out acks, plus an independent ack-lane lottery, recovered by the
+    // adaptive RTO. The stall watchdog turns any livelock into a panic
+    // instead of a silent timeout.
+    use nifdy_net::{FaultConfig, GilbertElliott};
+
+    let kind = NetworkKind::Mesh2D;
+    let sw = SoftwareModel::cm5_library(false);
+    let cfg = CShiftConfig::new(10, sw);
+    let fault = FaultConfig::default()
+        .with_burst(GilbertElliott::with_mean_loss(0.05))
+        .with_ack_drop_prob(0.02);
+    let fab = Fabric::new(
+        kind.topology(64, 5),
+        kind.fabric_config(5).with_fault(fault),
+    );
+    let nic = kind
+        .nifdy_preset()
+        .with_retx_timeout(3_000)
+        .with_adaptive_rto(true);
+    let mut d =
+        Driver::new(fab, &NicChoice::Nifdy(nic), sw, cfg.build(64)).with_stall_watchdog(500_000);
+    assert!(
+        d.run_until_quiet(80_000_000),
+        "bursty C-shift never finished"
+    );
+    let expected = cfg.packets_per_node(64) * 64;
+    assert_eq!(
+        d.packets_received(),
+        expected,
+        "loss leaked to the workload"
+    );
+    assert!(
+        d.delivery_failures().is_empty(),
+        "no budget configured: nothing may be abandoned"
+    );
+    let dropped: u64 = d.fabric().stats().dropped.get();
+    assert!(dropped > 0, "the fault plane must actually have fired");
 }
 
 #[test]

@@ -58,7 +58,12 @@ fn light_traffic_gain_is_largest_on_low_bisection_networks() {
 #[test]
 fn cshift_congestion_is_bounded_by_nifdy() {
     let (_, without, with) = fig5::run(Scale::Smoke, 2);
-    assert!(without.peak >= with.peak, "{} < {}", without.peak, with.peak);
+    assert!(
+        without.peak >= with.peak,
+        "{} < {}",
+        without.peak,
+        with.peak
+    );
 }
 
 /// Figure 6: NIFDY's admission control is at least as good as optimized
@@ -106,7 +111,12 @@ fn radix_scan_nifdy_reduces_the_need_for_delays() {
 fn radix_coalesce_is_neutral() {
     let kind = NetworkKind::FatTree;
     let none = fig9::run_coalesce(kind, &NicChoice::Plain, Scale::Smoke, 5);
-    let with = fig9::run_coalesce(kind, &NicChoice::Nifdy(kind.nifdy_preset()), Scale::Smoke, 5);
+    let with = fig9::run_coalesce(
+        kind,
+        &NicChoice::Nifdy(kind.nifdy_preset()),
+        Scale::Smoke,
+        5,
+    );
     let ratio = with as f64 / none as f64;
     assert!((0.6..=1.67).contains(&ratio), "coalesce ratio {ratio:.2}");
 }

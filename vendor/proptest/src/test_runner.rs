@@ -1,0 +1,157 @@
+//! The case runner and its configuration.
+
+/// Runner configuration, mirroring the proptest fields this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; this vendored runner never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Deterministic xoshiro256** generator used to drive case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *s = z ^ (z >> 31);
+        }
+        if state == [0; 4] {
+            state[0] = 1;
+        }
+        TestRng { state }
+    }
+
+    /// Returns the next 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform value in `[0, bound)` (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below_u64 bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a uniform `usize` in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.below_u64(bound as u64) as usize
+    }
+}
+
+/// Runs a property over many random cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner, seeding from `PROPTEST_SEED` if set, otherwise
+    /// from the system clock (the seed is printed on failure).
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v
+                .trim()
+                .parse::<u64>()
+                .expect("PROPTEST_SEED must be a u64"),
+            Err(_) => std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED),
+        };
+        TestRunner { config, seed }
+    }
+
+    /// Runs `body` for each case, feeding it a per-case generator. A
+    /// panicking case aborts the run after printing the seed and case
+    /// index needed to reproduce it (no shrinking is attempted).
+    pub fn run<F: FnMut(&mut TestRng)>(&mut self, mut body: F) {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::from_seed(self.seed ^ (u64::from(case) << 32));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut rng);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest case {case} failed \
+                     (reproduce with PROPTEST_SEED={})",
+                    self.seed
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_executes_every_case() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 17,
+            ..ProptestConfig::default()
+        });
+        let mut n = 0u32;
+        runner.run(|_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..10_000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+}

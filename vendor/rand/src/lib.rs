@@ -1,0 +1,121 @@
+//! Vendored subset of the `rand` 0.8 API.
+//!
+//! The simulator's generators are implemented locally (xoshiro256** in
+//! `nifdy-sim`); the only thing this workspace needs from `rand` is the
+//! trait surface (`RngCore`, `SeedableRng`, `Error`) so that standard
+//! distribution adapters keep working against `SimRng`. The build
+//! environment has no access to a crates.io registry, so that surface is
+//! vendored here, signature-compatible with rand 0.8.
+
+use std::fmt;
+
+/// Error type for fallible random byte generation.
+///
+/// The simulator's generators are infallible; this type exists only so the
+/// [`RngCore::try_fill_bytes`] signature matches rand 0.8.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error carrying a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as in rand 0.8.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// A generator that can be instantiated from a fixed seed, as in rand 0.8.
+pub trait SeedableRng: Sized {
+    /// The seed byte array accepted by [`SeedableRng::from_seed`].
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, spreading it across the seed bytes.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, as rand 0.8 does for this default method.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Lcg::seed_from_u64(42);
+        let mut b = Lcg::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn error_displays_message() {
+        let e = Error::new("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}
