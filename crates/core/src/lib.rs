@@ -67,6 +67,8 @@ mod unit;
 
 pub use baseline::{BufferedNic, PlainNic};
 pub use config::NifdyConfig;
-pub use nic::{Delivered, DeliveryFailure, FailureKind, Nic, NicStats, OutboundPacket};
+pub use nic::{
+    Delivered, DeliveryFailure, FailureKind, Nic, NicOccupancy, NicStats, OutboundPacket,
+};
 pub use rto::RttEstimator;
 pub use unit::NifdyUnit;

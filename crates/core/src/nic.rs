@@ -11,6 +11,7 @@
 use nifdy_net::{Fabric, UserData};
 use nifdy_sim::metrics::Counter;
 use nifdy_sim::{Cycle, NodeId};
+use nifdy_trace::TraceHandle;
 
 /// A packet the processor wants transmitted, before the NIC adds protocol
 /// headers.
@@ -174,6 +175,21 @@ impl NicStats {
     }
 }
 
+/// A point-in-time snapshot of an interface's queue occupancies, sampled
+/// by drivers into telemetry gauges (OPT, buffer pool, retransmission
+/// staging queue, bulk-window outstanding count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicOccupancy {
+    /// Outbound packets waiting in the buffer pool.
+    pub pool: u32,
+    /// Scalar packets outstanding in the OPT.
+    pub opt: u32,
+    /// Retransmission copies staged for injection.
+    pub retx_queue: u32,
+    /// Unacknowledged packets of the outgoing bulk dialog, if any.
+    pub window_outstanding: u64,
+}
+
 /// A network interface attached to one node of a [`Fabric`].
 ///
 /// Call order within a simulated cycle: the processor first interacts
@@ -214,5 +230,18 @@ pub trait Nic {
     /// default).
     fn take_failures(&mut self) -> Vec<DeliveryFailure> {
         Vec::new()
+    }
+
+    /// Connects this interface to a flight recorder. Interfaces without
+    /// protocol state to narrate (the baselines) ignore the handle — the
+    /// default.
+    fn attach_trace(&mut self, trace: TraceHandle) {
+        let _ = trace;
+    }
+
+    /// Current queue occupancies for telemetry gauges. Baselines report
+    /// zeros (the default); the NIFDY unit reports its real state.
+    fn occupancy(&self) -> NicOccupancy {
+        NicOccupancy::default()
     }
 }

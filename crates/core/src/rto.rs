@@ -56,6 +56,12 @@ impl RttEstimator {
     pub fn srtt(&self) -> Option<u64> {
         self.srtt
     }
+
+    /// The current mean deviation of the round trip (zero before the first
+    /// sample).
+    pub fn rttvar(&self) -> u64 {
+        self.rttvar
+    }
 }
 
 #[cfg(test)]

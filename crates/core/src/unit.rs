@@ -33,9 +33,12 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use nifdy_net::{AckInfo, BulkGrant, BulkTag, Fabric, Lane, Packet, Wire};
 use nifdy_sim::{Cycle, NodeId, PacketId, SimRng};
+use nifdy_trace::{trace_event, DialogEnd, EventKind, TraceHandle};
 
 use crate::config::NifdyConfig;
-use crate::nic::{Delivered, DeliveryFailure, FailureKind, Nic, NicStats, OutboundPacket};
+use crate::nic::{
+    Delivered, DeliveryFailure, FailureKind, Nic, NicOccupancy, NicStats, OutboundPacket,
+};
 use crate::rto::RttEstimator;
 
 /// Sequence numbers travel on the wire modulo this space (the paper notes
@@ -193,6 +196,10 @@ pub struct NifdyUnit {
     last_insert_bit: HashMap<NodeId, bool>,
     last_acked_bit: HashMap<NodeId, bool>,
 
+    trace: TraceHandle,
+    /// True while an eligibility stall episode is in progress (the stall
+    /// trace event is edge-triggered on entry to this state).
+    elig_stalled: bool,
     stats: NicStats,
 }
 
@@ -229,6 +236,8 @@ impl NifdyUnit {
             ack_delay: VecDeque::new(),
             last_insert_bit: HashMap::new(),
             last_acked_bit: HashMap::new(),
+            trace: TraceHandle::off(),
+            elig_stalled: false,
             stats: NicStats::default(),
             cfg,
         }
@@ -301,7 +310,20 @@ impl NifdyUnit {
     /// Feeds one RTT sample for `dst`; callers enforce Karn's rule.
     fn sample_rtt(&mut self, dst: NodeId, rtt: u64) {
         if self.cfg.adaptive_rto {
-            self.rtt.entry(dst).or_default().sample(rtt);
+            let est = self.rtt.entry(dst).or_default();
+            est.sample(rtt);
+            let (srtt, rto) = (est.srtt().unwrap_or(0), est.rto().unwrap_or(0));
+            trace_event!(
+                self.trace,
+                self.now,
+                self.node,
+                EventKind::RttSample {
+                    dst,
+                    rtt,
+                    srtt,
+                    rto,
+                }
+            );
         }
     }
 
@@ -361,12 +383,29 @@ impl NifdyUnit {
                 self.closed[slot] = None;
                 self.peer_dialog.insert(src, slot as u8);
                 self.stats.dialogs_granted.incr();
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::DialogGrant {
+                        peer: src,
+                        dialog: slot as u8,
+                    }
+                );
                 BulkGrant::Granted {
                     dialog: slot as u8,
                     window: self.cfg.window,
                 }
             }
-            None => BulkGrant::Rejected,
+            None => {
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::DialogReject { peer: src }
+                );
+                BulkGrant::Rejected
+            }
         }
     }
 
@@ -406,6 +445,15 @@ impl NifdyUnit {
                     .position(|e| e.dst == from && e.dup_bit == echo)
                 {
                     let e = self.opt.swap_remove(i);
+                    trace_event!(
+                        self.trace,
+                        self.now,
+                        self.node,
+                        EventKind::OptClear {
+                            dst: from,
+                            occupancy: self.opt.len() as u32,
+                        }
+                    );
                     if e.retries == 0 {
                         let rtt = self.now.saturating_since(e.first_sent);
                         self.sample_rtt(from, rtt);
@@ -423,6 +471,16 @@ impl NifdyUnit {
                                 exiting: false,
                                 copies: VecDeque::new(),
                             });
+                            trace_event!(
+                                self.trace,
+                                self.now,
+                                self.node,
+                                EventKind::DialogOpen {
+                                    peer: from,
+                                    dialog,
+                                    window,
+                                }
+                            );
                         }
                         if self.bulk_request_pending == Some(from) {
                             self.bulk_request_pending = None;
@@ -458,8 +516,10 @@ impl NifdyUnit {
                 if count > d.next_seq {
                     return; // acknowledges packets never sent: ignore
                 }
+                let mut advance = None;
                 if count > d.acked {
                     d.acked = count;
+                    advance = Some((count, d.next_seq - count));
                     while d.copies.front().is_some_and(|c| c.seq < count) {
                         let c = d.copies.pop_front().expect("nonempty");
                         // Karn's rule: retransmitted copies give no sample.
@@ -468,8 +528,34 @@ impl NifdyUnit {
                         }
                     }
                 }
-                if terminate || (d.exiting && d.acked == d.next_seq) {
+                let closed = terminate || (d.exiting && d.acked == d.next_seq);
+                if closed {
                     self.out_dialog = None;
+                }
+                if let Some((acked, outstanding)) = advance {
+                    trace_event!(
+                        self.trace,
+                        self.now,
+                        self.node,
+                        EventKind::WindowAdvance {
+                            peer: from,
+                            dialog,
+                            acked,
+                            outstanding,
+                        }
+                    );
+                }
+                if closed {
+                    trace_event!(
+                        self.trace,
+                        self.now,
+                        self.node,
+                        EventKind::DialogClose {
+                            peer: from,
+                            dialog,
+                            end: DialogEnd::Exit,
+                        }
+                    );
                 }
                 for s in samples {
                     self.sample_rtt(from, s);
@@ -741,6 +827,22 @@ impl NifdyUnit {
                 });
             }
             self.stats.sent_bulk.incr();
+            trace_event!(
+                self.trace,
+                self.now,
+                self.node,
+                EventKind::BulkSend {
+                    dst: out.dst,
+                    dialog: match &pkt.wire {
+                        Wire::Data {
+                            bulk: Some(tag), ..
+                        } => tag.dialog,
+                        _ => 0,
+                    },
+                    seq,
+                    exit,
+                }
+            );
         } else {
             let request = out.want_bulk
                 && self.out_dialog.is_none()
@@ -774,10 +876,34 @@ impl NifdyUnit {
                     dup_bit,
                     copy: self.cfg.retx_timeout.map(|_| pkt.clone()),
                 });
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::OptInsert {
+                        dst: out.dst,
+                        occupancy: self.opt.len() as u32,
+                    }
+                );
             }
             if request {
                 self.bulk_request_pending = Some(out.dst);
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::BulkRequest { dst: out.dst }
+                );
             }
+            trace_event!(
+                self.trace,
+                self.now,
+                self.node,
+                EventKind::ScalarSend {
+                    dst: out.dst,
+                    size_words: out.size_words,
+                }
+            );
         }
         self.stats.sent.incr();
         pkt
@@ -816,6 +942,17 @@ impl NifdyUnit {
                 self.stats.retransmitted.incr();
                 let (dst, retries) = (self.opt[i].dst, self.opt[i].retries + 1);
                 let wait = self.backoff_rto(dst, retries);
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::Retransmit {
+                        dst,
+                        rto: wait,
+                        retries,
+                        bulk: false,
+                    }
+                );
                 let e = &mut self.opt[i];
                 e.retries = retries;
                 e.sent_at = self.now;
@@ -847,6 +984,17 @@ impl NifdyUnit {
                 c.retries += 1;
                 c.last_sent = self.now;
                 c.wait = self.backoff_rto(peer, c.retries);
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::Retransmit {
+                        dst: peer,
+                        rto: c.wait,
+                        retries: c.retries,
+                        bulk: true,
+                    }
+                );
             }
             if dead {
                 self.teardown_dialog(d);
@@ -859,6 +1007,15 @@ impl NifdyUnit {
     /// Abandons a scalar packet whose retry budget is exhausted.
     fn fail_scalar(&mut self, e: OptEntry) {
         self.stats.delivery_failures.incr();
+        trace_event!(
+            self.trace,
+            self.now,
+            self.node,
+            EventKind::DeliveryFail {
+                dst: e.dst,
+                retries: e.retries,
+            }
+        );
         if self.bulk_request_pending == Some(e.dst) {
             // The abandoned packet carried the bulk request; release the
             // latch so later traffic isn't stuck awaiting a grant that will
@@ -883,6 +1040,25 @@ impl NifdyUnit {
         self.stats.delivery_failures.incr();
         self.bulk_poisoned.insert(d.peer);
         let retries = d.copies.iter().map(|c| c.retries).max().unwrap_or(0);
+        trace_event!(
+            self.trace,
+            self.now,
+            self.node,
+            EventKind::DialogClose {
+                peer: d.peer,
+                dialog: d.dialog,
+                end: DialogEnd::TornDown,
+            }
+        );
+        trace_event!(
+            self.trace,
+            self.now,
+            self.node,
+            EventKind::DeliveryFail {
+                dst: d.peer,
+                retries,
+            }
+        );
         self.failures.push(DeliveryFailure {
             src: self.node,
             dst: d.peer,
@@ -924,6 +1100,16 @@ impl NifdyUnit {
             let peer = d.peer;
             let final_count = d.expected;
             self.stats.dialogs_reclaimed.incr();
+            trace_event!(
+                self.trace,
+                self.now,
+                self.node,
+                EventKind::DialogClose {
+                    peer,
+                    dialog: slot as u8,
+                    end: DialogEnd::Reclaimed,
+                }
+            );
             self.closed[slot] = Some(ClosedDialog {
                 peer,
                 final_count,
@@ -1065,6 +1251,12 @@ impl Nic for NifdyUnit {
                 let ack = Packet::ack(id, self.node, a.dst, a.info);
                 fab.inject(self.node, ack);
                 self.stats.acks_sent.incr();
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::AckSend { dst: a.dst }
+                );
             }
         }
 
@@ -1073,9 +1265,31 @@ impl Nic for NifdyUnit {
         if fab.can_inject(self.node, Lane::Request) {
             if let Some(copy) = self.retx_queue.pop_front() {
                 fab.inject(self.node, copy);
+                self.elig_stalled = false;
             } else if let Some(i) = self.pick_eligible() {
                 let pkt = self.launch(i);
                 fab.inject(self.node, pkt);
+                self.elig_stalled = false;
+            } else if !self.pool.is_empty() {
+                // Buffered work exists but nothing may launch: every queued
+                // destination is blocked by the OPT or an exhausted window.
+                // Edge-triggered (one event per stall episode) so a long
+                // stall cannot flood the flight recorder and evict the
+                // history that explains it.
+                if !self.elig_stalled {
+                    self.elig_stalled = true;
+                    trace_event!(
+                        self.trace,
+                        self.now,
+                        self.node,
+                        EventKind::EligStall {
+                            pool: self.pool.len() as u32,
+                            opt: self.opt.len() as u32,
+                        }
+                    );
+                }
+            } else {
+                self.elig_stalled = false;
             }
         }
     }
@@ -1097,6 +1311,23 @@ impl Nic for NifdyUnit {
 
     fn take_failures(&mut self) -> Vec<DeliveryFailure> {
         std::mem::take(&mut self.failures)
+    }
+
+    fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    fn occupancy(&self) -> NicOccupancy {
+        NicOccupancy {
+            pool: self.pool.len() as u32,
+            opt: self.opt.len() as u32,
+            retx_queue: self.retx_queue.len() as u32,
+            window_outstanding: self
+                .out_dialog
+                .as_ref()
+                .map(|d| d.next_seq - d.acked)
+                .unwrap_or(0),
+        }
     }
 }
 

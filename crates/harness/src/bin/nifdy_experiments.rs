@@ -6,17 +6,26 @@
 
 use std::process::ExitCode;
 
-use nifdy_harness::{ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, sweep, table3, Scale};
+use nifdy_harness::{
+    ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, percentile_table, sweep, table3,
+    trace_guard, Scale,
+};
+use nifdy_trace::export;
 
 const USAGE: &str = "usage: nifdy-experiments \
     <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
-    |ext:adaptive|ext:loadsweep|ext:lossy> [--full|--quick|--smoke] [--seed N]";
+    |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard> \
+    [--full|--quick|--smoke] [--seed N] \
+    [--trace-out FILE.json] [--trace-jsonl FILE.jsonl] [--metrics-out FILE.json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut target = None;
     let mut scale = Scale::Full;
     let mut seed = 1u64;
+    let mut trace_out: Option<String> = None;
+    let mut trace_jsonl: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(s) = Scale::from_flag(a) {
@@ -28,6 +37,16 @@ fn main() -> ExitCode {
                     eprintln!("--seed needs an integer\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
+            }
+        } else if a == "--trace-out" || a == "--trace-jsonl" || a == "--metrics-out" {
+            let Some(path) = it.next() else {
+                eprintln!("{a} needs a file path\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            match a.as_str() {
+                "--trace-out" => trace_out = Some(path.clone()),
+                "--trace-jsonl" => trace_jsonl = Some(path.clone()),
+                _ => metrics_out = Some(path.clone()),
             }
         } else if target.is_none() {
             target = Some(a.clone());
@@ -102,6 +121,60 @@ fn main() -> ExitCode {
         let (table, _) = ext_lossy::run_lossy(scale, seed);
         println!("{table}");
         matched = true;
+    }
+    if target == "trace-guard" {
+        let report = trace_guard::run(scale, seed, 5, 2.0);
+        println!("{}", report.table());
+        if !report.passed() {
+            eprintln!(
+                "trace-guard: recorder overhead {:.2}% exceeds the {:.2}% budget",
+                report.overhead_pct, report.budget_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        matched = true;
+    }
+
+    // Flight-recorder artifacts: re-run the lossy sweep's representative
+    // cell (10% bursty loss, bulk, adaptive RTO) with the recorder on and
+    // export whatever was requested.
+    if trace_out.is_some() || trace_jsonl.is_some() || metrics_out.is_some() {
+        if !(target.starts_with("ext:lossy") || target == "ext-lossy") {
+            eprintln!("--trace-out/--trace-jsonl/--metrics-out only apply to ext:lossy\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        let (events, registry, point) = ext_lossy::run_traced_cell(scale, seed);
+        eprintln!(
+            "traced cell: loss 10% {} {}, {} packets delivered, {} events recorded",
+            point.mode,
+            point.rto,
+            point.delivered,
+            events.len()
+        );
+        println!("{}", percentile_table("ext:lossy traced cell", &registry));
+        let write = |path: &str, data: String| -> bool {
+            if let Err(e) = std::fs::write(path, data) {
+                eprintln!("cannot write {path}: {e}");
+                return false;
+            }
+            eprintln!("wrote {path}");
+            true
+        };
+        if let Some(path) = &trace_out {
+            if !write(path, export::to_chrome_trace(&events)) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &trace_jsonl {
+            if !write(path, export::to_jsonl(&events)) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &metrics_out {
+            if !write(path, registry.to_json().render()) {
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if let Some(label) = target.strip_prefix("sweep:") {

@@ -16,7 +16,9 @@
 use nifdy::{Nic, NifdyConfig, NifdyUnit, OutboundPacket};
 use nifdy_net::topology::Mesh;
 use nifdy_net::{Fabric, FabricConfig, FaultConfig, GilbertElliott, UserData};
+use nifdy_sim::metrics::LogHistogram;
 use nifdy_sim::NodeId;
+use nifdy_trace::{MetricsRegistry, TraceConfig, TraceEvent, TraceHandle};
 
 use crate::report::Table;
 use crate::scale::Scale;
@@ -41,8 +43,12 @@ pub struct LossyPoint {
     pub delivered: u64,
     /// Delivered packets per 1000 cycles, over the time to finish.
     pub goodput: f64,
+    /// Median NIC-to-processor delivery latency, cycles.
+    pub p50_latency: u64,
     /// 99th-percentile NIC-to-processor delivery latency, cycles.
     pub p99_latency: u64,
+    /// 99.9th-percentile NIC-to-processor delivery latency, cycles.
+    pub p999_latency: u64,
     /// Total retransmissions across all nodes.
     pub retransmitted: u64,
 }
@@ -53,13 +59,25 @@ pub struct LossyPoint {
 ///
 /// Panics if any packet is delivered out of order or twice — the sweep
 /// doubles as an end-to-end protocol check under loss.
-fn lossy_cell(bulk: bool, adaptive: bool, loss_pct: u32, count: u32, seed: u64) -> LossyPoint {
+fn lossy_cell(
+    bulk: bool,
+    adaptive: bool,
+    loss_pct: u32,
+    count: u32,
+    seed: u64,
+    trace: TraceHandle,
+    mut registry: Option<&mut MetricsRegistry>,
+) -> LossyPoint {
+    /// Cycles between occupancy-gauge samples when a registry is attached.
+    const GAUGE_PERIOD: u64 = 256;
+
     let mut fcfg = FabricConfig::default().with_seed(seed);
     if loss_pct > 0 {
         let ge = GilbertElliott::with_mean_loss(f64::from(loss_pct) / 100.0);
         fcfg = fcfg.with_fault(FaultConfig::default().with_burst(ge));
     }
     let mut fab = Fabric::new(Box::new(Mesh::d2(8, 8)), fcfg);
+    fab.attach_trace(trace.clone());
     let base = NifdyConfig::mesh().with_retx_timeout(FIXED_RTO);
     let ncfg = if adaptive {
         base.with_adaptive_rto(true)
@@ -67,13 +85,17 @@ fn lossy_cell(bulk: bool, adaptive: bool, loss_pct: u32, count: u32, seed: u64) 
         base
     };
     let mut nics: Vec<NifdyUnit> = (0..NODES)
-        .map(|i| NifdyUnit::new(NodeId::new(i), ncfg.clone()))
+        .map(|i| {
+            let mut nic = NifdyUnit::new(NodeId::new(i), ncfg.clone());
+            nic.attach_trace(trace.clone());
+            nic
+        })
         .collect();
 
     let partner = |i: usize| NodeId::new((i + NODES / 2) % NODES);
     let mut offered = vec![0u32; NODES];
     let mut expected = vec![0u32; NODES];
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut latencies = LogHistogram::default();
     let total = u64::from(count) * NODES as u64;
     let mut delivered = 0u64;
     let limit = u64::from(count) * 30_000 + 200_000;
@@ -81,6 +103,23 @@ fn lossy_cell(bulk: bool, adaptive: bool, loss_pct: u32, count: u32, seed: u64) 
 
     while fab.now().as_u64() < limit {
         let now = fab.now();
+        if let Some(reg) = registry.as_deref_mut() {
+            if now.as_u64().is_multiple_of(GAUGE_PERIOD) {
+                let mut occ = nifdy::NicOccupancy::default();
+                for nic in &nics {
+                    let o = nic.occupancy();
+                    occ.pool = occ.pool.max(o.pool);
+                    occ.opt = occ.opt.max(o.opt);
+                    occ.retx_queue = occ.retx_queue.max(o.retx_queue);
+                    occ.window_outstanding = occ.window_outstanding.max(o.window_outstanding);
+                }
+                reg.gauge("occupancy.pool.max", now, f64::from(occ.pool));
+                reg.gauge("occupancy.opt.max", now, f64::from(occ.opt));
+                reg.gauge("occupancy.retx_queue.max", now, f64::from(occ.retx_queue));
+                reg.gauge("occupancy.window.max", now, occ.window_outstanding as f64);
+                reg.gauge("fabric.in_flight", now, fab.in_network() as f64);
+            }
+        }
         for (i, nic) in nics.iter_mut().enumerate() {
             if offered[i] < count {
                 let user = UserData {
@@ -113,7 +152,7 @@ fn lossy_cell(bulk: bool, adaptive: bool, loss_pct: u32, count: u32, seed: u64) 
                     "out-of-order or duplicate delivery at node {i}"
                 );
                 expected[i] += 1;
-                latencies.push(now.as_u64().saturating_sub(d.user.msg_id));
+                latencies.record(now.as_u64().saturating_sub(d.user.msg_id));
                 delivered += 1;
             }
         }
@@ -123,12 +162,10 @@ fn lossy_cell(bulk: bool, adaptive: bool, loss_pct: u32, count: u32, seed: u64) 
         }
     }
 
-    latencies.sort_unstable();
-    let p99 = if latencies.is_empty() {
-        0
-    } else {
-        latencies[(latencies.len() - 1) * 99 / 100]
-    };
+    if let Some(reg) = registry {
+        reg.merge_histogram("delivery_latency.cycles", &latencies);
+        reg.merge_histogram("fabric_latency.cycles", &fab.stats().latency_hist);
+    }
     let retransmitted = nics.iter().map(|n| n.stats().retransmitted.get()).sum();
     LossyPoint {
         mode: if bulk { "bulk" } else { "scalar" },
@@ -136,7 +173,9 @@ fn lossy_cell(bulk: bool, adaptive: bool, loss_pct: u32, count: u32, seed: u64) 
         loss_pct,
         delivered,
         goodput: delivered as f64 * 1000.0 / finish.max(1) as f64,
-        p99_latency: p99,
+        p50_latency: latencies.p50(),
+        p99_latency: latencies.p99(),
+        p999_latency: latencies.p999(),
         retransmitted,
     }
 }
@@ -156,7 +195,9 @@ pub fn run_lossy(scale: Scale, seed: u64) -> (Table, Vec<LossyPoint>) {
             "rto".into(),
             "delivered".into(),
             "goodput pkt/kcyc".into(),
-            "p99 latency".into(),
+            "p50 lat".into(),
+            "p99 lat".into(),
+            "p99.9 lat".into(),
             "retx".into(),
         ],
     );
@@ -164,14 +205,24 @@ pub fn run_lossy(scale: Scale, seed: u64) -> (Table, Vec<LossyPoint>) {
     for loss_pct in [0u32, 2, 5, 10, 20] {
         for bulk in [false, true] {
             for adaptive in [false, true] {
-                let p = lossy_cell(bulk, adaptive, loss_pct, count, seed);
+                let p = lossy_cell(
+                    bulk,
+                    adaptive,
+                    loss_pct,
+                    count,
+                    seed,
+                    TraceHandle::off(),
+                    None,
+                );
                 table.row(vec![
                     p.loss_pct.to_string(),
                     p.mode.into(),
                     p.rto.into(),
                     p.delivered.to_string(),
                     format!("{:.2}", p.goodput),
+                    p.p50_latency.to_string(),
                     p.p99_latency.to_string(),
+                    p.p999_latency.to_string(),
                     p.retransmitted.to_string(),
                 ]);
                 points.push(p);
@@ -179,6 +230,38 @@ pub fn run_lossy(scale: Scale, seed: u64) -> (Table, Vec<LossyPoint>) {
         }
     }
     (table, points)
+}
+
+/// One fixed cell of the sweep — 5% bursty loss, scalar mode, adaptive RTO —
+/// with the given trace handle attached. This is the workload the
+/// tracing-overhead guard ([`crate::trace_guard`]) times with the handle
+/// disconnected versus recording-but-unsampled.
+pub fn run_guard_workload(scale: Scale, seed: u64, trace: TraceHandle) -> LossyPoint {
+    let count = scale.count(1_000) as u32;
+    lossy_cell(false, true, 5, count, seed, trace, None)
+}
+
+/// Re-runs the sweep's most interesting cell — 10% bursty loss, bulk mode,
+/// adaptive RTO — with a flight recorder attached to every layer and a
+/// metrics registry collecting latency histograms and occupancy gauges.
+///
+/// Returns the time-ordered event snapshot, the populated registry, and the
+/// cell's summary point. This is what the `--trace-out` / `--metrics-out`
+/// flags of the experiments binary export.
+pub fn run_traced_cell(scale: Scale, seed: u64) -> (Vec<TraceEvent>, MetricsRegistry, LossyPoint) {
+    let count = scale.count(1_000) as u32;
+    let trace = TraceHandle::recording(TraceConfig::default());
+    let mut registry = MetricsRegistry::new();
+    let point = lossy_cell(
+        true,
+        true,
+        10,
+        count,
+        seed,
+        trace.clone(),
+        Some(&mut registry),
+    );
+    (trace.snapshot(), registry, point)
 }
 
 #[cfg(test)]

@@ -38,7 +38,8 @@ mod report;
 mod scale;
 pub mod sweep;
 pub mod table3;
+pub mod trace_guard;
 
 pub use networks::NetworkKind;
-pub use report::{fault_summary, heat_map, Table};
+pub use report::{fault_summary, heat_map, percentile_table, Table};
 pub use scale::Scale;

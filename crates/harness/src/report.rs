@@ -4,6 +4,7 @@
 use std::fmt;
 
 use nifdy_net::FabricStats;
+use nifdy_trace::MetricsRegistry;
 
 /// A rendered result table.
 ///
@@ -102,6 +103,49 @@ pub fn fault_summary(title: &str, stats: &FabricStats) -> Table {
         t.row(vec![cause.into(), counter.get().to_string()]);
     }
     t.row(vec!["total".into(), stats.dropped.get().to_string()]);
+    t
+}
+
+/// Renders every latency histogram of a metrics registry as a percentile
+/// table (count, p50/p90/p99/p99.9, max), for experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_harness::percentile_table;
+/// use nifdy_trace::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// for v in 1..=1000 {
+///     reg.record("latency.cycles", v);
+/// }
+/// let t = percentile_table("demo", &reg);
+/// assert!(t.to_string().contains("latency.cycles"));
+/// ```
+pub fn percentile_table(title: &str, registry: &MetricsRegistry) -> Table {
+    let mut t = Table::new(
+        format!("{title}: latency percentiles (cycles)"),
+        vec![
+            "histogram".into(),
+            "count".into(),
+            "p50".into(),
+            "p90".into(),
+            "p99".into(),
+            "p99.9".into(),
+            "max".into(),
+        ],
+    );
+    for row in registry.percentile_rows() {
+        t.row(vec![
+            row.name,
+            row.count.to_string(),
+            row.p50.to_string(),
+            row.p90.to_string(),
+            row.p99.to_string(),
+            row.p999.to_string(),
+            row.max.to_string(),
+        ]);
+    }
     t
 }
 

@@ -11,8 +11,9 @@
 
 use std::collections::VecDeque;
 
-use nifdy_sim::metrics::{Counter, Stats};
+use nifdy_sim::metrics::{Counter, LogHistogram, Stats};
 use nifdy_sim::{Cycle, NodeId, SimRng};
+use nifdy_trace::{trace_event, DropReason, EventKind, TraceHandle};
 
 use crate::config::{FabricConfig, SwitchingPolicy};
 use crate::fault::{DropCause, FaultPlane};
@@ -171,6 +172,9 @@ pub struct FabricStats {
     pub dropped_targeted: Counter,
     /// Injection-to-delivery latency of request-lane packets, in cycles.
     pub latency: Stats,
+    /// Log-bucketed latency histogram of request-lane packets (quantile
+    /// estimation: p50/p90/p99/p999).
+    pub latency_hist: LogHistogram,
 }
 
 impl FabricStats {
@@ -182,6 +186,32 @@ impl FabricStats {
             DropCause::Burst => self.dropped_burst.incr(),
             DropCause::LinkDown => self.dropped_link_down.incr(),
             DropCause::Targeted => self.dropped_targeted.incr(),
+        }
+    }
+
+    /// The drop counter matching a trace [`DropReason`], for counter/event
+    /// parity checks.
+    pub fn dropped_by_reason(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::Uniform => self.dropped_uniform.get(),
+            DropReason::Data => self.dropped_data.get(),
+            DropReason::Ack => self.dropped_ack.get(),
+            DropReason::Burst => self.dropped_burst.get(),
+            DropReason::LinkDown => self.dropped_link_down.get(),
+            DropReason::Targeted => self.dropped_targeted.get(),
+        }
+    }
+}
+
+/// The trace-layer mirror of a fault-plane [`DropCause`].
+impl From<DropCause> for DropReason {
+    fn from(cause: DropCause) -> DropReason {
+        match cause {
+            DropCause::Data => DropReason::Data,
+            DropCause::Ack => DropReason::Ack,
+            DropCause::Burst => DropReason::Burst,
+            DropCause::LinkDown => DropReason::LinkDown,
+            DropCause::Targeted => DropReason::Targeted,
         }
     }
 }
@@ -220,6 +250,7 @@ pub struct Fabric {
     now: Cycle,
     rng: SimRng,
     faults: FaultPlane,
+    trace: TraceHandle,
     stats: FabricStats,
     pending_per_dst: Vec<u32>,
     route_buf: Vec<Candidate>,
@@ -324,6 +355,7 @@ impl Fabric {
             now: Cycle::ZERO,
             rng: SimRng::from_seed_stream(seed, 0xFAB),
             faults,
+            trace: TraceHandle::off(),
             stats: FabricStats::default(),
             pending_per_dst: vec![0; num_nodes],
             route_buf: Vec::with_capacity(8),
@@ -365,6 +397,14 @@ impl Fabric {
     #[inline]
     pub fn fault_plane(&self) -> &FaultPlane {
         &self.faults
+    }
+
+    /// Connects the fabric to a flight recorder: edge drops (with their
+    /// cause) and completed deliveries (with their latency) are logged as
+    /// [`EventKind::Drop`] / [`EventKind::Deliver`] events on the receiving
+    /// node's track.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Number of packets currently inside the fabric (including ejection
@@ -580,18 +620,51 @@ impl Fabric {
         if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
             self.stats.dropped.incr();
             self.stats.dropped_uniform.incr();
+            trace_event!(
+                self.trace,
+                self.now,
+                packet.dst,
+                EventKind::Drop {
+                    src: packet.src,
+                    dst: packet.dst,
+                    ack: lane == Lane::Reply,
+                    cause: DropReason::Uniform,
+                }
+            );
             return;
         }
         if let Some(cause) = self.faults.judge(self.now, &packet) {
             self.stats.count_fault_drop(cause);
+            trace_event!(
+                self.trace,
+                self.now,
+                packet.dst,
+                EventKind::Drop {
+                    src: packet.src,
+                    dst: packet.dst,
+                    ack: lane == Lane::Reply,
+                    cause: cause.into(),
+                }
+            );
             return;
         }
         self.stats.delivered[lane.index()].incr();
+        let latency = self.now.saturating_since(packet.stamp.injected);
         if lane == Lane::Request {
-            self.stats
-                .latency
-                .record(self.now.saturating_since(packet.stamp.injected) as f64);
+            self.stats.latency.record(latency as f64);
+            self.stats.latency_hist.record(latency);
         }
+        trace_event!(
+            self.trace,
+            self.now,
+            packet.dst,
+            EventKind::Deliver {
+                src: packet.src,
+                dst: packet.dst,
+                ack: lane == Lane::Reply,
+                latency,
+            }
+        );
         // Ready-queue capacity was reserved when the head flit was granted
         // the ejection port (`eject_has_room`), so this never overflows.
         self.nodes[node].ready[lane.index()].push_back(packet);

@@ -293,8 +293,9 @@ pub struct FaultPlane {
 }
 
 impl FaultPlane {
-    /// Builds the plane for `cfg`, drawing randomness from stream
-    /// [`FAULT_STREAM`] of `seed`.
+    /// Builds the plane for `cfg`, drawing randomness from the plane's own
+    /// dedicated stream of `seed` (so enabling faults never perturbs the
+    /// fabric's legacy drop lottery).
     pub fn new(cfg: FaultConfig, seed: u64) -> Self {
         let active = cfg.is_active();
         FaultPlane {

@@ -1,0 +1,407 @@
+//! Ring-buffered flight recorder and the shareable [`TraceHandle`].
+//!
+//! The simulator is single-threaded and cycle-synchronous, so the recorder
+//! is shared as `Rc<RefCell<_>>` — no atomics, no locks. Every instrumented
+//! component holds a cheap [`TraceHandle`] clone; with the `trace` cargo
+//! feature disabled the handle is a zero-sized stub whose
+//! [`is_enabled`](TraceHandle::is_enabled) is a constant `false`, so the
+//! `trace_event!` macro's branch (and the event payload expression inside
+//! it) is statically dead code.
+
+use std::collections::VecDeque;
+
+#[cfg(feature = "trace")]
+use std::cell::RefCell;
+#[cfg(feature = "trace")]
+use std::rc::Rc;
+
+use nifdy_sim::{Cycle, NodeId};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Bounds and sampling for a recording session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity per node; the oldest events are evicted first. The
+    /// flight-recorder dump on a watchdog trip shows at most this many
+    /// events for the wedged node.
+    pub capacity_per_node: usize,
+    /// Record every `sample_every`-th *frequent* event per node (sends, OPT
+    /// churn, deliveries, RTT samples). Rare events — drops, retransmits,
+    /// dialog lifecycle, failures, watchdog fires — always record, so loss
+    /// accounting stays exact under sampling. `1` records everything;
+    /// `u64::MAX` suppresses all frequent events (the overhead-guard
+    /// configuration).
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity_per_node: 4096,
+            sample_every: 1,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Default bounds: 4096 events per node, no sampling.
+    pub fn new() -> Self {
+        TraceConfig::default()
+    }
+
+    /// Sets the per-node ring capacity.
+    pub fn with_capacity_per_node(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        self.capacity_per_node = cap;
+        self
+    }
+
+    /// Sets the sampling stride for frequent events.
+    pub fn with_sample_every(mut self, stride: u64) -> Self {
+        assert!(stride > 0, "sampling stride must be positive");
+        self.sample_every = stride;
+        self
+    }
+}
+
+/// Per-node ring state.
+#[derive(Debug, Default)]
+struct NodeRing {
+    ring: VecDeque<TraceEvent>,
+    /// Frequent events offered to this ring so far (sampling clock).
+    frequent_seen: u64,
+    /// Events evicted from the ring after it filled.
+    evicted: u64,
+    /// Frequent events skipped by the sampling stride.
+    sampled_out: u64,
+}
+
+/// The event store: one bounded ring per node plus global ordering state.
+#[derive(Debug)]
+pub struct Recorder {
+    cfg: TraceConfig,
+    nodes: Vec<NodeRing>,
+    next_seq: u64,
+}
+
+impl Recorder {
+    /// Creates a recorder with the given bounds.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Recorder {
+            cfg,
+            nodes: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn ring_mut(&mut self, node: NodeId) -> &mut NodeRing {
+        let idx = node.index();
+        if idx >= self.nodes.len() {
+            self.nodes.resize_with(idx + 1, NodeRing::default);
+        }
+        &mut self.nodes[idx]
+    }
+
+    /// Records one event, honoring sampling (frequent kinds only) and the
+    /// per-node ring bound.
+    pub fn record(&mut self, at: Cycle, node: NodeId, kind: EventKind) {
+        let stride = self.cfg.sample_every;
+        let cap = self.cfg.capacity_per_node;
+        let seq = self.next_seq;
+        let ring = self.ring_mut(node);
+        if !kind.is_rare() {
+            let tick = ring.frequent_seen;
+            ring.frequent_seen += 1;
+            if !tick.is_multiple_of(stride) {
+                ring.sampled_out += 1;
+                return;
+            }
+        }
+        self.next_seq += 1;
+        let ring = &mut self.nodes[node.index()];
+        if ring.ring.len() == cap {
+            ring.ring.pop_front();
+            ring.evicted += 1;
+        }
+        ring.ring.push_back(TraceEvent {
+            seq,
+            at,
+            node,
+            kind,
+        });
+    }
+
+    /// Total events currently held across all rings.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().map(|n| n.ring.len()).sum()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by ring bounds, across all nodes.
+    pub fn evicted(&self) -> u64 {
+        self.nodes.iter().map(|n| n.evicted).sum()
+    }
+
+    /// Frequent events skipped by the sampling stride, across all nodes.
+    pub fn sampled_out(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sampled_out).sum()
+    }
+
+    /// All retained events merged into one global time order (cycle, then
+    /// record sequence as the same-cycle tiebreak).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.ring.iter().copied())
+            .collect();
+        out.sort_by_key(|e| (e.at.as_u64(), e.seq));
+        out
+    }
+
+    /// The last up-to-`n` events retained for `node`, oldest first — the
+    /// flight-recorder dump for a wedged unit.
+    pub fn last_events(&self, node: NodeId, n: usize) -> Vec<TraceEvent> {
+        match self.nodes.get(node.index()) {
+            None => Vec::new(),
+            Some(ring) => {
+                let skip = ring.ring.len().saturating_sub(n);
+                ring.ring.iter().skip(skip).copied().collect()
+            }
+        }
+    }
+}
+
+/// A cheap, cloneable handle to a shared [`Recorder`] — or to nothing.
+///
+/// Instrumented components store one of these and call it through the
+/// [`trace_event!`](crate::trace_event) macro. Three states:
+///
+/// * feature `trace` **off**: zero-sized; recording is statically impossible,
+/// * [`TraceHandle::off`]: present but disconnected (`is_enabled()` is a
+///   dynamic `false`, one branch per call site),
+/// * [`TraceHandle::recording`]: connected to a live recorder.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    #[cfg(feature = "trace")]
+    inner: Option<Rc<RefCell<Recorder>>>,
+}
+
+impl TraceHandle {
+    /// A disconnected handle: every record call is a cheap no-op.
+    pub fn off() -> Self {
+        TraceHandle::default()
+    }
+
+    /// A handle connected to a fresh recorder with the given bounds.
+    /// Clones share the same recorder.
+    #[cfg(feature = "trace")]
+    pub fn recording(cfg: TraceConfig) -> Self {
+        TraceHandle {
+            inner: Some(Rc::new(RefCell::new(Recorder::new(cfg)))),
+        }
+    }
+
+    /// With the `trace` feature off, recording handles cannot exist; this
+    /// stub keeps caller code compiling unchanged.
+    #[cfg(not(feature = "trace"))]
+    pub fn recording(_cfg: TraceConfig) -> Self {
+        TraceHandle::default()
+    }
+
+    /// Whether events will actually be stored. With the `trace` feature off
+    /// this is a constant `false`, making `trace_event!` bodies dead code.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Records one event. Call through [`trace_event!`](crate::trace_event)
+    /// so disabled handles skip evaluating the event payload entirely.
+    #[inline]
+    pub fn record(&self, at: Cycle, node: NodeId, kind: EventKind) {
+        #[cfg(feature = "trace")]
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().record(at, node, kind);
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (at, node, kind);
+        }
+    }
+
+    /// A merged, time-ordered snapshot of all retained events (empty when
+    /// disconnected or the feature is off).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        #[cfg(feature = "trace")]
+        {
+            match &self.inner {
+                Some(rec) => rec.borrow().snapshot(),
+                None => Vec::new(),
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// The last up-to-`n` events for `node`, oldest first (empty when
+    /// disconnected).
+    pub fn last_events(&self, node: NodeId, n: usize) -> Vec<TraceEvent> {
+        #[cfg(feature = "trace")]
+        {
+            match &self.inner {
+                Some(rec) => rec.borrow().last_events(node, n),
+                None => Vec::new(),
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (node, n);
+            Vec::new()
+        }
+    }
+
+    /// Events currently retained (0 when disconnected).
+    pub fn recorded(&self) -> usize {
+        #[cfg(feature = "trace")]
+        {
+            match &self.inner {
+                Some(rec) => rec.borrow().len(),
+                None => 0,
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+
+    /// Events evicted by ring bounds (0 when disconnected).
+    pub fn evicted(&self) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            match &self.inner {
+                Some(rec) => rec.borrow().evicted(),
+                None => 0,
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    fn send(dst: usize) -> EventKind {
+        EventKind::ScalarSend {
+            dst: NodeId::new(dst),
+            size_words: 8,
+        }
+    }
+
+    fn drop_ev() -> EventKind {
+        EventKind::Drop {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            ack: false,
+            cause: DropReason::Uniform,
+        }
+    }
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let h = TraceHandle::off();
+        assert!(!h.is_enabled());
+        h.record(Cycle::new(1), NodeId::new(0), send(1));
+        assert_eq!(h.recorded(), 0);
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest() {
+        let h = TraceHandle::recording(TraceConfig::new().with_capacity_per_node(3));
+        for c in 0..5u64 {
+            h.record(Cycle::new(c), NodeId::new(0), send(1));
+        }
+        let events = h.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at, Cycle::new(2));
+        assert_eq!(h.evicted(), 2);
+    }
+
+    #[test]
+    fn sampling_keeps_rare_events_exact() {
+        let h = TraceHandle::recording(TraceConfig::new().with_sample_every(10));
+        for c in 0..100u64 {
+            h.record(Cycle::new(c), NodeId::new(0), send(1));
+            h.record(Cycle::new(c), NodeId::new(0), drop_ev());
+        }
+        let events = h.snapshot();
+        let drops = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Drop { .. }))
+            .count();
+        let sends = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ScalarSend { .. }))
+            .count();
+        assert_eq!(drops, 100, "rare events must bypass sampling");
+        assert_eq!(sends, 10, "frequent events honor the stride");
+    }
+
+    #[test]
+    fn snapshot_merges_nodes_in_time_order() {
+        let h = TraceHandle::recording(TraceConfig::new());
+        h.record(Cycle::new(5), NodeId::new(1), send(0));
+        h.record(Cycle::new(2), NodeId::new(0), send(1));
+        h.record(Cycle::new(5), NodeId::new(0), send(1));
+        let events = h.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at, Cycle::new(2));
+        // Same-cycle tiebreak follows record order.
+        assert_eq!(events[1].node, NodeId::new(1));
+        assert_eq!(events[2].node, NodeId::new(0));
+    }
+
+    #[test]
+    fn last_events_returns_the_tail() {
+        let h = TraceHandle::recording(TraceConfig::new());
+        for c in 0..10u64 {
+            h.record(Cycle::new(c), NodeId::new(3), send(1));
+        }
+        let tail = h.last_events(NodeId::new(3), 4);
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].at, Cycle::new(6));
+        assert_eq!(tail[3].at, Cycle::new(9));
+        assert!(h.last_events(NodeId::new(99), 4).is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let h = TraceHandle::recording(TraceConfig::new());
+        let h2 = h.clone();
+        h.record(Cycle::new(1), NodeId::new(0), send(1));
+        h2.record(Cycle::new(2), NodeId::new(1), send(0));
+        assert_eq!(h.recorded(), 2);
+        assert_eq!(h2.recorded(), 2);
+    }
+}

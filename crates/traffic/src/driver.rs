@@ -1,9 +1,13 @@
 //! The simulation driver: one fabric, one NIC and one processor per node,
 //! all stepped cycle-synchronously, with global barrier coordination.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use nifdy::{BufferedNic, DeliveryFailure, Nic, NifdyConfig, NifdyUnit, PlainNic};
 use nifdy_net::Fabric;
 use nifdy_sim::{NodeId, StallWatchdog};
+use nifdy_trace::{trace_event, EventKind, MetricsRegistry, TraceHandle};
 
 use crate::processor::{NodeWorkload, ProcEvent, Processor};
 use crate::SoftwareModel;
@@ -59,6 +63,9 @@ pub struct Driver {
     barrier_cost: u64,
     watchdog: Option<StallWatchdog>,
     failures: Vec<DeliveryFailure>,
+    trace: TraceHandle,
+    metrics: Option<Rc<RefCell<MetricsRegistry>>>,
+    gauge_period: u64,
 }
 
 impl Driver {
@@ -85,6 +92,9 @@ impl Driver {
             barrier_cost: 40,
             watchdog: None,
             failures: Vec::new(),
+            trace: TraceHandle::off(),
+            metrics: None,
+            gauge_period: 1_000,
         }
     }
 
@@ -104,6 +114,40 @@ impl Driver {
     pub fn with_stall_watchdog(mut self, limit: u64) -> Self {
         self.watchdog = Some(StallWatchdog::new(limit, self.nics.len()));
         self
+    }
+
+    /// Connects a flight recorder to every layer: the fabric (drop and
+    /// delivery events) and each interface (protocol events). The driver
+    /// keeps a handle too, so a tripped stall watchdog can dump the wedged
+    /// node's recent history into its panic message.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.fab.attach_trace(trace.clone());
+        for nic in &mut self.nics {
+            nic.attach_trace(trace.clone());
+        }
+        self.trace = trace;
+        self
+    }
+
+    /// Streams cycle-sampled occupancy gauges (buffer pool, OPT,
+    /// retransmission queue, bulk window, fabric in-flight) into `registry`
+    /// every `period` cycles. Values are the maximum across nodes — the
+    /// congestion signal the paper's admission-control argument turns on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_metrics(mut self, registry: Rc<RefCell<MetricsRegistry>>, period: u64) -> Self {
+        assert!(period > 0, "gauge period must be positive");
+        self.metrics = Some(registry);
+        self.gauge_period = period;
+        self
+    }
+
+    /// The flight-recorder handle attached with [`with_trace`](Self::with_trace)
+    /// (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Typed delivery failures surfaced by the interfaces so far (retry
@@ -140,6 +184,24 @@ impl Driver {
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         let now = self.fab.now();
+        if let Some(reg) = &self.metrics {
+            if now.as_u64().is_multiple_of(self.gauge_period) {
+                let mut occ = nifdy::NicOccupancy::default();
+                for nic in &self.nics {
+                    let o = nic.occupancy();
+                    occ.pool = occ.pool.max(o.pool);
+                    occ.opt = occ.opt.max(o.opt);
+                    occ.retx_queue = occ.retx_queue.max(o.retx_queue);
+                    occ.window_outstanding = occ.window_outstanding.max(o.window_outstanding);
+                }
+                let mut reg = reg.borrow_mut();
+                reg.gauge("occupancy.pool.max", now, f64::from(occ.pool));
+                reg.gauge("occupancy.opt.max", now, f64::from(occ.opt));
+                reg.gauge("occupancy.retx_queue.max", now, f64::from(occ.retx_queue));
+                reg.gauge("occupancy.window.max", now, occ.window_outstanding as f64);
+                reg.gauge("fabric.in_flight", now, self.fab.in_network() as f64);
+            }
+        }
         for i in 0..self.procs.len() {
             let ev = self.procs[i].step(self.nics[i].as_mut(), self.wls[i].as_mut(), now);
             debug_assert!(matches!(ev, ProcEvent::None | ProcEvent::EnteredBarrier));
@@ -159,7 +221,19 @@ impl Driver {
             if let Some(dog) = &mut self.watchdog {
                 let fp = nic.stats().progress_fingerprint();
                 if let Some(report) = dog.observe(i, now, fp, !nic.is_idle()) {
-                    panic!("stall watchdog tripped: {report}");
+                    let node = NodeId::new(i);
+                    trace_event!(
+                        self.trace,
+                        now,
+                        node,
+                        EventKind::WatchdogFire {
+                            unit: report.unit as u32,
+                            since: report.since,
+                            fingerprint: report.fingerprint,
+                        }
+                    );
+                    let dump = flight_recorder_dump(&self.trace, node);
+                    panic!("stall watchdog tripped: {report}{dump}");
                 }
             }
         }
@@ -198,6 +272,22 @@ impl Driver {
         }
         false
     }
+}
+
+/// Formats the wedged node's recent flight-recorder history (oldest first)
+/// for a stall-watchdog panic message. Empty when no recorder is attached.
+fn flight_recorder_dump(trace: &TraceHandle, node: NodeId) -> String {
+    const DUMP_EVENTS: usize = 32;
+    let events = trace.last_events(node, DUMP_EVENTS);
+    if events.is_empty() {
+        return String::new();
+    }
+    let mut s = format!("\nflight recorder, node {node} (oldest first):");
+    for ev in &events {
+        s.push_str("\n  ");
+        s.push_str(&ev.to_string());
+    }
+    s
 }
 
 #[cfg(test)]
@@ -316,6 +406,80 @@ mod tests {
         )
         .with_stall_watchdog(5_000);
         let _ = d.run_until_quiet(1_000_000);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn attached_recorder_captures_protocol_events() {
+        use nifdy_trace::TraceConfig;
+
+        let trace = TraceHandle::recording(TraceConfig::default());
+        let registry = Rc::new(RefCell::new(MetricsRegistry::new()));
+        let mut d = ring_driver(NicChoice::Nifdy(NifdyConfig::mesh()))
+            .with_trace(trace.clone())
+            .with_metrics(registry.clone(), 100);
+        assert!(d.run_until_quiet(3_000_000), "did not drain");
+
+        let events = trace.snapshot();
+        assert!(!events.is_empty(), "recorder saw nothing");
+        let names: std::collections::BTreeSet<&str> =
+            events.iter().map(|e| e.kind.name()).collect();
+        for expected in [
+            "scalar_send",
+            "opt_insert",
+            "opt_clear",
+            "ack_send",
+            "deliver",
+        ] {
+            assert!(names.contains(expected), "missing {expected} in {names:?}");
+        }
+        // Cycle-sampled gauges made it into the registry.
+        let json = registry.borrow().to_json();
+        let rendered = json.render();
+        assert!(rendered.contains("occupancy.opt.max"), "{rendered}");
+        assert!(rendered.contains("fabric.in_flight"), "{rendered}");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn watchdog_panic_carries_a_flight_recorder_dump() {
+        use nifdy_trace::TraceConfig;
+
+        let fab = Fabric::new(
+            Box::new(Mesh::d2(4, 4)),
+            FabricConfig::default().with_drop_prob(1.0),
+        );
+        let wls: Vec<Box<dyn NodeWorkload>> = (0..16)
+            .map(|i| -> Box<dyn NodeWorkload> {
+                Box::new(RingBurst {
+                    node: i,
+                    n: 16,
+                    sent: 0,
+                    count: 2,
+                    did_barrier: true,
+                })
+            })
+            .collect();
+        let mut d = Driver::new(
+            fab,
+            &NicChoice::Nifdy(NifdyConfig::mesh()),
+            SoftwareModel::synthetic(),
+            wls,
+        )
+        .with_stall_watchdog(5_000)
+        .with_trace(TraceHandle::recording(TraceConfig::default()));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = d.run_until_quiet(1_000_000);
+        }))
+        .expect_err("watchdog must trip under total loss");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.starts_with("stall watchdog tripped"), "{msg}");
+        assert!(msg.contains("flight recorder"), "{msg}");
+        assert!(msg.contains("ScalarSend"), "{msg}");
+        assert!(msg.contains("EligStall"), "{msg}");
     }
 
     #[test]
