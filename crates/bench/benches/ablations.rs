@@ -26,7 +26,8 @@ fn cshift_run(cfg: NifdyConfig) -> (u64, u64) {
     let fab = Fabric::new(kind.topology(nodes, SEED), kind.fabric_config(SEED));
     let sw = SoftwareModel::cm5_library(false);
     let wl = CShiftConfig::new(45, sw);
-    let mut d = Driver::new(fab, &NicChoice::Nifdy(cfg), sw, wl.build(nodes));
+    let mut d =
+        Driver::new(fab, &NicChoice::Nifdy(cfg), sw, wl.build(nodes)).expect("driver builds");
     assert!(d.run_until_quiet(10_000_000), "C-shift stuck");
     let acks: u64 = (0..nodes).map(|n| d.nic(n).stats().acks_sent.get()).sum();
     (d.fabric().now().as_u64(), acks)
@@ -80,8 +81,14 @@ fn ablation_ack_timing(c: &mut Criterion) {
 fn ablation_window_acks(c: &mut Criterion) {
     // W = 8 so the combined policy acks every 4 packets; the CM-5 preset's
     // W = 2 would make the two policies identical.
-    let combined = NifdyConfig::new(8, 8, 1, 8);
-    let per_packet = NifdyConfig::new(8, 8, 1, 8).with_bulk_ack_every_packet(true);
+    let combined = NifdyConfig::builder()
+        .opt_entries(8)
+        .pool_entries(8)
+        .max_dialogs(1)
+        .window(8)
+        .build()
+        .expect("bench parameters are valid");
+    let per_packet = combined.clone().with_bulk_ack_every_packet(true);
     let (t_comb, acks_comb) = cshift_run(combined.clone());
     let (t_pp, acks_pp) = cshift_run(per_packet.clone());
     println!("== ablation: combined vs per-packet bulk acks (C-shift, CM-5) ==");

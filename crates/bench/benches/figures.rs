@@ -4,14 +4,14 @@
 //! regressions in simulation throughput are caught.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nifdy_harness::{fig23, fig4, fig5, fig6, fig78, fig9, NetworkKind, Scale};
+use nifdy_harness::{fig23, fig4, fig5, fig6, fig78, fig9, Jobs, NetworkKind, Scale};
 use nifdy_traffic::NicChoice;
 
 const SCALE: Scale = Scale::Smoke;
 const SEED: u64 = 1;
 
 fn bench_fig2(c: &mut Criterion) {
-    let (table, _) = fig23::run(true, SCALE, SEED);
+    let (table, _) = fig23::run(true, SCALE, SEED, Jobs::serial());
     println!("{table}");
     let preset = NetworkKind::Mesh2D.nifdy_preset();
     c.bench_function("fig2/mesh-2d/nifdy", |b| {
@@ -28,7 +28,7 @@ fn bench_fig2(c: &mut Criterion) {
 }
 
 fn bench_fig3(c: &mut Criterion) {
-    let (table, _) = fig23::run(false, SCALE, SEED);
+    let (table, _) = fig23::run(false, SCALE, SEED, Jobs::serial());
     println!("{table}");
     let preset = NetworkKind::FatTree.nifdy_preset();
     c.bench_function("fig3/fat-tree/nifdy", |b| {
@@ -45,12 +45,18 @@ fn bench_fig3(c: &mut Criterion) {
 }
 
 fn bench_fig4(c: &mut Criterion) {
-    let (b_panel, o_panel, _) = fig4::run(SCALE, SEED);
+    let (b_panel, o_panel, _) = fig4::run(SCALE, SEED, Jobs::serial());
     println!("{b_panel}");
     println!("{o_panel}");
     // Time a single cell (the full sweep above is printed once; timing it
     // per-iteration would take minutes per sample).
-    let cfg = nifdy::NifdyConfig::new(8, 8, 0, 2);
+    let cfg = nifdy::NifdyConfig::builder()
+        .opt_entries(8)
+        .pool_entries(8)
+        .max_dialogs(0)
+        .window(2)
+        .build()
+        .expect("bench parameters are valid");
     c.bench_function("fig4/one-cell-64-nodes", |b| {
         b.iter(|| {
             fig23::run_cell(
@@ -65,7 +71,7 @@ fn bench_fig4(c: &mut Criterion) {
 }
 
 fn bench_fig5(c: &mut Criterion) {
-    let (maps, _, _) = fig5::run(SCALE, SEED);
+    let (maps, _, _) = fig5::run(SCALE, SEED, Jobs::serial());
     println!("{maps}");
     c.bench_function("fig5/cshift-congestion-trace", |b| {
         b.iter(|| fig5::run_one(&NicChoice::Plain, SCALE, SEED).finish)
@@ -73,7 +79,7 @@ fn bench_fig5(c: &mut Criterion) {
 }
 
 fn bench_fig6(c: &mut Criterion) {
-    let (table, _) = fig6::run(SCALE, SEED);
+    let (table, _) = fig6::run(SCALE, SEED, Jobs::serial());
     println!("{table}");
     c.bench_function("fig6/one-config", |b| {
         b.iter(|| fig5::run_one(&NicChoice::Plain, SCALE, SEED).finish)
@@ -81,7 +87,7 @@ fn bench_fig6(c: &mut Criterion) {
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    let (table, _) = fig78::run(true, SCALE, SEED);
+    let (table, _) = fig78::run(true, SCALE, SEED, Jobs::serial());
     println!("{table}");
     let preset = NetworkKind::FatTree.nifdy_preset();
     c.bench_function("fig7/fat-tree/nifdy", |b| {
@@ -99,7 +105,7 @@ fn bench_fig7(c: &mut Criterion) {
 }
 
 fn bench_fig8(c: &mut Criterion) {
-    let (table, _) = fig78::run(false, SCALE, SEED);
+    let (table, _) = fig78::run(false, SCALE, SEED, Jobs::serial());
     println!("{table}");
     let preset = NetworkKind::Mesh2D.nifdy_preset();
     c.bench_function("fig8/mesh-2d/nifdy", |b| {
@@ -117,7 +123,7 @@ fn bench_fig8(c: &mut Criterion) {
 }
 
 fn bench_fig9(c: &mut Criterion) {
-    let (scan, coalesce, _) = fig9::run(SCALE, SEED);
+    let (scan, coalesce, _) = fig9::run(SCALE, SEED, Jobs::serial());
     println!("{scan}");
     println!("{coalesce}");
     let preset = NetworkKind::SfFatTree.nifdy_preset();

@@ -2,10 +2,10 @@
 //! its `T_lat` column.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nifdy_harness::{table3, NetworkKind};
+use nifdy_harness::{table3, Jobs, NetworkKind};
 
 fn bench_table3(c: &mut Criterion) {
-    let (table, _) = table3::run(1);
+    let (table, _) = table3::run(1, Jobs::serial());
     println!("{table}");
     c.bench_function("table3/probe-latency/mesh-2d", |b| {
         b.iter(|| table3::probe_latency(NetworkKind::Mesh2D, 1))
@@ -13,7 +13,9 @@ fn bench_table3(c: &mut Criterion) {
     c.bench_function("table3/probe-latency/fat-tree", |b| {
         b.iter(|| table3::probe_latency(NetworkKind::FatTree, 1))
     });
-    c.bench_function("table3/full-profile", |b| b.iter(|| table3::run(1).1.len()));
+    c.bench_function("table3/full-profile", |b| {
+        b.iter(|| table3::run(1, Jobs::serial()).1.len())
+    });
 }
 
 criterion_group! {

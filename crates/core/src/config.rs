@@ -1,5 +1,99 @@
 //! NIFDY unit configuration: the four paper parameters plus extensions.
 
+use std::fmt;
+
+/// A violated [`NifdyConfig`] constraint, reported by
+/// [`NifdyConfig::validate`] and [`NifdyConfigBuilder::build`].
+///
+/// Every variant names the parameter at fault, so callers sweeping
+/// parameter grids can match on the reason instead of parsing a panic
+/// string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `O = 0`: the OPT needs at least one entry.
+    ZeroOptEntries,
+    /// `B = 0`: the outgoing pool needs at least one buffer.
+    ZeroPoolEntries,
+    /// The arrivals FIFO needs at least one slot.
+    ZeroArrivalsCapacity,
+    /// `W < 2` with bulk dialogs enabled (acks cover half-windows).
+    WindowTooSmall {
+        /// The rejected window.
+        window: u8,
+    },
+    /// `W` odd with bulk dialogs enabled (acks cover half-windows).
+    WindowOdd {
+        /// The rejected window.
+        window: u8,
+    },
+    /// `W > 64`: too large for the wire sequence space.
+    WindowTooLarge {
+        /// The rejected window.
+        window: u8,
+    },
+    /// `retx_timeout = Some(0)` would retransmit every cycle.
+    ZeroRetxTimeout,
+    /// `retx_budget = Some(0)` would fail every packet on its first
+    /// timeout.
+    ZeroRetxBudget,
+    /// `adaptive_rto` without a `retx_timeout` to seed the initial RTO.
+    AdaptiveRtoWithoutTimeout,
+    /// RTO bounds must satisfy `1 <= rto_min <= rto_max`.
+    BadRtoBounds {
+        /// Configured floor.
+        min: u64,
+        /// Configured cap.
+        max: u64,
+    },
+    /// The retransmission staging queue needs at least one slot.
+    ZeroRetxQueueCap,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroOptEntries => write!(f, "the OPT needs at least one entry"),
+            ConfigError::ZeroPoolEntries => {
+                write!(f, "the outgoing pool needs at least one buffer")
+            }
+            ConfigError::ZeroArrivalsCapacity => {
+                write!(f, "the arrivals FIFO needs at least one slot")
+            }
+            ConfigError::WindowTooSmall { window } => {
+                write!(f, "bulk dialogs need a window of at least 2 (got {window})")
+            }
+            ConfigError::WindowOdd { window } => write!(
+                f,
+                "the window must be even (acks cover half-windows; got {window})"
+            ),
+            ConfigError::WindowTooLarge { window } => {
+                write!(f, "window {window} too large for the wire sequence space")
+            }
+            ConfigError::ZeroRetxTimeout => write!(
+                f,
+                "retx_timeout of 0 would retransmit every cycle and flood the fabric"
+            ),
+            ConfigError::ZeroRetxBudget => write!(
+                f,
+                "a retry budget of 0 would fail every packet on its first timeout"
+            ),
+            ConfigError::AdaptiveRtoWithoutTimeout => {
+                write!(f, "adaptive_rto needs a retx_timeout as the initial RTO")
+            }
+            ConfigError::BadRtoBounds { min, max } => write!(
+                f,
+                "rto bounds must satisfy 1 <= rto_min <= rto_max (got {min}..{max})"
+            ),
+            ConfigError::ZeroRetxQueueCap => {
+                write!(f, "the retransmission queue needs at least one slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of a [`NifdyUnit`](crate::NifdyUnit).
 ///
 /// The paper tunes NIFDY to each network with four parameters:
@@ -19,7 +113,13 @@
 ///
 /// let cfg = NifdyConfig::fat_tree();
 /// assert_eq!((cfg.opt_entries, cfg.pool_entries), (8, 8));
-/// let custom = NifdyConfig::new(4, 4, 1, 2);
+/// let custom = NifdyConfig::builder()
+///     .opt_entries(4)
+///     .pool_entries(4)
+///     .max_dialogs(1)
+///     .window(2)
+///     .build()
+///     .expect("valid parameters");
 /// assert_eq!(custom.window, 2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +200,16 @@ pub struct NifdyConfig {
 }
 
 impl NifdyConfig {
+    /// Starts a validating builder pre-loaded with the paper's summary
+    /// recommendation (`O = 8, B = 16, D = 1, W = 8`); override whichever
+    /// parameters the experiment sweeps and call
+    /// [`build`](NifdyConfigBuilder::build).
+    pub fn builder() -> NifdyConfigBuilder {
+        NifdyConfigBuilder {
+            cfg: NifdyConfig::base(8, 16, 1, 8),
+        }
+    }
+
     /// Creates a configuration with the four paper parameters and defaults
     /// for everything else.
     ///
@@ -107,8 +217,22 @@ impl NifdyConfig {
     ///
     /// Panics if the parameters are inconsistent (see
     /// [`NifdyConfig::validate`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use NifdyConfig::builder(), which reports a typed ConfigError instead of panicking"
+    )]
     pub fn new(opt_entries: u8, pool_entries: u8, max_dialogs: u8, window: u8) -> Self {
-        let cfg = NifdyConfig {
+        let cfg = NifdyConfig::base(opt_entries, pool_entries, max_dialogs, window);
+        if let Err(e) = cfg.validate() {
+            panic!("invalid NIFDY config: {e}");
+        }
+        cfg
+    }
+
+    /// The unvalidated parameter record behind both the builder and the
+    /// deprecated positional constructor.
+    fn base(opt_entries: u8, pool_entries: u8, max_dialogs: u8, window: u8) -> Self {
+        NifdyConfig {
             opt_entries,
             pool_entries,
             max_dialogs,
@@ -126,49 +250,53 @@ impl NifdyConfig {
             retx_budget: None,
             retx_queue_cap: 64,
             bulk_request_min_backlog: 1,
-        };
-        if let Err(e) = cfg.validate() {
-            panic!("invalid NIFDY config: {e}");
         }
+    }
+
+    /// A validated preset; the values come from the paper, so failure is a
+    /// programming error.
+    fn preset(o: u8, b: u8, d: u8, w: u8) -> Self {
+        let cfg = NifdyConfig::base(o, b, d, w);
+        debug_assert_eq!(cfg.validate(), Ok(()), "paper preset must validate");
         cfg
     }
 
     /// Conservative preset for low-volume, low-bisection wormhole meshes
     /// (§2.4.3: `O = 4, B = 4, D = 1, W = 2`).
     pub fn mesh() -> Self {
-        NifdyConfig::new(4, 4, 1, 2)
+        NifdyConfig::preset(4, 4, 1, 2)
     }
 
     /// Generous preset for the full 4-ary fat tree (§2.4.3: "making the OPT
     /// large (O = 8) and the buffer pool large (B = 8)"; window sized by
     /// Equation 3).
     pub fn fat_tree() -> Self {
-        NifdyConfig::new(8, 8, 1, 4)
+        NifdyConfig::preset(8, 8, 1, 4)
     }
 
     /// Preset for the CM-5-like fat tree: "smaller bulk windows than the
     /// full fat tree even though the round-trip latency is twice as great",
     /// because of its smaller volume and bisection bandwidth.
     pub fn cm5() -> Self {
-        NifdyConfig::new(8, 8, 1, 2)
+        NifdyConfig::preset(8, 8, 1, 2)
     }
 
     /// Preset for the store-and-forward fat tree: per-hop latency of a full
     /// packet store makes the round trip enormous (~400 cycles), so Equation
     /// 3 calls for a deep window: `W >= 2·(400/60 − 1) ≈ 12`.
     pub fn store_and_forward_fat_tree() -> Self {
-        NifdyConfig::new(8, 16, 1, 12)
+        NifdyConfig::preset(8, 16, 1, 12)
     }
 
     /// Preset for the butterfly: "the only network where it is best to have
     /// no bulk dialogs" (three-hop round trips, no alternative paths).
     pub fn butterfly() -> Self {
-        NifdyConfig::new(8, 8, 0, 2)
+        NifdyConfig::preset(8, 8, 0, 2)
     }
 
     /// Preset for tori: mesh-like volume with wraparound links.
     pub fn torus() -> Self {
-        NifdyConfig::new(4, 4, 1, 2)
+        NifdyConfig::preset(4, 4, 1, 2)
     }
 
     /// Builder: acknowledge on FIFO insert (ablation of footnote 2).
@@ -248,46 +376,138 @@ impl NifdyConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ConfigError`].
+    /// Note that when `max_dialogs` is zero, bulk mode is disabled and the
+    /// window parameter is ignored entirely — no window constraint applies.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.opt_entries == 0 {
-            return Err("the OPT needs at least one entry".into());
+            return Err(ConfigError::ZeroOptEntries);
         }
         if self.pool_entries == 0 {
-            return Err("the outgoing pool needs at least one buffer".into());
+            return Err(ConfigError::ZeroPoolEntries);
         }
         if self.arrivals_capacity == 0 {
-            return Err("the arrivals FIFO needs at least one slot".into());
+            return Err(ConfigError::ZeroArrivalsCapacity);
         }
         if self.max_dialogs > 0 {
             if self.window < 2 {
-                return Err("bulk dialogs need a window of at least 2".into());
+                return Err(ConfigError::WindowTooSmall {
+                    window: self.window,
+                });
             }
             if !self.window.is_multiple_of(2) {
-                return Err("the window must be even (acks cover half-windows)".into());
+                return Err(ConfigError::WindowOdd {
+                    window: self.window,
+                });
             }
             if self.window > 64 {
-                return Err("window too large for the wire sequence space".into());
+                return Err(ConfigError::WindowTooLarge {
+                    window: self.window,
+                });
             }
         }
         if self.retx_timeout == Some(0) {
-            return Err(
-                "retx_timeout of 0 would retransmit every cycle and flood the fabric".into(),
-            );
+            return Err(ConfigError::ZeroRetxTimeout);
         }
         if self.retx_budget == Some(0) {
-            return Err("a retry budget of 0 would fail every packet on its first timeout".into());
+            return Err(ConfigError::ZeroRetxBudget);
         }
         if self.adaptive_rto && self.retx_timeout.is_none() {
-            return Err("adaptive_rto needs a retx_timeout as the initial RTO".into());
+            return Err(ConfigError::AdaptiveRtoWithoutTimeout);
         }
         if self.rto_min == 0 || self.rto_min > self.rto_max {
-            return Err("rto bounds must satisfy 1 <= rto_min <= rto_max".into());
+            return Err(ConfigError::BadRtoBounds {
+                min: self.rto_min,
+                max: self.rto_max,
+            });
         }
         if self.retx_queue_cap == 0 {
-            return Err("the retransmission queue needs at least one slot".into());
+            return Err(ConfigError::ZeroRetxQueueCap);
         }
         Ok(())
+    }
+}
+
+/// Validating builder for [`NifdyConfig`], created by
+/// [`NifdyConfig::builder`].
+///
+/// Unlike the deprecated positional `NifdyConfig::new(o, b, d, w)` — four
+/// anonymous `u8`s that are easy to transpose — each parameter is set by
+/// name, and [`build`](NifdyConfigBuilder::build) reports the first
+/// violated constraint as a typed [`ConfigError`] instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy::{ConfigError, NifdyConfig};
+///
+/// let cfg = NifdyConfig::builder()
+///     .opt_entries(8)
+///     .pool_entries(8)
+///     .max_dialogs(1)
+///     .window(4)
+///     .build()
+///     .expect("valid");
+/// assert_eq!(cfg.total_buffers(), 8 + 4 + 2);
+///
+/// // An odd window is rejected with a typed error...
+/// let err = NifdyConfig::builder().window(3).build().unwrap_err();
+/// assert_eq!(err, ConfigError::WindowOdd { window: 3 });
+///
+/// // ...unless bulk dialogs are disabled, which makes W irrelevant.
+/// assert!(NifdyConfig::builder()
+///     .max_dialogs(0)
+///     .window(3)
+///     .build()
+///     .is_ok());
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the validated NifdyConfig"]
+pub struct NifdyConfigBuilder {
+    cfg: NifdyConfig,
+}
+
+impl NifdyConfigBuilder {
+    /// Sets `O`, the outstanding packet table size.
+    pub fn opt_entries(mut self, o: u8) -> Self {
+        self.cfg.opt_entries = o;
+        self
+    }
+
+    /// Sets `B`, the outgoing buffer-pool size.
+    pub fn pool_entries(mut self, b: u8) -> Self {
+        self.cfg.pool_entries = b;
+        self
+    }
+
+    /// Sets `D`, the maximum concurrent incoming bulk dialogs. Zero
+    /// disables bulk mode, making the window parameter irrelevant.
+    pub fn max_dialogs(mut self, d: u8) -> Self {
+        self.cfg.max_dialogs = d;
+        self
+    }
+
+    /// Sets `W`, the per-dialog sliding-window size. Ignored (and exempt
+    /// from validation) when `max_dialogs` is zero.
+    pub fn window(mut self, w: u8) -> Self {
+        self.cfg.window = w;
+        self
+    }
+
+    /// Overrides the arrivals FIFO capacity.
+    pub fn arrivals_capacity(mut self, cap: u8) -> Self {
+        self.cfg.arrivals_capacity = cap;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (see [`ConfigError`]).
+    pub fn build(self) -> Result<NifdyConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -297,7 +517,7 @@ impl Default for NifdyConfig {
     /// with a window of 8 were more than enough resources for even large
     /// machines".
     fn default() -> Self {
-        NifdyConfig::new(8, 16, 1, 8)
+        NifdyConfig::preset(8, 16, 1, 8)
     }
 }
 
@@ -322,16 +542,65 @@ mod tests {
 
     #[test]
     fn total_buffers_counts_pool_window_and_arrivals() {
-        let cfg = NifdyConfig::new(4, 4, 1, 2);
+        let cfg = NifdyConfig::mesh();
         assert_eq!(cfg.total_buffers(), 4 + 2 + 2);
-        let no_bulk = NifdyConfig::new(8, 8, 0, 2);
+        let no_bulk = NifdyConfig::butterfly();
         assert_eq!(no_bulk.total_buffers(), 8 + 2);
     }
 
     #[test]
-    #[should_panic(expected = "window must be even")]
-    fn odd_windows_rejected() {
-        let _ = NifdyConfig::new(4, 4, 1, 3);
+    fn builder_rejects_odd_windows_with_a_typed_error() {
+        let err = NifdyConfig::builder()
+            .opt_entries(4)
+            .pool_entries(4)
+            .max_dialogs(1)
+            .window(3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::WindowOdd { window: 3 });
+    }
+
+    #[test]
+    fn builder_ignores_window_when_bulk_disabled() {
+        // D = 0 disables bulk mode entirely, so W is exempt from the
+        // even/minimum constraints.
+        let cfg = NifdyConfig::builder()
+            .max_dialogs(0)
+            .window(7)
+            .build()
+            .expect("W irrelevant without dialogs");
+        assert_eq!(cfg.max_dialogs, 0);
+    }
+
+    #[test]
+    fn builder_reports_each_constraint() {
+        let err = NifdyConfig::builder().opt_entries(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroOptEntries);
+        let err = NifdyConfig::builder().pool_entries(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPoolEntries);
+        let err = NifdyConfig::builder()
+            .arrivals_capacity(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroArrivalsCapacity);
+        let err = NifdyConfig::builder()
+            .max_dialogs(1)
+            .window(66)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::WindowTooLarge { window: 66 });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_shim_still_panics_on_bad_input() {
+        // The one-release compatibility shim keeps the old contract:
+        // positional parameters, panic on violation.
+        let ok = NifdyConfig::new(4, 4, 1, 2);
+        assert_eq!(ok, NifdyConfig::mesh());
+        let panicked = std::panic::catch_unwind(|| NifdyConfig::new(4, 4, 1, 3));
+        let msg = *panicked.unwrap_err().downcast::<String>().expect("string");
+        assert!(msg.contains("window must be even"), "{msg}");
     }
 
     #[test]

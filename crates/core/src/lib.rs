@@ -66,7 +66,7 @@ mod rto;
 mod unit;
 
 pub use baseline::{BufferedNic, PlainNic};
-pub use config::NifdyConfig;
+pub use config::{ConfigError, NifdyConfig, NifdyConfigBuilder};
 pub use nic::{
     Delivered, DeliveryFailure, FailureKind, Nic, NicOccupancy, NicStats, OutboundPacket,
 };

@@ -195,7 +195,12 @@ pub struct NicOccupancy {
 /// Call order within a simulated cycle: the processor first interacts
 /// ([`try_send`](Nic::try_send) / [`poll`](Nic::poll)), then the NIC runs
 /// [`step`](Nic::step), then the fabric steps.
-pub trait Nic {
+///
+/// `Send` is a supertrait so a fully assembled simulation replica (driver,
+/// fabric, boxed NICs) can be moved onto a worker thread by the parallel
+/// experiment executor. Implementations are plain owned state, so this
+/// costs nothing.
+pub trait Nic: Send {
     /// The node this interface serves.
     fn node(&self) -> NodeId;
 

@@ -1341,13 +1341,25 @@ mod tests {
         NifdyUnit::new(NodeId::new(0), cfg)
     }
 
+    /// Test shorthand for the four headline parameters; panics on invalid
+    /// combinations, which is what a test wants.
+    fn params(o: u8, b: u8, d: u8, w: u8) -> NifdyConfig {
+        NifdyConfig::builder()
+            .opt_entries(o)
+            .pool_entries(b)
+            .max_dialogs(d)
+            .window(w)
+            .build()
+            .expect("test parameters must be valid")
+    }
+
     fn fabric() -> Fabric {
         Fabric::new(Box::new(Mesh::d2(2, 2)), FabricConfig::default())
     }
 
     #[test]
     fn grant_is_idempotent_for_the_same_peer() {
-        let mut u = unit(NifdyConfig::new(4, 4, 2, 4));
+        let mut u = unit(params(4, 4, 2, 4));
         let peer = NodeId::new(3);
         let g1 = u.decide_grant(true, peer);
         let g2 = u.decide_grant(true, peer);
@@ -1361,7 +1373,7 @@ mod tests {
 
     #[test]
     fn grants_stop_at_the_dialog_limit() {
-        let mut u = unit(NifdyConfig::new(4, 4, 2, 4));
+        let mut u = unit(params(4, 4, 2, 4));
         assert!(matches!(
             u.decide_grant(true, NodeId::new(1)),
             BulkGrant::Granted { .. }
@@ -1379,7 +1391,7 @@ mod tests {
 
     #[test]
     fn bulk_ack_reconstruction_handles_wraparound() {
-        let mut u = unit(NifdyConfig::new(4, 4, 1, 8));
+        let mut u = unit(params(4, 4, 1, 8));
         let peer = NodeId::new(2);
         u.out_dialog = Some(OutDialog {
             peer,
@@ -1414,7 +1426,7 @@ mod tests {
 
     #[test]
     fn bulk_ack_never_acknowledges_unsent_packets() {
-        let mut u = unit(NifdyConfig::new(4, 4, 1, 8));
+        let mut u = unit(params(4, 4, 1, 8));
         let peer = NodeId::new(2);
         u.out_dialog = Some(OutDialog {
             peer,
@@ -1439,7 +1451,7 @@ mod tests {
 
     #[test]
     fn exiting_dialog_closes_on_final_ack() {
-        let mut u = unit(NifdyConfig::new(4, 4, 1, 4));
+        let mut u = unit(params(4, 4, 1, 4));
         let peer = NodeId::new(1);
         u.out_dialog = Some(OutDialog {
             peer,
@@ -1507,7 +1519,7 @@ mod tests {
 
     #[test]
     fn out_of_window_bulk_arrivals_are_dropped_and_reacked() {
-        let mut u = unit(NifdyConfig::new(4, 4, 1, 4));
+        let mut u = unit(params(4, 4, 1, 4));
         let peer = NodeId::new(3);
         let grant = u.decide_grant(true, peer);
         let BulkGrant::Granted { dialog, .. } = grant else {
@@ -1541,7 +1553,7 @@ mod tests {
 
     #[test]
     fn pool_rejects_when_full_and_counts_it() {
-        let mut u = unit(NifdyConfig::new(2, 2, 0, 2));
+        let mut u = unit(params(2, 2, 0, 2));
         let now = Cycle::ZERO;
         assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), now));
         assert!(u.try_send(OutboundPacket::new(NodeId::new(2), 8), now));
@@ -1551,7 +1563,7 @@ mod tests {
 
     #[test]
     fn eligibility_respects_fifo_per_destination() {
-        let mut u = unit(NifdyConfig::new(4, 4, 0, 2));
+        let mut u = unit(params(4, 4, 0, 2));
         let now = Cycle::ZERO;
         // Two packets to node 1, one to node 2.
         assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), now));
@@ -1569,7 +1581,7 @@ mod tests {
 
     #[test]
     fn no_ack_packets_are_always_eligible() {
-        let mut u = unit(NifdyConfig::new(1, 4, 0, 2));
+        let mut u = unit(params(1, 4, 0, 2));
         let now = Cycle::ZERO;
         assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), now));
         let _ = u.launch(u.pick_eligible().expect("first"));
@@ -1681,11 +1693,7 @@ mod tests {
 
     #[test]
     fn bulk_budget_exhaustion_tears_down_and_poisons() {
-        let mut u = unit(
-            NifdyConfig::new(4, 4, 1, 4)
-                .with_retx_timeout(10)
-                .with_retx_budget(1),
-        );
+        let mut u = unit(params(4, 4, 1, 4).with_retx_timeout(10).with_retx_budget(1));
         let peer = NodeId::new(3);
         let mut pkt = Packet::data(PacketId::new(9), NodeId::new(0), peer, 8);
         pkt.wire = Wire::Data {
@@ -1729,11 +1737,7 @@ mod tests {
 
     #[test]
     fn poisoned_peers_fall_back_to_scalar() {
-        let mut u = unit(
-            NifdyConfig::new(8, 8, 1, 4)
-                .with_retx_timeout(10)
-                .with_retx_budget(1),
-        );
+        let mut u = unit(params(8, 8, 1, 4).with_retx_timeout(10).with_retx_budget(1));
         let dst = NodeId::new(2);
         u.bulk_poisoned.insert(dst);
         for _ in 0..4 {
@@ -1790,11 +1794,7 @@ mod tests {
 
     #[test]
     fn silent_granted_dialog_is_reclaimed() {
-        let mut u = unit(
-            NifdyConfig::new(4, 4, 1, 4)
-                .with_retx_timeout(10)
-                .with_retx_budget(2),
-        );
+        let mut u = unit(params(4, 4, 1, 4).with_retx_timeout(10).with_retx_budget(2));
         let peer = NodeId::new(3);
         assert!(matches!(
             u.decide_grant(true, peer),

@@ -146,7 +146,13 @@ fn build_fabric(sc: &Scenario) -> Fabric {
 
 fn run_scenario(sc: Scenario) {
     let mut fab = build_fabric(&sc);
-    let mut nic_cfg = NifdyConfig::new(sc.o, sc.b, 1, sc.w);
+    let mut nic_cfg = NifdyConfig::builder()
+        .opt_entries(sc.o)
+        .pool_entries(sc.b)
+        .max_dialogs(1)
+        .window(sc.w)
+        .build()
+        .expect("generated scenario parameters must be valid");
     if sc.drop || sc.burst_pct > 0 || sc.ack_drop_pct > 0 {
         nic_cfg = nic_cfg.with_retx_timeout(2_500);
     }

@@ -561,7 +561,13 @@ fn opt_full_blocks_new_destinations_until_acks_return() {
     // O = 1: a second destination may not launch while the first is
     // unacknowledged, but must launch afterwards.
     let fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
-    let cfg = NifdyConfig::new(1, 4, 0, 2);
+    let cfg = NifdyConfig::builder()
+        .opt_entries(1)
+        .pool_entries(4)
+        .max_dialogs(0)
+        .window(2)
+        .build()
+        .expect("valid test config");
     let mut bed = Bed::new(fab, move |n| NifdyUnit::new(n, cfg.clone()));
     let mut got = sink(16);
     assert!(bed.nics[0].try_send(msg(15, 0, 1, false), bed.fab.now()));
@@ -602,7 +608,18 @@ fn reorder_window_is_genuinely_exercised_on_the_fat_tree() {
             .with_vc_buf_flits(8)
             .with_seed(3),
     );
-    let mut bed = Bed::new(fab, |n| NifdyUnit::new(n, NifdyConfig::new(8, 8, 1, 8)));
+    let mut bed = Bed::new(fab, |n| {
+        NifdyUnit::new(
+            n,
+            NifdyConfig::builder()
+                .opt_entries(8)
+                .pool_entries(8)
+                .max_dialogs(1)
+                .window(8)
+                .build()
+                .expect("valid test config"),
+        )
+    });
     let mut got = sink(64);
     let total = 150u32;
     let mut queued = 0u32;

@@ -8,14 +8,14 @@ use std::process::ExitCode;
 
 use nifdy_harness::{
     ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, percentile_table, sweep, table3,
-    trace_guard, Scale,
+    trace_guard, Jobs, Scale,
 };
 use nifdy_trace::export;
 
 const USAGE: &str = "usage: nifdy-experiments \
     <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
     |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard> \
-    [--full|--quick|--smoke] [--seed N] \
+    [--full|--quick|--smoke] [--seed N] [--jobs N] \
     [--trace-out FILE.json] [--trace-jsonl FILE.jsonl] [--metrics-out FILE.json]";
 
 fn main() -> ExitCode {
@@ -23,6 +23,7 @@ fn main() -> ExitCode {
     let mut target = None;
     let mut scale = Scale::Full;
     let mut seed = 1u64;
+    let mut jobs = Jobs::available();
     let mut trace_out: Option<String> = None;
     let mut trace_jsonl: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -35,6 +36,14 @@ fn main() -> ExitCode {
                 Some(v) => seed = v,
                 None => {
                     eprintln!("--seed needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--jobs" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = Jobs::new(v),
+                None => {
+                    eprintln!("--jobs needs a worker count\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -69,56 +78,56 @@ fn main() -> ExitCode {
     };
 
     if want("table3") {
-        let (table, _) = table3::run(seed);
+        let (table, _) = table3::run(seed, jobs);
         println!("{table}");
     }
     if want("fig2") {
-        let (table, _) = fig23::run(true, scale, seed);
+        let (table, _) = fig23::run(true, scale, seed, jobs);
         println!("{table}");
     }
     if want("fig3") {
-        let (table, _) = fig23::run(false, scale, seed);
+        let (table, _) = fig23::run(false, scale, seed, jobs);
         println!("{table}");
     }
     if want("fig4") {
-        let (b_panel, o_panel, _) = fig4::run(scale, seed);
+        let (b_panel, o_panel, _) = fig4::run(scale, seed, jobs);
         println!("{b_panel}");
         println!("{o_panel}");
     }
     if want("fig5") {
-        let (maps, _, _) = fig5::run(scale, seed);
+        let (maps, _, _) = fig5::run(scale, seed, jobs);
         println!("{maps}");
     }
     if want("fig6") {
-        let (table, _) = fig6::run(scale, seed);
+        let (table, _) = fig6::run(scale, seed, jobs);
         println!("{table}");
     }
     if want("fig7") {
-        let (table, _) = fig78::run(true, scale, seed);
+        let (table, _) = fig78::run(true, scale, seed, jobs);
         println!("{table}");
     }
     if want("fig8") {
-        let (table, _) = fig78::run(false, scale, seed);
+        let (table, _) = fig78::run(false, scale, seed, jobs);
         println!("{table}");
     }
     if want("fig9") {
-        let (scan, coalesce, _) = fig9::run(scale, seed);
+        let (scan, coalesce, _) = fig9::run(scale, seed, jobs);
         println!("{scan}");
         println!("{coalesce}");
     }
 
     if target == "ext:adaptive" {
-        let (table, _) = ext::run_adaptive(scale, seed);
+        let (table, _) = ext::run_adaptive(scale, seed, jobs);
         println!("{table}");
         matched = true;
     }
     if target == "ext:loadsweep" {
-        let (table, _) = ext::run_loadsweep(scale, seed);
+        let (table, _) = ext::run_loadsweep(scale, seed, jobs);
         println!("{table}");
         matched = true;
     }
     if target == "ext:lossy" || target == "ext-lossy" {
-        let (table, _) = ext_lossy::run_lossy(scale, seed);
+        let (table, _) = ext_lossy::run_lossy(scale, seed, jobs);
         println!("{table}");
         matched = true;
     }
@@ -180,7 +189,7 @@ fn main() -> ExitCode {
     if let Some(label) = target.strip_prefix("sweep:") {
         match sweep::kind_from_label(label) {
             Some(kind) => {
-                let (table, _) = sweep::run(kind, scale, seed);
+                let (table, _) = sweep::run(kind, scale, seed, jobs);
                 println!("{table}");
                 matched = true;
             }

@@ -1,0 +1,193 @@
+//! Parallel experiment execution: fan independent cells across worker
+//! threads and reassemble results in canonical order.
+//!
+//! Every figure cell, sweep point, and loss-rate setting of the paper's
+//! evaluation is an independent simulation, so the runners hand their cell
+//! lists to [`map`] and the tables come out byte-identical at any job
+//! count. Determinism rests on two rules:
+//!
+//! * cell seeds come from [`cell_seed`] — a pure hash of
+//!   `(experiment, cell index, base seed)` — never from execution order;
+//! * results land in a slot per cell, so assembly order is the input order
+//!   regardless of which worker finishes first.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads an experiment run may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jobs(NonZeroUsize);
+
+impl Jobs {
+    /// Exactly one worker: fully sequential execution.
+    pub fn serial() -> Self {
+        Jobs(NonZeroUsize::MIN)
+    }
+
+    /// `n` workers; zero is clamped to one.
+    pub fn new(n: usize) -> Self {
+        Jobs(NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// One worker per available core (the `--jobs` default), or one if the
+    /// parallelism cannot be determined.
+    pub fn available() -> Self {
+        std::thread::available_parallelism()
+            .map(Jobs)
+            .unwrap_or_else(|_| Jobs::serial())
+    }
+
+    /// The worker count.
+    pub fn get(&self) -> usize {
+        self.0.get()
+    }
+}
+
+impl Default for Jobs {
+    fn default() -> Self {
+        Jobs::available()
+    }
+}
+
+/// Derives the seed for one experiment cell from the experiment name, the
+/// cell's index in the grid, and the run's base seed.
+///
+/// The derivation is a pure function (FNV-1a over the name, then
+/// splitmix64-style finalization mixing in index and base), so a cell's
+/// seed does not depend on which worker runs it or when. Cells that must
+/// see identical randomness for a paper-fair comparison — the three NIC
+/// choices of one figure row, say — share an index.
+pub fn cell_seed(experiment: &str, index: u64, base: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in experiment.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h = splitmix(h ^ splitmix(index.wrapping_add(0x9e37_79b9_7f4a_7c15)));
+    splitmix(h ^ splitmix(base))
+}
+
+/// The splitmix64 finalizer: a bijective avalanche mix.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `f` over every item, on up to `jobs` scoped worker threads, and
+/// returns the results in input order. `f` receives the item and its index.
+///
+/// With one job (or one item) this degenerates to a plain sequential loop
+/// on the calling thread — no threads are spawned, so `--jobs 1` is the
+/// exact legacy execution. A panic in any cell propagates to the caller
+/// once all workers have stopped.
+pub fn map<T, R, F>(jobs: Jobs, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T, usize) -> R + Sync,
+{
+    let workers = jobs.get().min(items.len());
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(item, i))
+            .collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each work slot is taken exactly once");
+                let r = f(item, i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            }));
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order_at_any_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = map(Jobs::new(jobs), items.clone(), |v, i| {
+                assert_eq!(v, i as u64, "item/index pairing broken");
+                v * v
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_item_lists() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map(Jobs::new(4), empty, |v, _| v).is_empty());
+        assert_eq!(map(Jobs::new(4), vec![9], |v, _| v + 1), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 3 exploded")]
+    fn map_propagates_worker_panics() {
+        map(Jobs::new(4), (0..8).collect::<Vec<_>>(), |v, _| {
+            if v == 3 {
+                panic!("cell {v} exploded");
+            }
+            v
+        });
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Jobs::new(0).get(), 1);
+        assert_eq!(Jobs::serial().get(), 1);
+        assert!(Jobs::available().get() >= 1);
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let a = cell_seed("fig2", 0, 1);
+        assert_eq!(a, cell_seed("fig2", 0, 1), "must be a pure function");
+        assert_ne!(a, cell_seed("fig3", 0, 1), "experiment must matter");
+        assert_ne!(a, cell_seed("fig2", 1, 1), "index must matter");
+        assert_ne!(a, cell_seed("fig2", 0, 2), "base seed must matter");
+    }
+}

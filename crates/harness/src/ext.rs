@@ -6,11 +6,9 @@
 //! * [`run_loadsweep`] — the §1 *operating range* curve: delivered
 //!   throughput and latency as offered load rises, with and without NIFDY.
 
-use nifdy_net::topology::{AdaptiveMesh, Mesh};
-use nifdy_net::{Fabric, FabricConfig};
-use nifdy_traffic::{Driver, NicChoice, OpenLoopConfig, SoftwareModel, SyntheticConfig};
+use nifdy_traffic::{NetworkKind, NicChoice, OpenLoopConfig, Scenario, SyntheticConfig};
 
-use crate::networks::NetworkKind;
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -28,23 +26,23 @@ pub struct AdaptivePoint {
 }
 
 fn synthetic_cell(adaptive: bool, choice: &NicChoice, heavy: bool, scale: Scale, seed: u64) -> u64 {
-    let fab = if adaptive {
-        Fabric::new(
-            Box::new(AdaptiveMesh::d2(8, 8)),
-            FabricConfig::default().with_seed(seed),
-        )
+    let kind = if adaptive {
+        NetworkKind::AdaptiveMesh2D
     } else {
-        Fabric::new(
-            Box::new(Mesh::d2(8, 8)),
-            FabricConfig::default().with_seed(seed),
-        )
+        NetworkKind::Mesh2D
     };
-    let cfg = if heavy {
-        SyntheticConfig::heavy(seed)
-    } else {
-        SyntheticConfig::light(seed)
-    };
-    let mut d = Driver::new(fab, choice, SoftwareModel::synthetic(), cfg.build(64));
+    let mut d = Scenario::new(kind)
+        .seed(seed)
+        .nic(choice.clone())
+        .build_with(|sc| {
+            let cfg = if heavy {
+                SyntheticConfig::heavy(sc.seed())
+            } else {
+                SyntheticConfig::light(sc.seed())
+            };
+            cfg.build(sc.nodes())
+        })
+        .expect("extension cell builds");
     d.run_cycles(scale.cycles(1_000_000));
     d.packets_received()
 }
@@ -54,7 +52,8 @@ fn synthetic_cell(adaptive: bool, choice: &NicChoice, heavy: bool, scale: Scale,
 /// the adaptive mesh reorders, so without NIFDY its library must reorder in
 /// software — which is exactly why the paper expects NIFDY to unlock
 /// adaptive routing.
-pub fn run_adaptive(scale: Scale, seed: u64) -> (Table, Vec<AdaptivePoint>) {
+pub fn run_adaptive(scale: Scale, seed: u64, jobs: Jobs) -> (Table, Vec<AdaptivePoint>) {
+    let cell = exec::cell_seed("ext:adaptive", 0, seed);
     let preset = NetworkKind::Mesh2D.nifdy_preset();
     let mut table = Table::new(
         format!(
@@ -69,27 +68,32 @@ pub fn run_adaptive(scale: Scale, seed: u64) -> (Table, Vec<AdaptivePoint>) {
             "light".into(),
         ],
     );
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for (routing, adaptive) in [("deterministic", false), ("adaptive", true)] {
         for (label, choice) in [
             ("none", NicChoice::Plain),
             ("nifdy", NicChoice::Nifdy(preset.clone())),
         ] {
-            let heavy = synthetic_cell(adaptive, &choice, true, scale, seed);
-            let light = synthetic_cell(adaptive, &choice, false, scale, seed);
-            table.row(vec![
-                routing.into(),
-                label.into(),
-                heavy.to_string(),
-                light.to_string(),
-            ]);
-            points.push(AdaptivePoint {
-                routing,
-                config: label,
-                heavy,
-                light,
-            });
+            cells.push((routing, adaptive, label, choice));
         }
+    }
+    let points = exec::map(jobs, cells, |(routing, adaptive, label, choice), _| {
+        let heavy = synthetic_cell(adaptive, &choice, true, scale, cell);
+        let light = synthetic_cell(adaptive, &choice, false, scale, cell);
+        AdaptivePoint {
+            routing,
+            config: label,
+            heavy,
+            light,
+        }
+    });
+    for p in &points {
+        table.row(vec![
+            p.routing.into(),
+            p.config.into(),
+            p.heavy.to_string(),
+            p.light.to_string(),
+        ]);
     }
     (table, points)
 }
@@ -110,7 +114,7 @@ pub struct LoadPoint {
 /// §1's operating-range curve on the 8×8 mesh: offered load rises left to
 /// right; without admission control, throughput saturates while latency
 /// blows up.
-pub fn run_loadsweep(scale: Scale, seed: u64) -> (Table, Vec<LoadPoint>) {
+pub fn run_loadsweep(scale: Scale, seed: u64, jobs: Jobs) -> (Table, Vec<LoadPoint>) {
     let intervals = [800u64, 400, 200, 120, 80, 60, 45];
     let preset = NetworkKind::Mesh2D.nifdy_preset();
     let window = scale.cycles(300_000);
@@ -124,30 +128,37 @@ pub fn run_loadsweep(scale: Scale, seed: u64) -> (Table, Vec<LoadPoint>) {
             "nifdy latency".into(),
         ],
     );
-    let mut points = Vec::new();
-    for &interval in &intervals {
-        let mut row = vec![interval.to_string()];
+    let mut cells = Vec::new();
+    for (row, &interval) in intervals.iter().enumerate() {
+        let row_seed = exec::cell_seed("ext:loadsweep", row as u64, seed);
         for (label, choice) in [
             ("none", NicChoice::Plain),
             ("nifdy", NicChoice::Nifdy(preset.clone())),
         ] {
-            let fab = Fabric::new(
-                Box::new(Mesh::d2(8, 8)),
-                FabricConfig::default().with_seed(seed),
-            );
-            let cfg = OpenLoopConfig::new(interval, seed);
-            let mut d = Driver::new(fab, &choice, SoftwareModel::synthetic(), cfg.build(64));
-            d.run_cycles(window);
-            let throughput = d.packets_received() as f64 / (window as f64 / 1000.0);
-            let latency = d.fabric().stats().latency.mean();
-            row.push(format!("{throughput:.1}"));
-            row.push(format!("{latency:.0}"));
-            points.push(LoadPoint {
-                config: label,
-                interval,
-                throughput,
-                latency,
-            });
+            cells.push((interval, label, choice, row_seed));
+        }
+    }
+    let points = exec::map(jobs, cells, |(interval, label, choice, s), _| {
+        let mut d = Scenario::new(NetworkKind::Mesh2D)
+            .seed(s)
+            .nic(choice.clone())
+            .build_with(|sc| OpenLoopConfig::new(interval, sc.seed()).build(sc.nodes()))
+            .expect("extension cell builds");
+        d.run_cycles(window);
+        let throughput = d.packets_received() as f64 / (window as f64 / 1000.0);
+        let latency = d.fabric().stats().latency.mean();
+        LoadPoint {
+            config: label,
+            interval,
+            throughput,
+            latency,
+        }
+    });
+    for pair in points.chunks(2) {
+        let mut row = vec![pair[0].interval.to_string()];
+        for p in pair {
+            row.push(format!("{:.1}", p.throughput));
+            row.push(format!("{:.0}", p.latency));
         }
         table.row(row);
     }
@@ -167,7 +178,7 @@ mod tests {
         // test is that NIFDY's admission control closes part of that gap:
         // its relative gain on the adaptive mesh exceeds its gain on the
         // deterministic one.
-        let (_, points) = run_adaptive(Scale::Smoke, 2);
+        let (_, points) = run_adaptive(Scale::Smoke, 2, Jobs::new(4));
         assert_eq!(points.len(), 4);
         let get = |routing: &str, config: &str| {
             points
@@ -186,7 +197,7 @@ mod tests {
 
     #[test]
     fn latency_blows_up_at_saturation_without_nifdy() {
-        let (_, points) = run_loadsweep(Scale::Smoke, 3);
+        let (_, points) = run_loadsweep(Scale::Smoke, 3, Jobs::new(4));
         let plain: Vec<&LoadPoint> = points.iter().filter(|p| p.config == "none").collect();
         let lightest = plain.first().expect("points");
         let heaviest = plain.last().expect("points");

@@ -20,6 +20,7 @@ use nifdy_sim::metrics::LogHistogram;
 use nifdy_sim::NodeId;
 use nifdy_trace::{MetricsRegistry, TraceConfig, TraceEvent, TraceHandle};
 
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -182,7 +183,7 @@ fn lossy_cell(
 
 /// The full sweep: loss ∈ {0, 2, 5, 10, 20}% × {scalar, bulk} ×
 /// {fixed, adaptive} RTO, on the 8×8 mesh.
-pub fn run_lossy(scale: Scale, seed: u64) -> (Table, Vec<LossyPoint>) {
+pub fn run_lossy(scale: Scale, seed: u64, jobs: Jobs) -> (Table, Vec<LossyPoint>) {
     let count = scale.count(1_000) as u32;
     let mut table = Table::new(
         format!(
@@ -201,33 +202,33 @@ pub fn run_lossy(scale: Scale, seed: u64) -> (Table, Vec<LossyPoint>) {
             "retx".into(),
         ],
     );
-    let mut points = Vec::new();
-    for loss_pct in [0u32, 2, 5, 10, 20] {
+    let mut cells = Vec::new();
+    for (group, loss_pct) in [0u32, 2, 5, 10, 20].into_iter().enumerate() {
         for bulk in [false, true] {
+            // fixed vs adaptive RTO at one (loss, mode) point is a paired
+            // comparison: both share a derived seed.
+            let pair_seed =
+                exec::cell_seed("ext:lossy", (group * 2 + usize::from(bulk)) as u64, seed);
             for adaptive in [false, true] {
-                let p = lossy_cell(
-                    bulk,
-                    adaptive,
-                    loss_pct,
-                    count,
-                    seed,
-                    TraceHandle::off(),
-                    None,
-                );
-                table.row(vec![
-                    p.loss_pct.to_string(),
-                    p.mode.into(),
-                    p.rto.into(),
-                    p.delivered.to_string(),
-                    format!("{:.2}", p.goodput),
-                    p.p50_latency.to_string(),
-                    p.p99_latency.to_string(),
-                    p.p999_latency.to_string(),
-                    p.retransmitted.to_string(),
-                ]);
-                points.push(p);
+                cells.push((bulk, adaptive, loss_pct, pair_seed));
             }
         }
+    }
+    let points = exec::map(jobs, cells, |(bulk, adaptive, loss_pct, s), _| {
+        lossy_cell(bulk, adaptive, loss_pct, count, s, TraceHandle::off(), None)
+    });
+    for p in &points {
+        table.row(vec![
+            p.loss_pct.to_string(),
+            p.mode.into(),
+            p.rto.into(),
+            p.delivered.to_string(),
+            format!("{:.2}", p.goodput),
+            p.p50_latency.to_string(),
+            p.p99_latency.to_string(),
+            p.p999_latency.to_string(),
+            p.retransmitted.to_string(),
+        ]);
     }
     (table, points)
 }
@@ -274,7 +275,7 @@ mod tests {
         // mesh, the adaptive RTO delivers measurably higher goodput than
         // the fixed timeout, in both scalar and bulk mode, with everything
         // delivered exactly once (asserted inside the cells).
-        let (_, points) = run_lossy(Scale::Smoke, 7);
+        let (_, points) = run_lossy(Scale::Smoke, 7, Jobs::new(4));
         assert_eq!(points.len(), 20);
         // Sanity on the clean end of the sweep: with no loss, the fixed
         // 2500-cycle timeout never fires (no healthy round trip gets close).

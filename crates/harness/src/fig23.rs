@@ -2,10 +2,9 @@
 //! for {no NIFDY, buffering only, NIFDY} under the heavy and light synthetic
 //! patterns of §4.1.
 
-use nifdy_net::Fabric;
-use nifdy_traffic::{Driver, NicChoice, SoftwareModel, SyntheticConfig};
+use nifdy_traffic::{NetworkKind, NicChoice, Scenario, SyntheticConfig};
 
-use crate::networks::NetworkKind;
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -28,19 +27,27 @@ pub fn run_cell(
     scale: Scale,
     seed: u64,
 ) -> u64 {
-    let fab = Fabric::new(kind.topology(64, seed), kind.fabric_config(seed));
-    let cfg = if heavy {
-        SyntheticConfig::heavy(seed)
-    } else {
-        SyntheticConfig::light(seed)
-    };
-    let mut driver = Driver::new(fab, choice, SoftwareModel::synthetic(), cfg.build(64));
+    let mut driver = Scenario::new(kind)
+        .seed(seed)
+        .nic(choice.clone())
+        .build_with(|sc| {
+            let cfg = if heavy {
+                SyntheticConfig::heavy(sc.seed())
+            } else {
+                SyntheticConfig::light(sc.seed())
+            };
+            cfg.build(sc.nodes())
+        })
+        .expect("figure cell builds");
     driver.run_cycles(scale.cycles(1_000_000));
     driver.packets_received()
 }
 
-/// Runs the full figure: every network × the three interface models.
-pub fn run(heavy: bool, scale: Scale, seed: u64) -> (Table, Vec<ThroughputPoint>) {
+/// Runs the full figure: every network × the three interface models, fanned
+/// across `jobs` workers. The three cells of one row share a derived seed so
+/// the interface comparison stays paper-fair.
+pub fn run(heavy: bool, scale: Scale, seed: u64, jobs: Jobs) -> (Table, Vec<ThroughputPoint>) {
+    let experiment = if heavy { "fig2" } else { "fig3" };
     let title = if heavy {
         format!(
             "Figure 2: packets delivered in {} cycles, HEAVY synthetic traffic",
@@ -62,31 +69,40 @@ pub fn run(heavy: bool, scale: Scale, seed: u64) -> (Table, Vec<ThroughputPoint>
             "nifdy/none".into(),
         ],
     );
-    let mut points = Vec::new();
-    for kind in NetworkKind::ALL {
+    let mut cells = Vec::new();
+    for (row, kind) in NetworkKind::ALL.into_iter().enumerate() {
         let preset = kind.nifdy_preset();
-        let choices = [
+        let row_seed = exec::cell_seed(experiment, row as u64, seed);
+        for choice in [
             NicChoice::Plain,
             NicChoice::BuffersOnly(preset.clone()),
-            NicChoice::Nifdy(preset),
-        ];
-        let mut cells = Vec::new();
-        for choice in &choices {
-            let pkts = run_cell(kind, choice, heavy, scale, seed);
-            points.push(ThroughputPoint {
-                network: kind.label(),
-                config: choice.label(),
-                packets: pkts,
-            });
-            cells.push(pkts);
+            NicChoice::Nifdy(preset.clone()),
+        ] {
+            cells.push((kind, choice, row_seed));
         }
+    }
+    let results = exec::map(jobs, cells, |(kind, choice, s), _| {
+        let pkts = run_cell(kind, &choice, heavy, scale, s);
+        ThroughputPoint {
+            network: kind.label(),
+            config: choice.label(),
+            packets: pkts,
+        }
+    });
+    let mut points = Vec::new();
+    for (row, kind) in NetworkKind::ALL.into_iter().enumerate() {
+        let cells = &results[row * 3..row * 3 + 3];
         table.row(vec![
             kind.label().into(),
-            cells[0].to_string(),
-            cells[1].to_string(),
-            cells[2].to_string(),
-            format!("{:.2}", cells[2] as f64 / cells[0].max(1) as f64),
+            cells[0].packets.to_string(),
+            cells[1].packets.to_string(),
+            cells[2].packets.to_string(),
+            format!(
+                "{:.2}",
+                cells[2].packets as f64 / cells[0].packets.max(1) as f64
+            ),
         ]);
+        points.extend(cells.iter().cloned());
     }
     (table, points)
 }

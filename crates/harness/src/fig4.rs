@@ -5,10 +5,9 @@
 //! order to concentrate on the effects of O and B."
 
 use nifdy::NifdyConfig;
-use nifdy_net::Fabric;
-use nifdy_traffic::{Driver, NicChoice, SoftwareModel, SyntheticConfig};
+use nifdy_traffic::{NetworkKind, NicChoice, Scenario, SyntheticConfig};
 
-use crate::networks::NetworkKind;
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -31,49 +30,97 @@ pub struct ScalePoint {
 }
 
 fn throughput(nodes: usize, choice: &NicChoice, scale: Scale, seed: u64) -> u64 {
-    let kind = NetworkKind::FatTree;
-    let fab = Fabric::new(kind.topology(nodes, seed), kind.fabric_config(seed));
-    let cfg = SyntheticConfig::short_messages(seed);
-    let mut driver = Driver::new(fab, choice, SoftwareModel::synthetic(), cfg.build(nodes));
+    let mut driver = Scenario::new(NetworkKind::FatTree)
+        .nodes(nodes)
+        .seed(seed)
+        .nic(choice.clone())
+        .build_with(|sc| SyntheticConfig::short_messages(sc.seed()).build(sc.nodes()))
+        .expect("figure cell builds");
     driver.run_cycles(scale.cycles(400_000));
     driver.packets_received()
 }
 
-/// Runs both panels of Figure 4.
-pub fn run(scale: Scale, seed: u64) -> (Table, Table, Vec<ScalePoint>) {
+/// The no-dialog configuration under sweep: `B` or `O` varies, the other
+/// headline parameter is pinned at 8.
+fn sweep_config(param: &'static str, value: u8) -> NifdyConfig {
+    let (o, b) = if param == "B" { (8, value) } else { (value, 8) };
+    NifdyConfig::builder()
+        .opt_entries(o)
+        .pool_entries(b)
+        .max_dialogs(0)
+        .window(2)
+        .build()
+        .expect("swept parameters are valid")
+}
+
+/// Runs both panels of Figure 4, fanned across `jobs` workers. All cells at
+/// one machine size share a derived seed (including the plain-interface
+/// baseline they are normalized to).
+pub fn run(scale: Scale, seed: u64, jobs: Jobs) -> (Table, Table, Vec<ScalePoint>) {
+    let row_seed = |ni: usize| exec::cell_seed("fig4", ni as u64, seed);
+    // Cell list: one plain baseline per machine size, then every
+    // (panel, size, value) combination.
+    enum Cell {
+        Base {
+            ni: usize,
+        },
+        Param {
+            param: &'static str,
+            ni: usize,
+            value: u8,
+        },
+    }
+    let mut cells = Vec::new();
+    for ni in 0..SIZES.len() {
+        cells.push(Cell::Base { ni });
+    }
+    for param in ["B", "O"] {
+        for ni in 0..SIZES.len() {
+            for &value in &SWEEP {
+                cells.push(Cell::Param { param, ni, value });
+            }
+        }
+    }
+    let results = exec::map(jobs, cells, |cell, _| match cell {
+        Cell::Base { ni } => throughput(SIZES[ni], &NicChoice::Plain, scale, row_seed(ni)),
+        Cell::Param { param, ni, value } => throughput(
+            SIZES[ni],
+            &NicChoice::Nifdy(sweep_config(param, value)),
+            scale,
+            row_seed(ni),
+        ),
+    });
+    let (bases, swept) = results.split_at(SIZES.len());
+
     let mut points = Vec::new();
-    let mut panel = |param: &'static str| -> Table {
+    let mut tables = Vec::new();
+    for (pi, param) in ["B", "O"].into_iter().enumerate() {
         let mut t = Table::new(
             format!("Figure 4 ({param} sweep): fat-tree throughput normalized to no-NIFDY"),
             std::iter::once("nodes".to_string())
                 .chain(SWEEP.iter().map(|v| format!("{param}={v}")))
                 .collect(),
         );
-        for &nodes in &SIZES {
-            let base = throughput(nodes, &NicChoice::Plain, scale, seed).max(1);
+        for (ni, &nodes) in SIZES.iter().enumerate() {
+            let base = bases[ni].max(1);
             let mut row = vec![nodes.to_string()];
-            for &v in &SWEEP {
-                let cfg = if param == "B" {
-                    NifdyConfig::new(8, v, 0, 2)
-                } else {
-                    NifdyConfig::new(v, 8, 0, 2)
-                };
-                let t = throughput(nodes, &NicChoice::Nifdy(cfg), scale, seed);
-                let norm = t as f64 / base as f64;
+            for (vi, &value) in SWEEP.iter().enumerate() {
+                let cell = swept[(pi * SIZES.len() + ni) * SWEEP.len() + vi];
+                let norm = cell as f64 / base as f64;
                 points.push(ScalePoint {
                     nodes,
                     param,
-                    value: v,
+                    value,
                     normalized: norm,
                 });
                 row.push(format!("{norm:.2}"));
             }
             t.row(row);
         }
-        t
-    };
-    let b_panel = panel("B");
-    let o_panel = panel("O");
+        tables.push(t);
+    }
+    let o_panel = tables.pop().expect("two panels");
+    let b_panel = tables.pop().expect("two panels");
     (b_panel, o_panel, points)
 }
 
@@ -84,27 +131,17 @@ mod tests {
     #[test]
     fn normalized_throughput_is_sane_at_16_nodes() {
         let base = throughput(16, &NicChoice::Plain, Scale::Smoke, 3).max(1);
-        let nifdy = throughput(
-            16,
-            &NicChoice::Nifdy(NifdyConfig::new(8, 8, 0, 2)),
-            Scale::Smoke,
-            3,
-        );
+        let nifdy = throughput(16, &NicChoice::Nifdy(sweep_config("B", 8)), Scale::Smoke, 3);
         let norm = nifdy as f64 / base as f64;
         assert!(norm > 0.5 && norm < 4.0, "normalized throughput {norm}");
     }
 
     #[test]
     fn bigger_pools_do_not_hurt() {
-        let small = throughput(
-            16,
-            &NicChoice::Nifdy(NifdyConfig::new(8, 2, 0, 2)),
-            Scale::Smoke,
-            4,
-        );
+        let small = throughput(16, &NicChoice::Nifdy(sweep_config("B", 2)), Scale::Smoke, 4);
         let large = throughput(
             16,
-            &NicChoice::Nifdy(NifdyConfig::new(8, 16, 0, 2)),
+            &NicChoice::Nifdy(sweep_config("B", 16)),
             Scale::Smoke,
             4,
         );
@@ -112,5 +149,14 @@ mod tests {
             large as f64 >= 0.8 * small as f64,
             "B=16 ({large}) collapsed vs B=2 ({small})"
         );
+    }
+
+    #[test]
+    fn panels_line_up_with_points() {
+        let (b, o, points) = run(Scale::Smoke, 1, Jobs::new(4));
+        assert_eq!(points.len(), 2 * SIZES.len() * SWEEP.len());
+        // Row counts match the swept sizes.
+        assert!(b.to_string().contains("16"));
+        assert!(o.to_string().contains("256"));
     }
 }

@@ -7,11 +7,10 @@
 //! to catch up and aggravating the condition" — visible as dark streaks that
 //! persist without NIFDY and dissipate with it.
 
-use nifdy_net::Fabric;
 use nifdy_sim::NodeId;
-use nifdy_traffic::{CShiftConfig, Driver, NicChoice, SoftwareModel};
+use nifdy_traffic::{CShiftConfig, NetworkKind, NicChoice, Scenario, SoftwareModel};
 
-use crate::networks::NetworkKind;
+use crate::exec::{self, Jobs};
 use crate::report::heat_map;
 use crate::scale::Scale;
 
@@ -42,13 +41,16 @@ pub fn words_for(scale: Scale) -> u32 {
 /// Runs C-shift on the 32-node CM-5 network and samples per-receiver
 /// congestion.
 pub fn run_one(choice: &NicChoice, scale: Scale, seed: u64) -> CongestionTrace {
-    let kind = NetworkKind::Cm5;
     let nodes = 32;
-    let fab = Fabric::new(kind.topology(nodes, seed), kind.fabric_config(seed));
     let sw = SoftwareModel::cm5_library(false);
     let words = words_for(scale);
-    let cfg = CShiftConfig::new(words, sw);
-    let mut driver = Driver::new(fab, choice, sw, cfg.build(nodes));
+    let mut driver = Scenario::new(NetworkKind::Cm5)
+        .nodes(nodes)
+        .seed(seed)
+        .nic(choice.clone())
+        .software(sw)
+        .build_with(|sc| CShiftConfig::new(words, sc.sw()).build(sc.nodes()))
+        .expect("figure cell builds");
 
     let cap = scale.cycles(4_000_000);
     let samples = 64;
@@ -79,14 +81,18 @@ pub fn run_one(choice: &NicChoice, scale: Scale, seed: u64) -> CongestionTrace {
     }
 }
 
-/// Runs both halves of Figure 5 and renders the heat maps.
-pub fn run(scale: Scale, seed: u64) -> (String, CongestionTrace, CongestionTrace) {
-    let without = run_one(&NicChoice::Plain, scale, seed);
-    let with = run_one(
-        &NicChoice::Nifdy(NetworkKind::Cm5.nifdy_preset()),
-        scale,
-        seed,
-    );
+/// Runs both halves of Figure 5 (in parallel when `jobs` allows) and
+/// renders the heat maps. Both halves share one derived seed so they watch
+/// the same traffic.
+pub fn run(scale: Scale, seed: u64, jobs: Jobs) -> (String, CongestionTrace, CongestionTrace) {
+    let cell = exec::cell_seed("fig5", 0, seed);
+    let choices = vec![
+        NicChoice::Plain,
+        NicChoice::Nifdy(NetworkKind::Cm5.nifdy_preset()),
+    ];
+    let mut traces = exec::map(jobs, choices, |choice, _| run_one(&choice, scale, cell));
+    let with = traces.pop().expect("two cells");
+    let without = traces.pop().expect("two cells");
     let mut out = String::new();
     out.push_str(&heat_map(
         &format!(
@@ -114,7 +120,7 @@ mod tests {
 
     #[test]
     fn both_traces_complete_and_nifdy_bounds_congestion() {
-        let (_, without, with) = run(Scale::Smoke, 5);
+        let (_, without, with) = run(Scale::Smoke, 5, Jobs::new(2));
         assert!(without.peak >= 1.0, "no congestion observed at all");
         assert!(
             with.peak <= without.peak,

@@ -6,10 +6,9 @@
 //! than optimized barriers. When NIFDY's in-order delivery is exploited,
 //! the benefit is even greater."
 
-use nifdy_net::Fabric;
-use nifdy_traffic::{CShiftConfig, Driver, NicChoice, SoftwareModel};
+use nifdy_traffic::{CShiftConfig, NetworkKind, NicChoice, Scenario, SoftwareModel};
 
-use crate::networks::NetworkKind;
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -31,15 +30,21 @@ fn run_one(
     scale: Scale,
     seed: u64,
 ) -> CShiftResult {
-    let kind = NetworkKind::Cm5;
-    let nodes = 32;
-    let fab = Fabric::new(kind.topology(nodes, seed), kind.fabric_config(seed));
     // The CM-5 fat tree reorders packets, so without NIFDY the library must
     // reorder in software.
     let sw = SoftwareModel::cm5_library(!inorder_library);
     let words = crate::fig5::words_for(scale);
-    let cfg = CShiftConfig::new(words, sw).with_barriers(barriers);
-    let mut driver = Driver::new(fab, choice, sw, cfg.build(nodes));
+    let mut driver = Scenario::new(NetworkKind::Cm5)
+        .nodes(32)
+        .seed(seed)
+        .nic(choice.clone())
+        .software(sw)
+        .build_with(|sc| {
+            CShiftConfig::new(words, sc.sw())
+                .with_barriers(barriers)
+                .build(sc.nodes())
+        })
+        .expect("figure cell builds");
     let cap = scale.cycles(40_000_000);
     let finished = driver.run_until_quiet(cap);
     let cycles = driver.fabric().now().as_u64();
@@ -51,8 +56,11 @@ fn run_one(
     }
 }
 
-/// Runs all Figure 6 configurations.
-pub fn run(scale: Scale, seed: u64) -> (Table, Vec<CShiftResult>) {
+/// Runs all Figure 6 configurations, fanned across `jobs` workers. Every
+/// configuration shares one derived seed: they are columns of one
+/// comparison.
+pub fn run(scale: Scale, seed: u64, jobs: Jobs) -> (Table, Vec<CShiftResult>) {
+    let cell = exec::cell_seed("fig6", 0, seed);
     let preset = NetworkKind::Cm5.nifdy_preset();
     let cases: [(&'static str, NicChoice, bool, bool); 5] = [
         ("none", NicChoice::Plain, false, false),
@@ -79,16 +87,21 @@ pub fn run(scale: Scale, seed: u64) -> (Table, Vec<CShiftResult>) {
             "words/kcycle".into(),
         ],
     );
-    let mut results = Vec::new();
-    for (label, choice, barriers, inorder) in cases {
-        let mut r = run_one(&choice, barriers, inorder, scale, seed);
-        r.config = label;
+    let results = exec::map(
+        jobs,
+        cases.to_vec(),
+        |(label, choice, barriers, inorder), _| {
+            let mut r = run_one(&choice, barriers, inorder, scale, cell);
+            r.config = label;
+            r
+        },
+    );
+    for r in &results {
         table.row(vec![
-            label.into(),
+            r.config.into(),
             r.cycles.to_string(),
             format!("{:.1}", r.words_per_kcycle),
         ]);
-        results.push(r);
     }
     (table, results)
 }
@@ -99,7 +112,7 @@ mod tests {
 
     #[test]
     fn all_configurations_complete_and_nifdy_inorder_wins() {
-        let (_, results) = run(Scale::Smoke, 7);
+        let (_, results) = run(Scale::Smoke, 7, Jobs::new(4));
         assert_eq!(results.len(), 5);
         for r in &results {
             assert!(r.cycles > 0 && r.words_per_kcycle > 0.0, "{:?}", r);

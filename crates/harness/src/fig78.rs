@@ -5,10 +5,9 @@
 //! mesh and the butterfly), the library intended for in-order delivery was
 //! used for all runs."
 
-use nifdy_net::Fabric;
-use nifdy_traffic::{Driver, Em3dParams, NicChoice, SoftwareModel};
+use nifdy_traffic::{Em3dParams, NetworkKind, NicChoice, Scenario, SoftwareModel};
 
-use crate::networks::NetworkKind;
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -32,7 +31,6 @@ pub fn run_cell(
     scale: Scale,
     seed: u64,
 ) -> f64 {
-    let fab = Fabric::new(kind.topology(64, seed), kind.fabric_config(seed));
     // In-order networks always get the in-order library.
     let inorder = inorder_library || !kind.reorders();
     let sw = SoftwareModel::cm5_library(!inorder);
@@ -55,15 +53,23 @@ pub fn run_cell(
         }
     }
     let iters = params.iters;
-    let mut driver = Driver::new(fab, choice, sw, params.build(64, sw));
+    let mut driver = Scenario::new(kind)
+        .seed(seed)
+        .nic(choice.clone())
+        .software(sw)
+        .build_with(|sc| params.build(sc.nodes(), sc.sw()))
+        .expect("figure cell builds");
     let finished = driver.run_until_quiet(scale.cycles(400_000_000));
     debug_assert!(finished, "EM3D did not drain");
     driver.fabric().now().as_u64() as f64 / f64::from(iters)
 }
 
-/// Runs a full EM3D figure (7 when `less_comm`, 8 otherwise).
-pub fn run(less_comm: bool, scale: Scale, seed: u64) -> (Table, Vec<Em3dPoint>) {
+/// Runs a full EM3D figure (7 when `less_comm`, 8 otherwise), fanned
+/// across `jobs` workers. The four cells of one network row share a derived
+/// seed.
+pub fn run(less_comm: bool, scale: Scale, seed: u64, jobs: Jobs) -> (Table, Vec<Em3dPoint>) {
     let figure = if less_comm { 7 } else { 8 };
+    let experiment = if less_comm { "fig7" } else { "fig8" };
     let mut table = Table::new(
         format!(
             "Figure {figure}: EM3D cycles per iteration ({} communication)",
@@ -77,26 +83,34 @@ pub fn run(less_comm: bool, scale: Scale, seed: u64) -> (Table, Vec<Em3dPoint>) 
             "nifdy".into(),
         ],
     );
-    let mut points = Vec::new();
-    for kind in NetworkKind::ALL {
+    let mut cells = Vec::new();
+    for (row, kind) in NetworkKind::ALL.into_iter().enumerate() {
         let preset = kind.nifdy_preset();
+        let row_seed = exec::cell_seed(experiment, row as u64, seed);
         let cases: [(&'static str, NicChoice, bool); 4] = [
             ("none", NicChoice::Plain, false),
             ("buffers", NicChoice::BuffersOnly(preset.clone()), false),
             ("nifdy-", NicChoice::Nifdy(preset.clone()), false),
             ("nifdy", NicChoice::Nifdy(preset), true),
         ];
-        let mut row = vec![kind.label().to_string()];
         for (label, choice, inorder) in cases {
-            let cpi = run_cell(kind, &choice, inorder, less_comm, scale, seed);
-            points.push(Em3dPoint {
-                network: kind.label(),
-                config: label,
-                cycles_per_iter: cpi,
-            });
-            row.push(format!("{cpi:.0}"));
+            cells.push((kind, label, choice, inorder, row_seed));
         }
-        table.row(row);
+    }
+    let points = exec::map(jobs, cells, |(kind, label, choice, inorder, s), _| {
+        let cpi = run_cell(kind, &choice, inorder, less_comm, scale, s);
+        Em3dPoint {
+            network: kind.label(),
+            config: label,
+            cycles_per_iter: cpi,
+        }
+    });
+    for (row, kind) in NetworkKind::ALL.into_iter().enumerate() {
+        let mut cells = vec![kind.label().to_string()];
+        for p in &points[row * 4..row * 4 + 4] {
+            cells.push(format!("{:.0}", p.cycles_per_iter));
+        }
+        table.row(cells);
     }
     (table, points)
 }

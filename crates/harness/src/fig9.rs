@@ -3,10 +3,9 @@
 //! plus the §4.5 coalesce-phase observation ("results were virtually
 //! identical with and without NIFDY").
 
-use nifdy_net::Fabric;
-use nifdy_traffic::{CoalesceConfig, Driver, NicChoice, ScanConfig, SoftwareModel};
+use nifdy_traffic::{CoalesceConfig, NetworkKind, NicChoice, ScanConfig, Scenario, SoftwareModel};
 
-use crate::networks::NetworkKind;
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -32,11 +31,17 @@ pub struct ScanPoint {
 
 /// Runs one scan-phase cell on 64 processors with an 8-bit radix.
 pub fn run_scan(kind: NetworkKind, choice: &NicChoice, delay: u64, scale: Scale, seed: u64) -> u64 {
-    let fab = Fabric::new(kind.topology(64, seed), kind.fabric_config(seed));
     let sw = SoftwareModel::cm5_library(!kind.reorders());
-    let mut cfg = ScanConfig::radix8(sw).with_delay(delay);
-    cfg.buckets = scale.count(256) as u32;
-    let mut driver = Driver::new(fab, choice, sw, cfg.build(64));
+    let mut driver = Scenario::new(kind)
+        .seed(seed)
+        .nic(choice.clone())
+        .software(sw)
+        .build_with(|sc| {
+            let mut cfg = ScanConfig::radix8(sc.sw()).with_delay(delay);
+            cfg.buckets = scale.count(256) as u32;
+            cfg.build(sc.nodes())
+        })
+        .expect("figure cell builds");
     let finished = driver.run_until_quiet(scale.cycles(1_000_000_000));
     debug_assert!(finished, "scan never finished");
     driver.fabric().now().as_u64()
@@ -44,21 +49,29 @@ pub fn run_scan(kind: NetworkKind, choice: &NicChoice, delay: u64, scale: Scale,
 
 /// Runs the coalesce phase (random single-packet key sends).
 pub fn run_coalesce(kind: NetworkKind, choice: &NicChoice, scale: Scale, seed: u64) -> u64 {
-    let fab = Fabric::new(kind.topology(64, seed), kind.fabric_config(seed));
     let sw = SoftwareModel::cm5_library(!kind.reorders());
-    let cfg = CoalesceConfig {
-        keys_per_node: scale.count(256) as u32,
-        seed,
-        sw,
-    };
-    let mut driver = Driver::new(fab, choice, sw, cfg.build(64));
+    let mut driver = Scenario::new(kind)
+        .seed(seed)
+        .nic(choice.clone())
+        .software(sw)
+        .build_with(|sc| {
+            CoalesceConfig {
+                keys_per_node: scale.count(256) as u32,
+                seed: sc.seed(),
+                sw: sc.sw(),
+            }
+            .build(sc.nodes())
+        })
+        .expect("figure cell builds");
     let finished = driver.run_until_quiet(scale.cycles(1_000_000_000));
     debug_assert!(finished, "coalesce never finished");
     driver.fabric().now().as_u64()
 }
 
-/// Runs the full figure plus the coalesce side table.
-pub fn run(scale: Scale, seed: u64) -> (Table, Table, Vec<ScanPoint>) {
+/// Runs the full figure plus the coalesce side table, fanned across `jobs`
+/// workers. The four scan cells of one network row share a derived seed, as
+/// do the two coalesce cells.
+pub fn run(scale: Scale, seed: u64, jobs: Jobs) -> (Table, Table, Vec<ScanPoint>) {
     let delay = 60;
     let mut scan_table = Table::new(
         "Figure 9: cycles for one radix-sort scan phase (8-bit radix, 64 procs)",
@@ -70,43 +83,96 @@ pub fn run(scale: Scale, seed: u64) -> (Table, Table, Vec<ScanPoint>) {
             "delay / nifdy".into(),
         ],
     );
-    let mut points = Vec::new();
-    for kind in FIG9_NETWORKS {
+    enum Cell {
+        Scan {
+            kind: NetworkKind,
+            label: &'static str,
+            choice: NicChoice,
+            delay: u64,
+            seed: u64,
+        },
+        Coalesce {
+            choice: NicChoice,
+            seed: u64,
+        },
+    }
+    let mut cells = Vec::new();
+    for (row, kind) in FIG9_NETWORKS.into_iter().enumerate() {
         let preset = kind.nifdy_preset();
-        let mut row = vec![kind.label().to_string()];
+        let row_seed = exec::cell_seed("fig9", row as u64, seed);
         for &d in &[0u64, delay] {
             for (label, choice) in [
                 ("none", NicChoice::Plain),
                 ("nifdy", NicChoice::Nifdy(preset.clone())),
             ] {
-                let cycles = run_scan(kind, &choice, d, scale, seed);
-                points.push(ScanPoint {
-                    network: kind.label(),
-                    with_delay: d > 0,
-                    config: label,
-                    cycles,
+                cells.push(Cell::Scan {
+                    kind,
+                    label,
+                    choice,
+                    delay: d,
+                    seed: row_seed,
                 });
-                row.push(cycles.to_string());
             }
         }
-        scan_table.row(row);
+    }
+    let coalesce_kind = NetworkKind::FatTree;
+    let coalesce_seed = exec::cell_seed("fig9.coalesce", 0, seed);
+    for choice in [
+        NicChoice::Plain,
+        NicChoice::Nifdy(coalesce_kind.nifdy_preset()),
+    ] {
+        cells.push(Cell::Coalesce {
+            choice,
+            seed: coalesce_seed,
+        });
+    }
+    let results = exec::map(jobs, cells, |cell, _| match cell {
+        Cell::Scan {
+            kind,
+            label,
+            choice,
+            delay,
+            seed,
+        } => {
+            let cycles = run_scan(kind, &choice, delay, scale, seed);
+            ScanPoint {
+                network: kind.label(),
+                with_delay: delay > 0,
+                config: label,
+                cycles,
+            }
+        }
+        Cell::Coalesce { choice, seed } => {
+            let cycles = run_coalesce(coalesce_kind, &choice, scale, seed);
+            ScanPoint {
+                network: coalesce_kind.label(),
+                with_delay: false,
+                config: "coalesce",
+                cycles,
+            }
+        }
+    });
+    let scan_count = FIG9_NETWORKS.len() * 4;
+    let mut points = Vec::new();
+    for (row, kind) in FIG9_NETWORKS.into_iter().enumerate() {
+        let mut cells = vec![kind.label().to_string()];
+        for p in &results[row * 4..row * 4 + 4] {
+            cells.push(p.cycles.to_string());
+            points.push(p.clone());
+        }
+        scan_table.row(cells);
     }
 
     let mut coalesce_table = Table::new(
         "§4.5 coalesce phase: cycles (NIFDY ≈ none expected)",
         vec!["network".into(), "none".into(), "nifdy".into()],
     );
-    {
-        let kind = NetworkKind::FatTree;
-        let preset = kind.nifdy_preset();
-        let none = run_coalesce(kind, &NicChoice::Plain, scale, seed);
-        let with = run_coalesce(kind, &NicChoice::Nifdy(preset), scale, seed);
-        coalesce_table.row(vec![
-            kind.label().into(),
-            none.to_string(),
-            with.to_string(),
-        ]);
-    }
+    let coalesce: Vec<u64> = results[scan_count..].iter().map(|p| p.cycles).collect();
+    coalesce_table.row(vec![
+        coalesce_kind.label().into(),
+        coalesce[0].to_string(),
+        coalesce[1].to_string(),
+    ]);
     (scan_table, coalesce_table, points)
 }
 

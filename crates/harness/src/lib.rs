@@ -11,12 +11,17 @@
 //! nifdy-experiments fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all [--full|--quick|--smoke]
 //! ```
 //!
+//! Cells within a figure are independent simulations; every runner takes a
+//! [`Jobs`] worker budget (the binary's `--jobs` flag) and fans its cells
+//! across that many threads via [`exec::map`], reassembling tables in
+//! canonical order so the output is byte-identical at any job count.
+//!
 //! # Examples
 //!
 //! ```
-//! use nifdy_harness::{table3, Scale};
+//! use nifdy_harness::{table3, Jobs, Scale};
 //!
-//! let (table, profiles) = table3::run(1);
+//! let (table, profiles) = table3::run(1, Jobs::serial());
 //! assert_eq!(profiles.len(), 8);
 //! println!("{table}");
 //! # let _ = Scale::Smoke;
@@ -25,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod ext;
 pub mod ext_lossy;
 pub mod fig23;
@@ -33,13 +39,13 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig78;
 pub mod fig9;
-mod networks;
 mod report;
 mod scale;
 pub mod sweep;
 pub mod table3;
 pub mod trace_guard;
 
-pub use networks::NetworkKind;
+pub use exec::{cell_seed, Jobs};
+pub use nifdy_traffic::NetworkKind;
 pub use report::{fault_summary, heat_map, percentile_table, Table};
 pub use scale::Scale;

@@ -4,10 +4,10 @@
 //! patterns.
 
 use nifdy::NifdyConfig;
-use nifdy_traffic::NicChoice;
+use nifdy_traffic::{NetworkKind, NicChoice};
 
+use crate::exec::{self, Jobs};
 use crate::fig23::run_cell;
-use crate::networks::NetworkKind;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -35,8 +35,11 @@ pub const W_VALUES: [u8; 3] = [2, 4, 8];
 /// geometric mean of heavy- and light-traffic throughput (the paper chose
 /// parameters "to give the best average performance with both test traffic
 /// patterns").
-pub fn run(kind: NetworkKind, scale: Scale, seed: u64) -> (Table, Vec<SweepPoint>) {
-    let mut points = Vec::new();
+pub fn run(kind: NetworkKind, scale: Scale, seed: u64, jobs: Jobs) -> (Table, Vec<SweepPoint>) {
+    // Every grid point sees the same traffic: one derived seed for the
+    // whole sweep, so settings are compared like-for-like.
+    let cell = exec::cell_seed(&format!("sweep:{}", kind.label()), 0, seed);
+    let mut grid = Vec::new();
     for o in O_VALUES {
         for b in B_VALUES {
             for d in [0u8, 1] {
@@ -44,21 +47,30 @@ pub fn run(kind: NetworkKind, scale: Scale, seed: u64) -> (Table, Vec<SweepPoint
                     if d == 0 && w != W_VALUES[0] {
                         continue; // W is irrelevant without dialogs
                     }
-                    let cfg = NifdyConfig::new(o, b, d, w);
-                    let choice = NicChoice::Nifdy(cfg);
-                    let heavy = run_cell(kind, &choice, true, scale, seed);
-                    let light = run_cell(kind, &choice, false, scale, seed);
-                    let score = ((heavy as f64) * (light as f64)).sqrt();
-                    points.push(SweepPoint {
-                        params: (o, b, d, w),
-                        heavy,
-                        light,
-                        score,
-                    });
+                    grid.push((o, b, d, w));
                 }
             }
         }
     }
+    let mut points = exec::map(jobs, grid, |(o, b, d, w), _| {
+        let cfg = NifdyConfig::builder()
+            .opt_entries(o)
+            .pool_entries(b)
+            .max_dialogs(d)
+            .window(w)
+            .build()
+            .expect("swept grid values are valid");
+        let choice = NicChoice::Nifdy(cfg);
+        let heavy = run_cell(kind, &choice, true, scale, cell);
+        let light = run_cell(kind, &choice, false, scale, cell);
+        let score = ((heavy as f64) * (light as f64)).sqrt();
+        SweepPoint {
+            params: (o, b, d, w),
+            heavy,
+            light,
+            score,
+        }
+    });
     points.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut table = Table::new(
         format!("Parameter sweep on {} (best first)", kind.label()),

@@ -7,7 +7,9 @@ use nifdy_net::topology::hop_profile;
 use nifdy_net::{Fabric, Lane, Packet};
 use nifdy_sim::{NodeId, PacketId};
 
-use crate::networks::NetworkKind;
+use nifdy_traffic::NetworkKind;
+
+use crate::exec::{self, Jobs};
 use crate::report::Table;
 
 /// One network's Table 3 row.
@@ -106,8 +108,9 @@ pub fn profile(kind: NetworkKind, seed: u64) -> NetworkProfile {
     }
 }
 
-/// Builds the full Table 3.
-pub fn run(seed: u64) -> (Table, Vec<NetworkProfile>) {
+/// Builds the full Table 3, profiling the eight networks on `jobs`
+/// workers. Each network row gets its own derived seed.
+pub fn run(seed: u64, jobs: Jobs) -> (Table, Vec<NetworkProfile>) {
     let mut table = Table::new(
         "Table 3: simulated 64-node networks and best NIFDY parameters",
         vec![
@@ -122,9 +125,10 @@ pub fn run(seed: u64) -> (Table, Vec<NetworkProfile>) {
             "W".into(),
         ],
     );
-    let mut profiles = Vec::new();
-    for kind in NetworkKind::ALL {
-        let p = profile(kind, seed);
+    let profiles = exec::map(jobs, NetworkKind::ALL.to_vec(), |kind, row| {
+        profile(kind, exec::cell_seed("table3", row as u64, seed))
+    });
+    for p in &profiles {
         table.row(vec![
             p.network.into(),
             format!("{:.1}", p.avg_hops),
@@ -136,7 +140,6 @@ pub fn run(seed: u64) -> (Table, Vec<NetworkProfile>) {
             p.params.2.to_string(),
             p.params.3.to_string(),
         ]);
-        profiles.push(p);
     }
     (table, profiles)
 }

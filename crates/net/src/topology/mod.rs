@@ -126,7 +126,11 @@ pub struct RouteState {
 /// A network topology: static structure plus per-hop routing.
 ///
 /// This trait is object-safe; fabrics store a `Box<dyn Topology>`.
-pub trait Topology: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a boxed topology (and therefore a whole
+/// `Fabric`) can move into a worker thread when experiment cells run in
+/// parallel; implementations are plain owned data, so this costs nothing.
+pub trait Topology: std::fmt::Debug + Send {
     /// Short human-readable name ("8x8 mesh", "4-ary fat tree (64)").
     fn name(&self) -> String;
 

@@ -1,9 +1,13 @@
 //! Ring-buffered flight recorder and the shareable [`TraceHandle`].
 //!
-//! The simulator is single-threaded and cycle-synchronous, so the recorder
-//! is shared as `Rc<RefCell<_>>` — no atomics, no locks. Every instrumented
-//! component holds a cheap [`TraceHandle`] clone; with the `trace` cargo
-//! feature disabled the handle is a zero-sized stub whose
+//! Each simulation replica is single-threaded and cycle-synchronous, but
+//! whole replicas are fanned out across worker threads by the parallel
+//! experiment executor, so the recorder is shared as `Arc<Mutex<_>>`:
+//! within one replica the lock is never contended (one thread), and the
+//! handle — like every other piece of the replica — is `Send`, which is
+//! what lets a fully assembled `Driver` be moved onto a worker thread.
+//! Every instrumented component holds a cheap [`TraceHandle`] clone; with
+//! the `trace` cargo feature disabled the handle is a zero-sized stub whose
 //! [`is_enabled`](TraceHandle::is_enabled) is a constant `false`, so the
 //! `trace_event!` macro's branch (and the event payload expression inside
 //! it) is statically dead code.
@@ -11,9 +15,7 @@
 use std::collections::VecDeque;
 
 #[cfg(feature = "trace")]
-use std::cell::RefCell;
-#[cfg(feature = "trace")]
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use nifdy_sim::{Cycle, NodeId};
 
@@ -189,7 +191,16 @@ impl Recorder {
 #[derive(Debug, Clone, Default)]
 pub struct TraceHandle {
     #[cfg(feature = "trace")]
-    inner: Option<Rc<RefCell<Recorder>>>,
+    inner: Option<Arc<Mutex<Recorder>>>,
+}
+
+/// Locks the shared recorder. A poisoned lock means a replica thread
+/// panicked mid-record; the recorder state is still consistent (every
+/// mutation is a single push/pop), so recover the guard rather than
+/// cascading the panic into unrelated replicas.
+#[cfg(feature = "trace")]
+fn lock(rec: &Arc<Mutex<Recorder>>) -> std::sync::MutexGuard<'_, Recorder> {
+    rec.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl TraceHandle {
@@ -203,7 +214,7 @@ impl TraceHandle {
     #[cfg(feature = "trace")]
     pub fn recording(cfg: TraceConfig) -> Self {
         TraceHandle {
-            inner: Some(Rc::new(RefCell::new(Recorder::new(cfg)))),
+            inner: Some(Arc::new(Mutex::new(Recorder::new(cfg)))),
         }
     }
 
@@ -234,7 +245,7 @@ impl TraceHandle {
     pub fn record(&self, at: Cycle, node: NodeId, kind: EventKind) {
         #[cfg(feature = "trace")]
         if let Some(rec) = &self.inner {
-            rec.borrow_mut().record(at, node, kind);
+            lock(rec).record(at, node, kind);
         }
         #[cfg(not(feature = "trace"))]
         {
@@ -248,7 +259,7 @@ impl TraceHandle {
         #[cfg(feature = "trace")]
         {
             match &self.inner {
-                Some(rec) => rec.borrow().snapshot(),
+                Some(rec) => lock(rec).snapshot(),
                 None => Vec::new(),
             }
         }
@@ -264,7 +275,7 @@ impl TraceHandle {
         #[cfg(feature = "trace")]
         {
             match &self.inner {
-                Some(rec) => rec.borrow().last_events(node, n),
+                Some(rec) => lock(rec).last_events(node, n),
                 None => Vec::new(),
             }
         }
@@ -280,7 +291,7 @@ impl TraceHandle {
         #[cfg(feature = "trace")]
         {
             match &self.inner {
-                Some(rec) => rec.borrow().len(),
+                Some(rec) => lock(rec).len(),
                 None => 0,
             }
         }
@@ -295,7 +306,7 @@ impl TraceHandle {
         #[cfg(feature = "trace")]
         {
             match &self.inner {
-                Some(rec) => rec.borrow().evicted(),
+                Some(rec) => lock(rec).evicted(),
                 None => 0,
             }
         }
@@ -303,6 +314,19 @@ impl TraceHandle {
         {
             0
         }
+    }
+}
+
+#[cfg(test)]
+mod send_tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        // The parallel experiment executor moves whole replicas (driver,
+        // fabric, NICs, their trace handles) onto worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceHandle>();
     }
 }
 

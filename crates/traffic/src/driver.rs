@@ -1,9 +1,6 @@
 //! The simulation driver: one fabric, one NIC and one processor per node,
 //! all stepped cycle-synchronously, with global barrier coordination.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use nifdy::{BufferedNic, DeliveryFailure, Nic, NifdyConfig, NifdyUnit, PlainNic};
 use nifdy_net::Fabric;
 use nifdy_sim::{NodeId, StallWatchdog};
@@ -54,7 +51,45 @@ impl NicChoice {
     }
 }
 
+/// Why a [`Driver`] could not be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The workload list does not line up with the fabric: every node needs
+    /// exactly one workload, in node order.
+    WorkloadCountMismatch {
+        /// Nodes in the fabric.
+        nodes: usize,
+        /// Workloads supplied.
+        workloads: usize,
+    },
+    /// [`Driver::with_metrics`] was given a zero sampling period.
+    ZeroGaugePeriod,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::WorkloadCountMismatch { nodes, workloads } => write!(
+                f,
+                "need one workload per node: the fabric has {nodes} nodes \
+                 but {workloads} workloads were supplied"
+            ),
+            BuildError::ZeroGaugePeriod => {
+                write!(f, "the gauge sampling period must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// A complete simulation: fabric, interfaces, processors, workloads.
+///
+/// A driver is `Send`: it owns all of its state (including its trace handle
+/// and metrics registry), so whole replicas can be fanned out across worker
+/// threads and their recordings merged afterwards
+/// ([`nifdy_trace::export::merge_snapshots`], [`MetricsRegistry::merge`]).
 pub struct Driver {
     fab: Fabric,
     nics: Vec<Box<dyn Nic>>,
@@ -64,27 +99,33 @@ pub struct Driver {
     watchdog: Option<StallWatchdog>,
     failures: Vec<DeliveryFailure>,
     trace: TraceHandle,
-    metrics: Option<Rc<RefCell<MetricsRegistry>>>,
+    metrics: Option<MetricsRegistry>,
     gauge_period: u64,
 }
 
 impl Driver {
     /// Assembles a driver. One workload per node, in node order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the number of workloads does not match the fabric's nodes.
+    /// [`BuildError::WorkloadCountMismatch`] if the number of workloads does
+    /// not match the fabric's nodes.
     pub fn new(
         fab: Fabric,
         choice: &NicChoice,
         sw: SoftwareModel,
         wls: Vec<Box<dyn NodeWorkload>>,
-    ) -> Self {
+    ) -> Result<Self, BuildError> {
         let n = fab.num_nodes();
-        assert_eq!(wls.len(), n, "need one workload per node");
+        if wls.len() != n {
+            return Err(BuildError::WorkloadCountMismatch {
+                nodes: n,
+                workloads: wls.len(),
+            });
+        }
         let nics = choice.build(n);
         let procs = (0..n).map(|i| Processor::new(NodeId::new(i), sw)).collect();
-        Driver {
+        Ok(Driver {
             fab,
             nics,
             procs,
@@ -95,7 +136,7 @@ impl Driver {
             trace: TraceHandle::off(),
             metrics: None,
             gauge_period: 1_000,
-        }
+        })
     }
 
     /// Overrides the cost charged to every node when a barrier releases
@@ -130,18 +171,35 @@ impl Driver {
     }
 
     /// Streams cycle-sampled occupancy gauges (buffer pool, OPT,
-    /// retransmission queue, bulk window, fabric in-flight) into `registry`
-    /// every `period` cycles. Values are the maximum across nodes — the
-    /// congestion signal the paper's admission-control argument turns on.
+    /// retransmission queue, bulk window, fabric in-flight) into a registry
+    /// the driver owns, every `period` cycles. Values are the maximum across
+    /// nodes — the congestion signal the paper's admission-control argument
+    /// turns on. Read the result with [`metrics`](Self::metrics) or claim it
+    /// with [`take_metrics`](Self::take_metrics); merge registries from
+    /// parallel replicas with [`MetricsRegistry::merge`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `period` is zero.
-    pub fn with_metrics(mut self, registry: Rc<RefCell<MetricsRegistry>>, period: u64) -> Self {
-        assert!(period > 0, "gauge period must be positive");
-        self.metrics = Some(registry);
+    /// [`BuildError::ZeroGaugePeriod`] if `period` is zero.
+    pub fn with_metrics(mut self, period: u64) -> Result<Self, BuildError> {
+        if period == 0 {
+            return Err(BuildError::ZeroGaugePeriod);
+        }
+        self.metrics = Some(MetricsRegistry::new());
         self.gauge_period = period;
-        self
+        Ok(self)
+    }
+
+    /// The gauge registry filled by [`with_metrics`](Self::with_metrics),
+    /// if one was requested.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Takes ownership of the gauge registry (for merging across replicas),
+    /// leaving the driver without one.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take()
     }
 
     /// The flight-recorder handle attached with [`with_trace`](Self::with_trace)
@@ -184,7 +242,7 @@ impl Driver {
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         let now = self.fab.now();
-        if let Some(reg) = &self.metrics {
+        if let Some(reg) = &mut self.metrics {
             if now.as_u64().is_multiple_of(self.gauge_period) {
                 let mut occ = nifdy::NicOccupancy::default();
                 for nic in &self.nics {
@@ -194,7 +252,6 @@ impl Driver {
                     occ.retx_queue = occ.retx_queue.max(o.retx_queue);
                     occ.window_outstanding = occ.window_outstanding.max(o.window_outstanding);
                 }
-                let mut reg = reg.borrow_mut();
                 reg.gauge("occupancy.pool.max", now, f64::from(occ.pool));
                 reg.gauge("occupancy.opt.max", now, f64::from(occ.opt));
                 reg.gauge("occupancy.retx_queue.max", now, f64::from(occ.retx_queue));
@@ -339,7 +396,7 @@ mod tests {
                 })
             })
             .collect();
-        Driver::new(fab, &choice, SoftwareModel::synthetic(), wls)
+        Driver::new(fab, &choice, SoftwareModel::synthetic(), wls).expect("one workload per node")
     }
 
     #[test]
@@ -404,6 +461,7 @@ mod tests {
             SoftwareModel::synthetic(),
             wls,
         )
+        .expect("workload count matches")
         .with_stall_watchdog(5_000);
         let _ = d.run_until_quiet(1_000_000);
     }
@@ -414,10 +472,10 @@ mod tests {
         use nifdy_trace::TraceConfig;
 
         let trace = TraceHandle::recording(TraceConfig::default());
-        let registry = Rc::new(RefCell::new(MetricsRegistry::new()));
         let mut d = ring_driver(NicChoice::Nifdy(NifdyConfig::mesh()))
             .with_trace(trace.clone())
-            .with_metrics(registry.clone(), 100);
+            .with_metrics(100)
+            .expect("nonzero period");
         assert!(d.run_until_quiet(3_000_000), "did not drain");
 
         let events = trace.snapshot();
@@ -433,8 +491,8 @@ mod tests {
         ] {
             assert!(names.contains(expected), "missing {expected} in {names:?}");
         }
-        // Cycle-sampled gauges made it into the registry.
-        let json = registry.borrow().to_json();
+        // Cycle-sampled gauges made it into the driver-owned registry.
+        let json = d.metrics().expect("registry attached").to_json();
         let rendered = json.render();
         assert!(rendered.contains("occupancy.opt.max"), "{rendered}");
         assert!(rendered.contains("fabric.in_flight"), "{rendered}");
@@ -466,6 +524,7 @@ mod tests {
             SoftwareModel::synthetic(),
             wls,
         )
+        .expect("workload count matches")
         .with_stall_watchdog(5_000)
         .with_trace(TraceHandle::recording(TraceConfig::default()));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -480,6 +539,49 @@ mod tests {
         assert!(msg.contains("flight recorder"), "{msg}");
         assert!(msg.contains("ScalarSend"), "{msg}");
         assert!(msg.contains("EligStall"), "{msg}");
+    }
+
+    #[test]
+    fn build_errors_are_typed() {
+        let fab = Fabric::new(Box::new(Mesh::d2(4, 4)), FabricConfig::default());
+        let err = Driver::new(
+            fab,
+            &NicChoice::Plain,
+            SoftwareModel::synthetic(),
+            Vec::new(),
+        )
+        .map(drop)
+        .expect_err("0 workloads for 16 nodes must not build");
+        assert_eq!(
+            err,
+            BuildError::WorkloadCountMismatch {
+                nodes: 16,
+                workloads: 0
+            }
+        );
+        let err = ring_driver(NicChoice::Plain)
+            .with_metrics(0)
+            .map(drop)
+            .expect_err("period 0 must be rejected");
+        assert_eq!(err, BuildError::ZeroGaugePeriod);
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn drivers_move_across_threads() {
+        // The whole point of owned trace/metrics state: a replica can run on
+        // a worker thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<Driver>();
+        let d = ring_driver(NicChoice::Nifdy(NifdyConfig::mesh()));
+        let received = std::thread::spawn(move || {
+            let mut d = d;
+            assert!(d.run_until_quiet(3_000_000), "did not drain");
+            d.packets_received()
+        })
+        .join()
+        .expect("worker panicked");
+        assert_eq!(received, 160);
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! fabric settings and best NIFDY parameters for each.
 
 use nifdy::NifdyConfig;
-use nifdy_net::topology::{Butterfly, Cm5FatTree, FatTree, Mesh, Topology, Torus};
-use nifdy_net::{FabricConfig, SwitchingPolicy};
+use nifdy_net::topology::{AdaptiveMesh, Butterfly, Cm5FatTree, FatTree, Mesh, Topology, Torus};
+use nifdy_net::{Fabric, FabricConfig, SwitchingPolicy};
 
-/// One of the paper's simulated 64-node networks.
+/// One of the paper's simulated 64-node networks (plus the §6.3 adaptive
+/// mesh used by the extension experiments).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkKind {
     /// 8×8 wormhole mesh, 1-byte links, 2-flit channel buffers.
@@ -25,6 +26,9 @@ pub enum NetworkKind {
     Butterfly,
     /// Radix-4 multibutterfly, dilation 2 (adaptive multipath).
     Multibutterfly,
+    /// West-first adaptive 2D mesh — the §6.3 future-work network; not part
+    /// of [`ALL`](Self::ALL).
+    AdaptiveMesh2D,
 }
 
 impl NetworkKind {
@@ -51,6 +55,7 @@ impl NetworkKind {
             NetworkKind::Cm5 => "cm5-fat-tree",
             NetworkKind::Butterfly => "butterfly",
             NetworkKind::Multibutterfly => "multibfly",
+            NetworkKind::AdaptiveMesh2D => "adaptive-mesh-2d",
         }
     }
 
@@ -85,6 +90,15 @@ impl NetworkKind {
             NetworkKind::Cm5 => Box::new(Cm5FatTree::new(nodes)),
             NetworkKind::Butterfly => Box::new(Butterfly::new(nodes, 1, seed)),
             NetworkKind::Multibutterfly => Box::new(Butterfly::new(nodes, 2, seed)),
+            NetworkKind::AdaptiveMesh2D => {
+                let side = (nodes as f64).sqrt() as usize;
+                assert_eq!(
+                    side * side,
+                    nodes,
+                    "adaptive-mesh-2d needs a square node count"
+                );
+                Box::new(AdaptiveMesh::d2(side, side))
+            }
         }
     }
 
@@ -92,7 +106,7 @@ impl NetworkKind {
     pub fn fabric_config(&self, seed: u64) -> FabricConfig {
         let base = FabricConfig::default().with_seed(seed);
         match self {
-            NetworkKind::Mesh2D | NetworkKind::Mesh3D => base,
+            NetworkKind::Mesh2D | NetworkKind::Mesh3D | NetworkKind::AdaptiveMesh2D => base,
             NetworkKind::Torus2D => base.with_vcs_per_lane(2),
             NetworkKind::FatTree => base
                 .with_policy(SwitchingPolicy::CutThrough)
@@ -105,10 +119,18 @@ impl NetworkKind {
         }
     }
 
+    /// Builds the whole fabric: [`topology`](Self::topology) plus
+    /// [`fabric_config`](Self::fabric_config), both derived from `seed`.
+    pub fn fabric(&self, nodes: usize, seed: u64) -> Fabric {
+        Fabric::new(self.topology(nodes, seed), self.fabric_config(seed))
+    }
+
     /// The best NIFDY parameters for this network (Table 3 / §2.4.3).
     pub fn nifdy_preset(&self) -> NifdyConfig {
         match self {
-            NetworkKind::Mesh2D | NetworkKind::Mesh3D => NifdyConfig::mesh(),
+            NetworkKind::Mesh2D | NetworkKind::Mesh3D | NetworkKind::AdaptiveMesh2D => {
+                NifdyConfig::mesh()
+            }
             NetworkKind::Torus2D => NifdyConfig::torus(),
             NetworkKind::FatTree | NetworkKind::Multibutterfly => NifdyConfig::fat_tree(),
             NetworkKind::SfFatTree => NifdyConfig::store_and_forward_fat_tree(),
@@ -157,5 +179,6 @@ mod tests {
         assert!(NetworkKind::FatTree.reorders());
         assert!(NetworkKind::Multibutterfly.reorders());
         assert!(NetworkKind::Cm5.reorders());
+        assert!(NetworkKind::AdaptiveMesh2D.reorders());
     }
 }

@@ -120,7 +120,8 @@ mod tests {
             &NicChoice::Nifdy(NifdyConfig::mesh()),
             SoftwareModel::synthetic(),
             cfg.build(16),
-        );
+        )
+        .expect("driver builds");
         d.run_cycles(20_000);
         let delivered = d.packets_received();
         // 16 nodes * 20000/500 = 640 offered; nearly all should arrive.
@@ -140,7 +141,8 @@ mod tests {
                 &NicChoice::Plain,
                 SoftwareModel::synthetic(),
                 cfg.build(16),
-            );
+            )
+            .expect("driver builds");
             d.run_cycles(30_000);
             d.packets_received()
         };

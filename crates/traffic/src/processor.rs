@@ -33,7 +33,11 @@ pub enum Action {
 }
 
 /// Per-node workload logic, driven by its processor.
-pub trait NodeWorkload {
+///
+/// `Send` is a supertrait so a boxed workload (and therefore a whole
+/// [`Driver`](crate::Driver)) can move into a worker thread when experiment
+/// cells run in parallel.
+pub trait NodeWorkload: Send {
     /// The next thing this node wants to do. Called whenever the processor
     /// is free and not retrying a send.
     fn next_action(&mut self, now: Cycle) -> Action;

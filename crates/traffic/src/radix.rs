@@ -246,7 +246,8 @@ mod tests {
             &NicChoice::Nifdy(NifdyConfig::mesh()),
             sw,
             cfg.build(4),
-        );
+        )
+        .expect("driver builds");
         assert!(d.run_until_quiet(1_000_000), "scan never finished");
         // Each of the 3 forwarding nodes sent 16 buckets.
         let sent: u64 = d.processors().iter().map(|p| p.stats().sent.get()).sum();
@@ -267,7 +268,8 @@ mod tests {
             &NicChoice::Nifdy(NifdyConfig::mesh()),
             sw,
             cfg.build(4),
-        );
+        )
+        .expect("driver builds");
         assert!(d.run_until_quiet(2_000_000));
         assert_eq!(d.packets_received(), 4 * 30);
         for p in d.processors() {

@@ -69,7 +69,8 @@ fn finished_nodes_do_not_block_barriers() {
         &NicChoice::Nifdy(NifdyConfig::mesh()),
         SoftwareModel::synthetic(),
         wls,
-    );
+    )
+    .expect("driver builds");
     assert!(d.run_until_quiet(200_000), "barrier wedged with done nodes");
     assert_eq!(d.processors()[0].stats().barriers.get(), 2);
 }
@@ -97,7 +98,8 @@ fn send_overhead_paces_the_processor() {
         &NicChoice::Nifdy(NifdyConfig::mesh()),
         SoftwareModel::synthetic(),
         wls,
-    );
+    )
+    .expect("driver builds");
     assert!(d.run_until_quiet(500_000));
     assert!(
         d.fabric().now().as_u64() >= 400,
@@ -139,7 +141,8 @@ fn receive_has_priority_over_new_sends() {
         &NicChoice::Nifdy(NifdyConfig::mesh()),
         SoftwareModel::synthetic(),
         wls,
-    );
+    )
+    .expect("driver builds");
     d.run_cycles(150_000);
     // Node 0 must have received node 1's packets despite never idling.
     assert!(
@@ -180,6 +183,7 @@ fn persistent_link_down_surfaces_typed_failures_without_hanging() {
         .with_retx_timeout(500)
         .with_retx_budget(3);
     let mut d = Driver::new(fab, &NicChoice::Nifdy(cfg), SoftwareModel::synthetic(), wls)
+        .expect("driver builds")
         .with_stall_watchdog(100_000);
     assert!(
         d.run_until_quiet(2_000_000),

@@ -17,7 +17,7 @@ fn run(choice: &NicChoice, barriers: bool, inorder: bool) -> (u64, f64, Vec<Vec<
     let fab = Fabric::new(kind.topology(nodes, 1), kind.fabric_config(1));
     let sw = SoftwareModel::cm5_library(!inorder);
     let cfg = CShiftConfig::new(45, sw).with_barriers(barriers);
-    let mut driver = Driver::new(fab, choice, sw, cfg.build(nodes));
+    let mut driver = Driver::new(fab, choice, sw, cfg.build(nodes)).expect("driver builds");
 
     let mut series = vec![Vec::new(); nodes];
     let cap = 3_000_000u64;

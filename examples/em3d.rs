@@ -18,7 +18,7 @@ fn cycles_per_iter(kind: NetworkKind, choice: &NicChoice, inorder: bool) -> f64 
     // preserving the communication shape.
     params.n_nodes /= 4;
     params.iters = 2;
-    let mut driver = Driver::new(fab, choice, sw, params.build(64, sw));
+    let mut driver = Driver::new(fab, choice, sw, params.build(64, sw)).expect("driver builds");
     assert!(driver.run_until_quiet(50_000_000), "EM3D did not finish");
     driver.fabric().now().as_u64() as f64 / f64::from(params.iters)
 }

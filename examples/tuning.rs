@@ -19,11 +19,14 @@ use nifdy_sim::NodeId;
 fn measure_pairwise(kind: NetworkKind, window: u8, packets: u32) -> f64 {
     let fab_cfg = kind.fabric_config(1);
     let mut fab = Fabric::new(kind.topology(64, 1), fab_cfg);
-    let cfg = if window == 0 {
-        NifdyConfig::new(8, 8, 0, 2) // scalar only
-    } else {
-        NifdyConfig::new(8, 8, 1, window)
-    };
+    let (dialogs, w) = if window == 0 { (0, 2) } else { (1, window) };
+    let cfg = NifdyConfig::builder()
+        .opt_entries(8)
+        .pool_entries(8)
+        .max_dialogs(dialogs)
+        .window(w)
+        .build()
+        .expect("tuning parameters are valid");
     let (src, dst) = (NodeId::new(0), NodeId::new(63));
     let mut a = NifdyUnit::new(src, cfg.clone());
     let mut b = NifdyUnit::new(dst, cfg);

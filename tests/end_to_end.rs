@@ -22,7 +22,8 @@ fn synthetic_heavy_delivers_on_every_network_and_interface() {
         for choice in choices(kind) {
             let fab = Fabric::new(kind.topology(64, 1), kind.fabric_config(1));
             let wls = SyntheticConfig::heavy(1).build(64);
-            let mut d = Driver::new(fab, &choice, SoftwareModel::synthetic(), wls);
+            let mut d =
+                Driver::new(fab, &choice, SoftwareModel::synthetic(), wls).expect("driver builds");
             d.run_cycles(8_000);
             assert!(
                 d.packets_received() > 100,
@@ -47,7 +48,8 @@ fn cshift_completes_on_every_network() {
             &NicChoice::Nifdy(kind.nifdy_preset()),
             sw,
             cfg.build(nodes),
-        );
+        )
+        .expect("driver builds");
         assert!(
             d.run_until_quiet(30_000_000),
             "{} never finished C-shift",
@@ -82,7 +84,8 @@ fn em3d_conserves_every_value_update() {
         &NicChoice::Nifdy(kind.nifdy_preset()),
         sw,
         params.build(64, sw),
-    );
+    )
+    .expect("driver builds");
     assert!(d.run_until_quiet(50_000_000), "EM3D never finished");
     assert_eq!(
         d.user_words_received(),
@@ -99,7 +102,7 @@ fn radix_scan_pipeline_finishes_with_and_without_nifdy() {
     cfg.buckets = 32;
     for choice in [NicChoice::Plain, NicChoice::Nifdy(kind.nifdy_preset())] {
         let fab = Fabric::new(kind.topology(64, 4), kind.fabric_config(4));
-        let mut d = Driver::new(fab, &choice, sw, cfg.build(64));
+        let mut d = Driver::new(fab, &choice, sw, cfg.build(64)).expect("driver builds");
         assert!(
             d.run_until_quiet(50_000_000),
             "scan stuck with {}",
@@ -121,8 +124,9 @@ fn nifdy_survives_the_lossy_fabric_under_a_real_workload() {
         kind.fabric_config(5).with_drop_prob(0.05),
     );
     let nic = kind.nifdy_preset().with_retx_timeout(3_000);
-    let mut d =
-        Driver::new(fab, &NicChoice::Nifdy(nic), sw, cfg.build(64)).with_stall_watchdog(500_000);
+    let mut d = Driver::new(fab, &NicChoice::Nifdy(nic), sw, cfg.build(64))
+        .expect("driver builds")
+        .with_stall_watchdog(500_000);
     assert!(
         d.run_until_quiet(80_000_000),
         "lossy C-shift never finished"
@@ -157,8 +161,9 @@ fn adaptive_rto_survives_the_fault_plane_under_a_real_workload() {
         .nifdy_preset()
         .with_retx_timeout(3_000)
         .with_adaptive_rto(true);
-    let mut d =
-        Driver::new(fab, &NicChoice::Nifdy(nic), sw, cfg.build(64)).with_stall_watchdog(500_000);
+    let mut d = Driver::new(fab, &NicChoice::Nifdy(nic), sw, cfg.build(64))
+        .expect("driver builds")
+        .with_stall_watchdog(500_000);
     assert!(
         d.run_until_quiet(80_000_000),
         "bursty C-shift never finished"
@@ -188,7 +193,8 @@ fn deterministic_runs_are_bit_identical() {
             &NicChoice::Nifdy(kind.nifdy_preset()),
             SoftwareModel::synthetic(),
             wls,
-        );
+        )
+        .expect("driver builds");
         d.run_cycles(15_000);
         (d.packets_received(), d.user_words_received())
     };
@@ -235,7 +241,8 @@ fn nifdy_routes_around_fat_tree_link_faults() {
             &NicChoice::Nifdy(NetworkKind::FatTree.nifdy_preset()),
             sw,
             cfg.build(64),
-        );
+        )
+        .expect("driver builds");
         let done = d.run_until_quiet(30_000_000);
         (done, d.fabric().now().as_u64())
     }
