@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use nifdy_net::{Fabric, Lane, Packet, Wire};
+use nifdy_net::{Lane, NetPort, Packet, Wire};
 use nifdy_sim::{Cycle, NodeId, PacketId};
 
 use crate::nic::{Delivered, Nic, NicStats, OutboundPacket};
@@ -64,7 +64,7 @@ impl FifoNic {
         })
     }
 
-    fn step(&mut self, fab: &mut Fabric) {
+    fn step(&mut self, fab: &mut dyn NetPort) {
         // Drain arrivals while there is room; otherwise backpressure holds
         // packets in the fabric.
         while self.arrivals.len() < self.arr_cap {
@@ -176,7 +176,7 @@ macro_rules! delegate_nic {
             fn poll(&mut self, _now: Cycle) -> Option<Delivered> {
                 self.0.poll()
             }
-            fn step(&mut self, fab: &mut Fabric) {
+            fn step(&mut self, fab: &mut dyn NetPort) {
                 self.0.step(fab)
             }
             fn is_idle(&self) -> bool {
@@ -196,7 +196,7 @@ delegate_nic!(BufferedNic);
 mod tests {
     use super::*;
     use nifdy_net::topology::Mesh;
-    use nifdy_net::FabricConfig;
+    use nifdy_net::{Fabric, FabricConfig};
 
     #[test]
     fn plain_nic_round_trip() {

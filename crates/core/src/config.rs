@@ -213,10 +213,15 @@ impl NifdyConfig {
     /// Creates a configuration with the four paper parameters and defaults
     /// for everything else.
     ///
+    /// Compiled only for this crate's own tests: every external caller has
+    /// migrated to [`NifdyConfig::builder`], and the tests keep this shim
+    /// solely to pin down its panic-on-invalid contract.
+    ///
     /// # Panics
     ///
     /// Panics if the parameters are inconsistent (see
     /// [`NifdyConfig::validate`]).
+    #[cfg(test)]
     #[deprecated(
         since = "0.2.0",
         note = "use NifdyConfig::builder(), which reports a typed ConfigError instead of panicking"

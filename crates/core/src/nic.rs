@@ -8,7 +8,7 @@
 //! [`Nic::try_send`], poll for arrivals with [`Nic::poll`], and give the
 //! interface its per-cycle slice of work with [`Nic::step`].
 
-use nifdy_net::{Fabric, UserData};
+use nifdy_net::{NetPort, UserData};
 use nifdy_sim::metrics::Counter;
 use nifdy_sim::{Cycle, NodeId};
 use nifdy_trace::TraceHandle;
@@ -190,7 +190,8 @@ pub struct NicOccupancy {
     pub window_outstanding: u64,
 }
 
-/// A network interface attached to one node of a [`Fabric`].
+/// A network interface attached to one node of a packet carrier (the
+/// cycle-accurate fabric or a byte transport — any [`NetPort`]).
 ///
 /// Call order within a simulated cycle: the processor first interacts
 /// ([`try_send`](Nic::try_send) / [`poll`](Nic::poll)), then the NIC runs
@@ -219,8 +220,10 @@ pub trait Nic: Send {
     fn poll(&mut self, now: Cycle) -> Option<Delivered>;
 
     /// One cycle of interface work: drain ejections, process acks, choose
-    /// and inject eligible packets.
-    fn step(&mut self, fab: &mut Fabric);
+    /// and inject eligible packets. The port is the node's attachment to
+    /// whatever carries the packets — the simulated fabric or a real
+    /// transport; the interface is transport-agnostic.
+    fn step(&mut self, port: &mut dyn NetPort);
 
     /// True when the interface holds no queued outbound work (used by
     /// drain/termination checks; in-flight fabric packets are tracked by the

@@ -31,7 +31,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use nifdy_net::{AckInfo, BulkGrant, BulkTag, Fabric, Lane, Packet, Wire};
+use nifdy_net::{AckInfo, BulkGrant, BulkTag, Lane, NetPort, Packet, Wire};
 use nifdy_sim::{Cycle, NodeId, PacketId, SimRng};
 use nifdy_trace::{trace_event, DialogEnd, EventKind, TraceHandle};
 
@@ -564,8 +564,23 @@ impl NifdyUnit {
         }
     }
 
+    /// The peer a dialog slot belongs to: the live dialog's sender, or the
+    /// tombstoned one for a slot that recently closed. Bulk-mode packets
+    /// carry `{seq, dialog}` *in place of* the source-identifier bits (§3),
+    /// so on a real wire this lookup — not the header — names the sender.
+    fn dialog_peer(&self, slot: usize) -> Option<NodeId> {
+        if let Some(d) = self.dialogs.get(slot).and_then(Option::as_ref) {
+            return Some(d.peer);
+        }
+        self.closed
+            .get(slot)
+            .copied()
+            .flatten()
+            .map(|c: ClosedDialog| c.peer)
+    }
+
     /// Handles an arriving bulk-mode data packet (receiver side).
-    fn receive_bulk(&mut self, pkt: Packet, tag: BulkTag) {
+    fn receive_bulk(&mut self, mut pkt: Packet, tag: BulkTag) {
         let slot = tag.dialog as usize;
         if slot >= self.dialogs.len() || self.dialogs[slot].is_none() {
             // Late retransmission for a closed dialog: re-send the final ack.
@@ -587,6 +602,11 @@ impl NifdyUnit {
         }
         let d = self.dialogs[slot].as_mut().expect("checked above");
         d.last_activity = self.now;
+        // Re-substitute the source identifier from the dialog slot. Over the
+        // simulated fabric this is a no-op (the struct still carries `src`);
+        // over a byte transport the bulk header genuinely lacks the source
+        // bits and the decoder fills in a placeholder.
+        pkt.src = d.peer;
         let delta = (u64::from(tag.seq) + SEQ_SPACE - (d.expected % SEQ_SPACE)) % SEQ_SPACE;
         if delta >= u64::from(self.cfg.window) {
             // Duplicate or out-of-window: discard, refresh the cumulative ack.
@@ -1155,7 +1175,7 @@ impl Nic for NifdyUnit {
         })
     }
 
-    fn step(&mut self, fab: &mut Fabric) {
+    fn step(&mut self, fab: &mut dyn NetPort) {
         self.now = fab.now();
 
         // 1. Consume acknowledgments (reply lane) through the processing
@@ -1194,7 +1214,12 @@ impl Nic for NifdyUnit {
                     };
                     if let Some(info) = piggy_ack {
                         let ready = self.now + u64::from(self.cfg.ack_proc_cycles);
-                        self.ack_delay.push_back((ready, pkt.src, info));
+                        // Bulk headers have no source bits (§3): name the
+                        // sender from the dialog slot, falling back to the
+                        // carried field for unknown slots (the ack is then
+                        // ignored by `handle_ack` anyway).
+                        let from = self.dialog_peer(tag.dialog as usize).unwrap_or(pkt.src);
+                        self.ack_delay.push_back((ready, from, info));
                     }
                     self.receive_bulk(pkt, tag);
                 }
@@ -1335,7 +1360,7 @@ impl Nic for NifdyUnit {
 mod tests {
     use super::*;
     use nifdy_net::topology::Mesh;
-    use nifdy_net::{FabricConfig, UserData};
+    use nifdy_net::{Fabric, FabricConfig, UserData};
 
     fn unit(cfg: NifdyConfig) -> NifdyUnit {
         NifdyUnit::new(NodeId::new(0), cfg)

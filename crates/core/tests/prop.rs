@@ -238,7 +238,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 40,
-        .. ProptestConfig::default()
     })]
 
     #[test]
@@ -251,7 +250,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 16,
         max_shrink_iters: 40,
-        .. ProptestConfig::default()
     })]
 
     /// Exactly-once, in-order delivery survives the fault plane: bursty
@@ -268,7 +266,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
         max_shrink_iters: 20,
-        .. ProptestConfig::default()
     })]
 
     /// The analytic window formula is monotone and safe: longer round trips

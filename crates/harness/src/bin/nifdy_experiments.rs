@@ -8,13 +8,13 @@ use std::process::ExitCode;
 
 use nifdy_harness::{
     ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, percentile_table, sweep, table3,
-    trace_guard, Jobs, Scale,
+    trace_guard, wire_cmd, Jobs, Scale,
 };
 use nifdy_trace::export;
 
 const USAGE: &str = "usage: nifdy-experiments \
     <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
-    |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard> \
+    |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard|wire:loopback|wire:udp> \
     [--full|--quick|--smoke] [--seed N] [--jobs N] \
     [--trace-out FILE.json] [--trace-jsonl FILE.jsonl] [--metrics-out FILE.json]";
 
@@ -129,6 +129,27 @@ fn main() -> ExitCode {
     if target == "ext:lossy" || target == "ext-lossy" {
         let (table, _) = ext_lossy::run_lossy(scale, seed, jobs);
         println!("{table}");
+        matched = true;
+    }
+    if target == "wire:loopback" {
+        let (table, _) = wire_cmd::run_loopback(scale, seed);
+        println!("{table}");
+        matched = true;
+    }
+    if target == "wire:udp" {
+        match wire_cmd::run_udp(scale, seed) {
+            Ok(report) => {
+                println!(
+                    "nifdy-wire: UDP localhost exchange: {} packets delivered in order, \
+                     {} retransmits, {} ms",
+                    report.delivered, report.retransmits, report.millis
+                );
+            }
+            Err(e) => {
+                eprintln!("wire:udp cannot bind localhost sockets: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         matched = true;
     }
     if target == "trace-guard" {

@@ -44,6 +44,7 @@ mod scale;
 pub mod sweep;
 pub mod table3;
 pub mod trace_guard;
+pub mod wire_cmd;
 
 pub use exec::{cell_seed, Jobs};
 pub use nifdy_traffic::NetworkKind;

@@ -1,0 +1,252 @@
+//! `wire:*` experiments: the byte-transport stack measured against the
+//! paper's §2.4 analytic model.
+//!
+//! * [`run_loopback`] streams a one-way bulk workload between two
+//!   [`WireEndpoint`]s on the deterministic loopback hub and reports the
+//!   achieved pairwise bandwidth at several window sizes against the
+//!   Equation 1 ceiling `L / max(T_send, T_receive, T_link)`. The transport
+//!   port charges one cycle per word of serialization, so `T_link =
+//!   size_words` and the ceiling is exactly [`BYTES_PER_WORD`] bytes per
+//!   cycle; Equation 3 predicts the window that reaches it.
+//! * [`run_udp`] runs the same exchange over two real UDP sockets on
+//!   localhost — a smoke-scale proof that the stack survives an operating
+//!   system's delivery behavior, with the §6.2 machinery absorbing any
+//!   loss.
+
+use nifdy::analysis::{min_window_combined_acks, pairwise_bandwidth, roundtrip, Timing};
+use nifdy::{NifdyConfig, OutboundPacket};
+use nifdy_net::UserData;
+use nifdy_sim::NodeId;
+use nifdy_wire::codec::BYTES_PER_WORD;
+use nifdy_wire::{LoopbackHub, UdpTransport, WireEndpoint};
+
+use crate::{Scale, Table};
+
+/// Packet length every wire measurement uses, matching the paper's
+/// library-driven workloads (6 words including the header).
+pub const SIZE_WORDS: u16 = 6;
+
+/// Fixed one-way hub latency for the loopback measurements, in cycles.
+pub const HUB_LATENCY: u64 = 8;
+
+/// One measured cell of the loopback bandwidth table.
+#[derive(Debug, Clone, Copy)]
+pub struct WirePoint {
+    /// Window size (0 = scalar mode, no dialog).
+    pub window: u8,
+    /// Packets streamed.
+    pub packets: u32,
+    /// Hub cycles from first injection to last delivery.
+    pub cycles: u64,
+    /// Achieved bandwidth in bytes per cycle.
+    pub bytes_per_cycle: f64,
+}
+
+fn config(window: u8, bulk: bool) -> NifdyConfig {
+    NifdyConfig::builder()
+        .opt_entries(4)
+        .pool_entries(8)
+        .max_dialogs(if bulk { 1 } else { 0 })
+        .window(window.max(2))
+        .build()
+        .expect("wire measurement config is valid")
+}
+
+/// Streams `packets` 6-word packets from node 0 to node 1 over the loopback
+/// hub and returns the achieved bandwidth. `window == 0` runs scalar mode.
+fn measure(window: u8, packets: u32, seed: u64) -> WirePoint {
+    let bulk = window > 0;
+    let hub = LoopbackHub::new(2, HUB_LATENCY);
+    let n0 = NodeId::new(0);
+    let n1 = NodeId::new(1);
+    let mut tx = WireEndpoint::new(n0, config(window, bulk), hub.endpoint(n0));
+    let mut rx = WireEndpoint::new(n1, config(window, bulk), hub.endpoint(n1));
+    let mut sent = 0u32;
+    let mut got = 0u32;
+    let mut last_delivery = 0u64;
+    let deadline = 200_000 + u64::from(packets) * 200;
+    while got < packets {
+        let now = hub.now().as_u64();
+        assert!(now < deadline, "wire measurement wedged at {got}/{packets}");
+        if sent < packets {
+            let pkt = OutboundPacket::new(n1, SIZE_WORDS)
+                .with_bulk(bulk)
+                .with_user(UserData {
+                    msg_id: seed,
+                    pkt_index: sent,
+                    msg_packets: packets,
+                    user_words: SIZE_WORDS - 2,
+                });
+            if tx.try_send(pkt) {
+                sent += 1;
+            }
+        }
+        tx.step();
+        rx.step();
+        while let Some(d) = rx.poll() {
+            assert_eq!(d.user.pkt_index, got, "out-of-order delivery");
+            got += 1;
+            last_delivery = hub.now().as_u64();
+        }
+        hub.tick();
+    }
+    let bytes = u64::from(packets) * u64::from(SIZE_WORDS) * BYTES_PER_WORD as u64;
+    WirePoint {
+        window,
+        packets,
+        cycles: last_delivery,
+        bytes_per_cycle: bytes as f64 / last_delivery as f64,
+    }
+}
+
+/// The loopback pairwise-bandwidth experiment: scalar mode plus a window
+/// sweep, rendered against the Equation 1 ceiling.
+pub fn run_loopback(scale: Scale, seed: u64) -> (Table, Vec<WirePoint>) {
+    let packets = scale.count(2_048) as u32;
+    // The transport port serializes one word per cycle, so T_link is the
+    // packet length; the drive loop injects and polls every cycle, so the
+    // endpoint overheads are one cycle each.
+    let timing = Timing {
+        t_send: 1,
+        t_receive: 1,
+        t_link: u64::from(SIZE_WORDS),
+        t_ackproc: 2,
+    };
+    let payload = u64::from(SIZE_WORDS) * BYTES_PER_WORD as u64;
+    let ceiling = pairwise_bandwidth(payload, timing);
+    // One-way frame time: hub latency plus serialization plus the
+    // tick/step handoff on each side.
+    let t_lat = HUB_LATENCY + u64::from(SIZE_WORDS) + 2;
+    let t_roundtrip = roundtrip(t_lat, timing.t_ackproc);
+    let w_min = min_window_combined_acks(t_roundtrip, timing.bottleneck());
+
+    let mut table = Table::new(
+        format!(
+            "nifdy-wire: loopback pairwise bandwidth, 2 nodes, {SIZE_WORDS}-word packets, \
+             hub latency {HUB_LATENCY} (Eq.1 ceiling {ceiling:.2} B/cyc; \
+             Eq.3 predicts W >= {w_min} at T_roundtrip {t_roundtrip})"
+        ),
+        vec![
+            "mode".into(),
+            "window".into(),
+            "packets".into(),
+            "cycles".into(),
+            "B/cyc".into(),
+            "% of Eq.1".into(),
+        ],
+    );
+    let mut points = Vec::new();
+    for window in [0u8, 2, 4, 8, 16, 32] {
+        let p = measure(window, packets, seed);
+        table.row(vec![
+            if window == 0 { "scalar" } else { "bulk" }.into(),
+            if window == 0 {
+                "-".into()
+            } else {
+                window.to_string()
+            },
+            p.packets.to_string(),
+            p.cycles.to_string(),
+            format!("{:.2}", p.bytes_per_cycle),
+            format!("{:.1}", 100.0 * p.bytes_per_cycle / ceiling),
+        ]);
+        points.push(p);
+    }
+    (table, points)
+}
+
+/// Result of the two-node UDP exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpReport {
+    /// Packets delivered in order at the receiver.
+    pub delivered: u64,
+    /// Data retransmissions the sender issued (OS drops absorbed).
+    pub retransmits: u64,
+    /// Wall-clock milliseconds for the exchange.
+    pub millis: u128,
+}
+
+/// Streams a bulk message between two localhost UDP sockets driven from one
+/// thread (step the sender, step the receiver, repeat) and asserts in-order
+/// exactly-once delivery.
+pub fn run_udp(scale: Scale, seed: u64) -> std::io::Result<UdpReport> {
+    let packets = scale.count(500) as u32;
+    let n0 = NodeId::new(0);
+    let n1 = NodeId::new(1);
+    let mut t0 = UdpTransport::bind(n0, "127.0.0.1:0")?;
+    let mut t1 = UdpTransport::bind(n1, "127.0.0.1:0")?;
+    t0.add_peer(n1, t1.local_addr()?);
+    t1.add_peer(n0, t0.local_addr()?);
+    let cfg = config(8, true).with_retx_timeout(20_000);
+    let mut tx = WireEndpoint::new(n0, cfg.clone(), t0);
+    let mut rx = WireEndpoint::new(n1, cfg, t1);
+    let start = std::time::Instant::now();
+    let mut sent = 0u32;
+    let mut got = 0u32;
+    while got < packets || !tx.is_idle() {
+        assert!(
+            start.elapsed().as_secs() < 120,
+            "udp exchange wedged at {got}/{packets}"
+        );
+        if sent < packets {
+            let pkt = OutboundPacket::new(n1, SIZE_WORDS)
+                .with_bulk(true)
+                .with_user(UserData {
+                    msg_id: seed,
+                    pkt_index: sent,
+                    msg_packets: packets,
+                    user_words: SIZE_WORDS - 2,
+                });
+            if tx.try_send(pkt) {
+                sent += 1;
+            }
+        }
+        tx.step();
+        rx.step();
+        assert!(
+            tx.take_failures().is_empty(),
+            "sender gave up on a delivery"
+        );
+        while let Some(d) = rx.poll() {
+            assert_eq!(d.user.pkt_index, got, "out-of-order delivery over UDP");
+            got += 1;
+        }
+    }
+    Ok(UdpReport {
+        delivered: rx.stats().delivered.get(),
+        retransmits: tx.stats().retransmitted.get(),
+        millis: start.elapsed().as_millis(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_bandwidth_scales_with_window() {
+        let (_, points) = run_loopback(Scale::Smoke, 1);
+        assert_eq!(points.len(), 6);
+        let scalar = points[0].bytes_per_cycle;
+        let widest = points.last().expect("points").bytes_per_cycle;
+        assert!(
+            widest > 2.0 * scalar,
+            "a wide window must beat scalar mode ({widest:.2} vs {scalar:.2})"
+        );
+        let ceiling = BYTES_PER_WORD as f64;
+        assert!(
+            widest <= ceiling * 1.001,
+            "nothing exceeds the Equation 1 ceiling"
+        );
+        assert!(
+            widest >= ceiling * 0.80,
+            "a wide window should approach the ceiling, got {widest:.2}"
+        );
+    }
+
+    #[test]
+    fn udp_exchange_delivers_everything() {
+        let report = run_udp(Scale::Smoke, 3).expect("sockets bind on localhost");
+        assert_eq!(report.delivered, Scale::Smoke.count(500));
+    }
+}

@@ -511,17 +511,19 @@ impl Fabric {
     /// channel. Time-multiplexed links advance strictly by cycle parity;
     /// demand-multiplexed links give the full bandwidth to a lone flit and
     /// alternate fairly when both lanes are busy.
-    fn advancing_lane(&self, busy: [bool; 2], mux_rr: u8) -> Option<usize> {
-        if self.cfg.time_mux_lanes {
+    fn advancing_lane(&self, busy: [bool; 2], mux_rr: u8) -> Option<Lane> {
+        let index = if self.cfg.time_mux_lanes {
             let slot = (self.now.as_u64() % 2) as usize;
-            return busy[slot].then_some(slot);
-        }
-        match (busy[0], busy[1]) {
-            (true, true) => Some(mux_rr as usize),
-            (true, false) => Some(0),
-            (false, true) => Some(1),
-            (false, false) => None,
-        }
+            busy[slot].then_some(slot)?
+        } else {
+            match (busy[0], busy[1]) {
+                (true, true) => mux_rr as usize,
+                (true, false) => 0,
+                (false, true) => 1,
+                (false, false) => return None,
+            }
+        };
+        Some(Lane::from_index(index).expect("lane slots are indexed 0..2"))
     }
 
     /// Phase A: decrement serialization counters; deliver flits whose
@@ -539,12 +541,13 @@ impl Fabric {
                 if busy[0] && busy[1] {
                     self.routers[r].outs[p].mux_rr ^= 1;
                 }
-                let (flit, dvc, rem) = self.routers[r].outs[p].in_flight[lane].expect("busy lane");
+                let (flit, dvc, rem) =
+                    self.routers[r].outs[p].in_flight[lane.index()].expect("busy lane");
                 if rem > 1 {
-                    self.routers[r].outs[p].in_flight[lane] = Some((flit, dvc, rem - 1));
+                    self.routers[r].outs[p].in_flight[lane.index()] = Some((flit, dvc, rem - 1));
                     continue;
                 }
-                self.routers[r].outs[p].in_flight[lane] = None;
+                self.routers[r].outs[p].in_flight[lane.index()] = None;
                 let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
                 if is_tail {
                     self.routers[r].outs[p].owner[dvc as usize] = None;
@@ -575,16 +578,16 @@ impl Fabric {
             if busy[0] && busy[1] {
                 self.nodes[n].lane_rr ^= 1;
             }
-            let (flit, dvc, rem) = self.nodes[n].in_flight[lane].expect("busy lane");
+            let (flit, dvc, rem) = self.nodes[n].in_flight[lane.index()].expect("busy lane");
             if rem > 1 {
-                self.nodes[n].in_flight[lane] = Some((flit, dvc, rem - 1));
+                self.nodes[n].in_flight[lane.index()] = Some((flit, dvc, rem - 1));
                 continue;
             }
-            self.nodes[n].in_flight[lane] = None;
+            self.nodes[n].in_flight[lane.index()] = None;
             let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
             if is_tail {
                 self.nodes[n].inj_owner[dvc as usize] = None;
-                self.nodes[n].slots[lane] = None;
+                self.nodes[n].slots[lane.index()] = None;
             }
             let (r, p) = (self.nodes[n].inj_router, self.nodes[n].inj_port);
             let target = &mut self.routers[r as usize];
@@ -694,9 +697,9 @@ impl Fabric {
             let start = (self.now.as_u64() as usize + r) % num_outs;
             for k in 0..num_outs {
                 let p = (start + k) % num_outs;
-                for lane in 0..2 {
-                    if self.routers[r].lane_flits[lane] > 0
-                        && self.routers[r].outs[p].in_flight[lane].is_none()
+                for lane in Lane::ALL {
+                    if self.routers[r].lane_flits[lane.index()] > 0
+                        && self.routers[r].outs[p].in_flight[lane.index()].is_none()
                     {
                         self.try_start_one(r, p, lane);
                     }
@@ -707,15 +710,12 @@ impl Fabric {
 
     /// Attempts to start one flit of logical network `lane` on output port
     /// `p` of router `r`.
-    fn try_start_one(&mut self, r: usize, p: usize, lane: usize) {
+    fn try_start_one(&mut self, r: usize, p: usize, lane: Lane) {
         let num_ins = self.routers[r].ins.len();
         let total_vcs = self.cfg.total_vcs();
         let slots = num_ins * total_vcs;
         let rr = self.routers[r].outs[p].rr as usize;
-        let lane_range = {
-            let per = self.cfg.vcs_per_lane as usize;
-            lane * per..(lane + 1) * per
-        };
+        let lane_range = self.lane_vc_range(lane);
         for k in 0..slots {
             let s = (rr + k) % slots;
             let (ip, vc) = (s / total_vcs, s % total_vcs);

@@ -42,12 +42,14 @@ mod config;
 mod fabric;
 mod fault;
 mod packet;
+mod port;
 pub mod topology;
 
 pub use config::{FabricConfig, SwitchingPolicy};
 pub use fabric::{Fabric, FabricStats};
 pub use fault::{DropCause, FaultConfig, FaultPlane, GilbertElliott, LinkWindow, TargetedDrop};
 pub use packet::{
-    AckInfo, BulkGrant, BulkTag, DialogId, Lane, Packet, PacketStamp, SeqNo, UserData, Wire,
-    ACK_WORDS,
+    AckInfo, BulkGrant, BulkTag, DialogId, InvalidLane, Lane, Packet, PacketStamp, SeqNo, UserData,
+    Wire, ACK_WORDS,
 };
+pub use port::NetPort;

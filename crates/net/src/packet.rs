@@ -34,7 +34,31 @@ impl Lane {
     pub const fn index(self) -> usize {
         self as usize
     }
+
+    /// The inverse of [`Lane::index`]: 0 is the request lane, 1 the reply
+    /// lane, anything else is an [`InvalidLane`] error. Use this instead of
+    /// matching on raw indices so every decoder shares one error path.
+    #[inline]
+    pub const fn from_index(index: usize) -> Result<Lane, InvalidLane> {
+        match index {
+            0 => Ok(Lane::Request),
+            1 => Ok(Lane::Reply),
+            other => Err(InvalidLane(other)),
+        }
+    }
 }
+
+/// Error returned by [`Lane::from_index`] for an index outside `0..2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLane(pub usize);
+
+impl core::fmt::Display for InvalidLane {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid lane index {} (lanes are 0..2)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLane {}
 
 /// Identifier of a bulk dialog slot at a receiver (`0..D`).
 pub type DialogId = u8;
@@ -267,6 +291,17 @@ mod tests {
         assert_eq!(Lane::Request.index(), 0);
         assert_eq!(Lane::Reply.index(), 1);
         assert_eq!(Lane::ALL.len(), 2);
+    }
+
+    #[test]
+    fn lane_from_index_round_trips() {
+        for lane in Lane::ALL {
+            assert_eq!(Lane::from_index(lane.index()), Ok(lane));
+        }
+        assert_eq!(Lane::from_index(2), Err(InvalidLane(2)));
+        assert_eq!(Lane::from_index(usize::MAX), Err(InvalidLane(usize::MAX)));
+        let msg = InvalidLane(7).to_string();
+        assert!(msg.contains('7'), "error should name the bad index: {msg}");
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! The network attachment point a NIFDY unit drives.
+//!
+//! The protocol state machine in the `nifdy` crate needs only five
+//! operations from whatever carries its packets: the current time, an
+//! injection-readiness probe, injection, ejection, and a peek. [`NetPort`]
+//! names exactly that surface so the same `NifdyUnit::step` runs unchanged
+//! against the cycle-accurate [`Fabric`](crate::Fabric) *and* against a real
+//! byte transport (the `nifdy-wire` crate implements `NetPort` on top of
+//! loopback and UDP backends). The fabric is thus one port implementation
+//! among several, and the sim-vs-wire differential conformance suite can
+//! drive both from identical workloads.
+
+use nifdy_sim::{Cycle, NodeId};
+
+use crate::packet::{Lane, Packet};
+
+/// One node's bidirectional attachment to a packet carrier.
+///
+/// Implementations may deliver out of order, even between the same pair of
+/// nodes: NIFDY's in-order guarantee comes from the protocol's own
+/// sequencing (one outstanding scalar packet per destination; the bulk
+/// reorder window), so a carrier that reorders — adaptive routing, delivery
+/// jitter, real datagrams — is legal and deliberately exercised by the
+/// conformance suite. `eject`/`peek_eject` must agree: `peek_eject` returns
+/// the packet the next `eject` on that lane would remove.
+pub trait NetPort {
+    /// The carrier's current cycle (drives protocol timeouts and stamps).
+    fn now(&self) -> Cycle;
+
+    /// Whether `node` can hand the carrier a new packet on `lane` this
+    /// cycle.
+    fn can_inject(&self, node: NodeId, lane: Lane) -> bool;
+
+    /// Starts sending `packet` from `node`. Callers check
+    /// [`NetPort::can_inject`] first; implementations may panic on a busy
+    /// port, mirroring [`Fabric::inject`](crate::Fabric::inject).
+    fn inject(&mut self, node: NodeId, packet: Packet);
+
+    /// Removes and returns the oldest fully delivered packet at `node` on
+    /// `lane`, if any.
+    fn eject(&mut self, node: NodeId, lane: Lane) -> Option<Packet>;
+
+    /// Peeks at the oldest delivered packet without removing it.
+    fn peek_eject(&self, node: NodeId, lane: Lane) -> Option<&Packet>;
+}
+
+impl NetPort for crate::Fabric {
+    #[inline]
+    fn now(&self) -> Cycle {
+        crate::Fabric::now(self)
+    }
+
+    #[inline]
+    fn can_inject(&self, node: NodeId, lane: Lane) -> bool {
+        crate::Fabric::can_inject(self, node, lane)
+    }
+
+    #[inline]
+    fn inject(&mut self, node: NodeId, packet: Packet) {
+        crate::Fabric::inject(self, node, packet);
+    }
+
+    #[inline]
+    fn eject(&mut self, node: NodeId, lane: Lane) -> Option<Packet> {
+        crate::Fabric::eject(self, node, lane)
+    }
+
+    #[inline]
+    fn peek_eject(&self, node: NodeId, lane: Lane) -> Option<&Packet> {
+        crate::Fabric::peek_eject(self, node, lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use nifdy_sim::PacketId;
+
+    use super::*;
+    use crate::topology::FatTree;
+    use crate::{FabricConfig, Packet};
+
+    #[test]
+    fn fabric_is_a_net_port() {
+        let mut fab = crate::Fabric::new(Box::new(FatTree::new(16)), FabricConfig::default());
+        let (a, b) = (NodeId::new(0), NodeId::new(15));
+        {
+            let port: &mut dyn NetPort = &mut fab;
+            assert!(port.can_inject(a, Lane::Request));
+            port.inject(a, Packet::data(PacketId::new(0), a, b, 4));
+        }
+        for _ in 0..10_000 {
+            fab.step();
+            let port: &mut dyn NetPort = &mut fab;
+            if port.peek_eject(b, Lane::Request).is_some() {
+                let got = port.eject(b, Lane::Request).expect("peek agreed");
+                assert_eq!(got.src, a);
+                return;
+            }
+        }
+        panic!("packet never delivered through the port view");
+    }
+}

@@ -228,6 +228,31 @@ pub enum EventKind {
         /// Injection-to-delivery latency, cycles.
         latency: u64,
     },
+    /// A transport (loopback, UDP) put an encoded frame on the wire.
+    FrameSend {
+        /// Destination node of the frame.
+        dst: NodeId,
+        /// The frame travelled on the reply (ack) lane.
+        ack: bool,
+        /// Encoded frame length in bytes.
+        bytes: u32,
+    },
+    /// A transport received and decoded a frame.
+    FrameRecv {
+        /// Source node the decoder attributed the frame to (for bulk
+        /// frames this is the dialog peer, re-substituted per §3).
+        src: NodeId,
+        /// The frame travelled on the reply (ack) lane.
+        ack: bool,
+        /// Encoded frame length in bytes.
+        bytes: u32,
+    },
+    /// A transport received bytes that failed to decode (corruption, a
+    /// foreign datagram, or a truncated read) and discarded them.
+    FrameReject {
+        /// Length of the rejected byte string.
+        bytes: u32,
+    },
     /// A stall watchdog tripped for a unit.
     WatchdogFire {
         /// The wedged unit (node index).
@@ -260,6 +285,9 @@ impl EventKind {
             EventKind::DeliveryFail { .. } => "delivery_fail",
             EventKind::Drop { .. } => "drop",
             EventKind::Deliver { .. } => "deliver",
+            EventKind::FrameSend { .. } => "frame_send",
+            EventKind::FrameRecv { .. } => "frame_recv",
+            EventKind::FrameReject { .. } => "frame_reject",
             EventKind::WatchdogFire { .. } => "watchdog_fire",
         }
     }
@@ -279,6 +307,7 @@ impl EventKind {
                 | EventKind::Retransmit { .. }
                 | EventKind::DeliveryFail { .. }
                 | EventKind::Drop { .. }
+                | EventKind::FrameReject { .. }
                 | EventKind::WatchdogFire { .. }
         )
     }

@@ -184,6 +184,17 @@ fn kind_args(kind: &EventKind) -> Json {
             ("ack", Json::Bool(ack)),
             ("latency", Json::u64(latency)),
         ]),
+        EventKind::FrameSend { dst, ack, bytes } => Json::obj([
+            ("dst", Json::u64(dst.index() as u64)),
+            ("ack", Json::Bool(ack)),
+            ("bytes", Json::u64(bytes as u64)),
+        ]),
+        EventKind::FrameRecv { src, ack, bytes } => Json::obj([
+            ("src", Json::u64(src.index() as u64)),
+            ("ack", Json::Bool(ack)),
+            ("bytes", Json::u64(bytes as u64)),
+        ]),
+        EventKind::FrameReject { bytes } => Json::obj([("bytes", Json::u64(bytes as u64))]),
         EventKind::WatchdogFire {
             unit,
             since,

@@ -80,7 +80,7 @@ fn send_overhead_paces_the_processor() {
     // 10 sends at T_send = 40 cannot complete in fewer than 400 cycles even
     // on an infinitely fast network.
     let fab = Fabric::new(Box::new(Mesh::d2(2, 2)), FabricConfig::default());
-    let actions = (0..10).map(|i| send_to(3, i)).collect();
+    let actions: Vec<Action> = (0..10).map(|i| send_to(3, i)).collect();
     let wls: Vec<Box<dyn NodeWorkload>> = (0..4)
         .map(|i| -> Box<dyn NodeWorkload> {
             if i == 0 {
@@ -90,8 +90,8 @@ fn send_overhead_paces_the_processor() {
             }
         })
         .collect();
-    fn actions_clone(a: &Vec<Action>, _i: usize) -> Vec<Action> {
-        a.clone()
+    fn actions_clone(a: &[Action], _i: usize) -> Vec<Action> {
+        a.to_vec()
     }
     let mut d = Driver::new(
         fab,

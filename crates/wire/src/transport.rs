@@ -1,0 +1,262 @@
+//! Frame carriers: the [`Transport`] trait and the deterministic in-process
+//! loopback backend.
+//!
+//! A transport moves *encoded frames* (byte strings from
+//! [`codec::encode`](crate::codec::encode)) between nodes on the two lanes.
+//! It makes no ordering promise beyond best effort: NIFDY itself tolerates
+//! reordering (that is the point of the protocol), and the loopback backend
+//! can be configured with seeded delivery jitter precisely to exercise the
+//! reorder machinery while staying bit-for-bit reproducible.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use nifdy_net::Lane;
+use nifdy_sim::{Cycle, NodeId, SimRng};
+
+/// One node's attachment to a frame carrier.
+///
+/// The transport also owns the node's notion of time: the loopback backend
+/// shares one hub clock across all endpoints (cycle-synchronous, like the
+/// simulator), while the UDP backend free-runs a local cycle counter per
+/// node (each node is its own clock domain, like real hardware).
+pub trait Transport: Send {
+    /// The local node this endpoint serves.
+    fn node(&self) -> NodeId;
+
+    /// The endpoint's current cycle.
+    fn now(&self) -> Cycle;
+
+    /// One tick of endpoint-local work: advance a free-running clock, pump
+    /// sockets. The loopback backend does nothing here — its shared hub
+    /// clock advances via [`LoopbackHub::tick`].
+    fn tick(&mut self);
+
+    /// Queues an encoded frame for delivery to `dst` on `lane`. Best
+    /// effort: a transport may drop (UDP) or delay (loopback jitter), never
+    /// corrupt.
+    fn send(&mut self, dst: NodeId, lane: Lane, frame: Vec<u8>);
+
+    /// The next frame delivered to this node on `lane`, if any.
+    fn recv(&mut self, lane: Lane) -> Option<Vec<u8>>;
+}
+
+/// In-flight frames for one destination: ordered by (delivery cycle, global
+/// send sequence), so iteration order is deterministic even under jitter.
+type DeliveryQueue = BTreeMap<(u64, u64), Vec<u8>>;
+
+#[derive(Debug)]
+struct HubInner {
+    now: Cycle,
+    latency: u64,
+    jitter: Option<(SimRng, u64)>,
+    seq: u64,
+    /// `queues[node][lane]`.
+    queues: Vec<[DeliveryQueue; 2]>,
+}
+
+/// A deterministic in-process frame exchange shared by N [`LoopbackTransport`]
+/// endpoints.
+///
+/// Every frame sent at hub cycle `t` is deliverable at `t + latency`
+/// (plus seeded jitter when configured). With the same seed and the same
+/// sequence of sends, delivery order is bit-for-bit reproducible — the
+/// property the sim-vs-wire differential conformance suite rests on.
+///
+/// # Examples
+///
+/// ```
+/// use nifdy_net::Lane;
+/// use nifdy_sim::NodeId;
+/// use nifdy_wire::{LoopbackHub, Transport};
+///
+/// let hub = LoopbackHub::new(2, 3);
+/// let mut a = hub.endpoint(NodeId::new(0));
+/// let mut b = hub.endpoint(NodeId::new(1));
+/// a.send(NodeId::new(1), Lane::Request, vec![1, 2, 3]);
+/// assert!(b.recv(Lane::Request).is_none(), "still in flight");
+/// for _ in 0..3 {
+///     hub.tick();
+/// }
+/// assert_eq!(b.recv(Lane::Request), Some(vec![1, 2, 3]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopbackHub {
+    inner: Arc<Mutex<HubInner>>,
+}
+
+impl LoopbackHub {
+    /// Creates a hub for `nodes` endpoints with a fixed `latency` in cycles
+    /// from send to earliest delivery.
+    pub fn new(nodes: usize, latency: u64) -> Self {
+        LoopbackHub {
+            inner: Arc::new(Mutex::new(HubInner {
+                now: Cycle::ZERO,
+                latency,
+                jitter: None,
+                seq: 0,
+                queues: (0..nodes)
+                    .map(|_| [BTreeMap::new(), BTreeMap::new()])
+                    .collect(),
+            })),
+        }
+    }
+
+    /// Adds seeded delivery jitter: each frame's latency is extended by a
+    /// uniform draw from `0..=max_extra` cycles. Different frames to the
+    /// same destination can overtake each other — deliberate, deterministic
+    /// reordering to exercise the protocol's window machinery.
+    pub fn with_jitter(self, seed: u64, max_extra: u64) -> Self {
+        {
+            let mut inner = self.lock();
+            inner.jitter =
+                (max_extra > 0).then(|| (SimRng::from_seed_stream(seed, 0x17e), max_extra));
+        }
+        self
+    }
+
+    /// Advances the shared hub clock by one cycle.
+    pub fn tick(&self) {
+        self.lock().now += 1;
+    }
+
+    /// The shared hub clock.
+    pub fn now(&self) -> Cycle {
+        self.lock().now
+    }
+
+    /// Frames currently in flight or awaiting [`Transport::recv`], across
+    /// all nodes (drain/termination checks).
+    pub fn in_flight(&self) -> usize {
+        self.lock()
+            .queues
+            .iter()
+            .map(|lanes| lanes[0].len() + lanes[1].len())
+            .sum()
+    }
+
+    /// Creates the endpoint for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the hub's node range.
+    pub fn endpoint(&self, node: NodeId) -> LoopbackTransport {
+        assert!(
+            node.index() < self.lock().queues.len(),
+            "node {node} outside the hub's range"
+        );
+        LoopbackTransport {
+            node,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// One node's endpoint on a [`LoopbackHub`].
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    node: NodeId,
+    inner: Arc<Mutex<HubInner>>,
+}
+
+impl LoopbackTransport {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn now(&self) -> Cycle {
+        self.lock().now
+    }
+
+    fn tick(&mut self) {
+        // Time is the hub's: LoopbackHub::tick advances all endpoints at once.
+    }
+
+    fn send(&mut self, dst: NodeId, lane: Lane, frame: Vec<u8>) {
+        let mut inner = self.lock();
+        let mut deliver_at = inner.now.as_u64() + inner.latency;
+        if let Some((rng, max_extra)) = &mut inner.jitter {
+            deliver_at += rng.next_u64() % (*max_extra + 1);
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.queues[dst.index()][lane.index()].insert((deliver_at, seq), frame);
+    }
+
+    fn recv(&mut self, lane: Lane) -> Option<Vec<u8>> {
+        let mut inner = self.lock();
+        let now = inner.now.as_u64();
+        let queue = &mut inner.queues[self.node.index()][lane.index()];
+        let (&key, _) = queue.first_key_value()?;
+        if key.0 > now {
+            return None;
+        }
+        queue.remove(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_holds_frames_until_due() {
+        let hub = LoopbackHub::new(2, 5);
+        let mut a = hub.endpoint(NodeId::new(0));
+        let mut b = hub.endpoint(NodeId::new(1));
+        a.send(NodeId::new(1), Lane::Request, vec![42]);
+        for _ in 0..4 {
+            hub.tick();
+            assert!(b.recv(Lane::Request).is_none());
+        }
+        hub.tick();
+        assert_eq!(b.recv(Lane::Request), Some(vec![42]));
+        assert_eq!(hub.in_flight(), 0);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let hub = LoopbackHub::new(2, 0);
+        let mut a = hub.endpoint(NodeId::new(0));
+        let mut b = hub.endpoint(NodeId::new(1));
+        a.send(NodeId::new(1), Lane::Reply, vec![1]);
+        hub.tick();
+        assert!(b.recv(Lane::Request).is_none());
+        assert_eq!(b.recv(Lane::Reply), Some(vec![1]));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_can_reorder() {
+        let run = |seed: u64| {
+            let hub = LoopbackHub::new(2, 2).with_jitter(seed, 16);
+            let mut a = hub.endpoint(NodeId::new(0));
+            let mut b = hub.endpoint(NodeId::new(1));
+            for i in 0..32u8 {
+                a.send(NodeId::new(1), Lane::Request, vec![i]);
+            }
+            let mut got = Vec::new();
+            for _ in 0..64 {
+                hub.tick();
+                while let Some(f) = b.recv(Lane::Request) {
+                    got.push(f[0]);
+                }
+            }
+            assert_eq!(got.len(), 32, "everything eventually delivers");
+            got
+        };
+        let first = run(7);
+        assert_eq!(first, run(7), "same seed, same delivery order");
+        let sorted: Vec<u8> = (0..32).collect();
+        assert_ne!(first, sorted, "jitter actually reorders");
+    }
+}

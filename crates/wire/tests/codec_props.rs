@@ -1,0 +1,202 @@
+//! Codec properties: the wire format is a bijection on valid frames and
+//! total on garbage.
+//!
+//! 1. **Round-trip**: `decode(encode(p)) == p` for every encodable packet,
+//!    across the full `{seq mod W, dialog}` space (wraparound sequence
+//!    numbers, the maximum dialog id) and every ack shape.
+//! 2. **Canonical**: `encode(decode(bytes)) == bytes` whenever decode
+//!    succeeds — each frame has exactly one byte representation.
+//! 3. **Total**: `decode` never panics, whatever the bytes — arbitrary
+//!    garbage, truncations of valid frames, and oversized extensions all
+//!    return typed errors.
+
+use nifdy_net::{AckInfo, BulkGrant, BulkTag, Lane, UserData, Wire};
+use nifdy_sim::NodeId;
+use nifdy_wire::{decode, encode, WirePacket, WireSource};
+use proptest::prelude::*;
+
+fn ack_info() -> impl Strategy<Value = AckInfo> {
+    (0u8..4, any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(kind, a, b, flag)| match kind {
+        0 => AckInfo::Scalar {
+            grant: BulkGrant::NotRequested,
+            echo: flag,
+        },
+        1 => AckInfo::Scalar {
+            grant: BulkGrant::Granted {
+                dialog: a,
+                window: b,
+            },
+            echo: flag,
+        },
+        2 => AckInfo::Scalar {
+            grant: BulkGrant::Rejected,
+            echo: flag,
+        },
+        _ => AckInfo::Bulk {
+            dialog: a,
+            cum_seq: b,
+            terminate: flag,
+        },
+    })
+}
+
+fn user_data() -> impl Strategy<Value = UserData> {
+    (any::<u64>(), any::<u32>(), any::<u32>(), any::<u16>()).prop_map(
+        |(msg_id, pkt_index, msg_packets, user_words)| UserData {
+            msg_id,
+            pkt_index,
+            msg_packets,
+            user_words,
+        },
+    )
+}
+
+/// Any encodable data frame. Bulk frames draw `{seq, dialog}` over the full
+/// u8 × u8 space, which covers every wraparound of a `seq mod W` counter for
+/// every window size the protocol allows, and the maximum dialog id 255.
+fn data_packet() -> impl Strategy<Value = WirePacket> {
+    (
+        any::<u16>(),                   // src or (seq, dialog)
+        any::<u16>(),                   // dst
+        any::<bool>(),                  // lane
+        1u16..=64,                      // size_words
+        (any::<bool>(), any::<bool>()), // bulk_request, bulk_exit
+        any::<bool>(),                  // in-dialog?
+        (any::<bool>(), any::<bool>()), // needs_ack, dup_bit
+        (any::<bool>(), ack_info()),    // piggyback?
+        user_data(),
+    )
+        .prop_map(
+            |(
+                srcish,
+                dst,
+                lane,
+                size_words,
+                (breq, bexit),
+                in_dialog,
+                (needs, dup),
+                (pig, pack),
+                user,
+            )| {
+                let [seq, dialog] = srcish.to_le_bytes();
+                let (src, bulk) = if in_dialog {
+                    (WireSource::Dialog, Some(BulkTag { dialog, seq }))
+                } else {
+                    (WireSource::Node(NodeId::new(usize::from(srcish))), None)
+                };
+                WirePacket {
+                    src,
+                    dst: NodeId::new(usize::from(dst)),
+                    lane: Lane::from_index(usize::from(lane)).expect("bit"),
+                    size_words,
+                    wire: Wire::Data {
+                        bulk_request: breq,
+                        bulk_exit: bexit,
+                        bulk,
+                        needs_ack: needs,
+                        dup_bit: dup,
+                        piggy_ack: pig.then_some(pack),
+                    },
+                    user,
+                }
+            },
+        )
+}
+
+/// Any encodable ack frame (acks travel only on the reply lane).
+fn ack_packet() -> impl Strategy<Value = WirePacket> {
+    (any::<u16>(), any::<u16>(), ack_info()).prop_map(|(src, dst, info)| WirePacket {
+        src: WireSource::Node(NodeId::new(usize::from(src))),
+        dst: NodeId::new(usize::from(dst)),
+        lane: Lane::Reply,
+        size_words: nifdy_net::ACK_WORDS,
+        wire: Wire::Ack(info),
+        user: UserData::default(),
+    })
+}
+
+fn wire_packet() -> impl Strategy<Value = WirePacket> {
+    prop_oneof![data_packet(), ack_packet()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 512,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn round_trip_is_identity(wp in wire_packet()) {
+        let bytes = encode(&wp);
+        prop_assert_eq!(bytes.len(), wp.encoded_len());
+        prop_assert_eq!(decode(&bytes), Ok(wp), "frame: {:02x?}", bytes);
+    }
+
+    #[test]
+    fn encoding_is_canonical(wp in wire_packet()) {
+        let bytes = encode(&wp);
+        let decoded = decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(encode(&decoded), bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // Totality is the property; the result itself is unconstrained.
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_fail_cleanly(wp in wire_packet(), cut in any::<usize>()) {
+        let bytes = encode(&wp);
+        let cut = cut % bytes.len();
+        prop_assert!(decode(&bytes[..cut]).is_err(), "prefix of length {} decoded", cut);
+    }
+
+    #[test]
+    fn oversized_frames_fail_cleanly(wp in wire_packet(), extra in 1usize..32) {
+        let mut bytes = encode(&wp);
+        bytes.resize(bytes.len() + extra, 0);
+        prop_assert!(decode(&bytes).is_err(), "oversized frame decoded");
+    }
+
+    #[test]
+    fn single_byte_flag_corruption_never_panics(wp in wire_packet(), flip in any::<u8>()) {
+        let mut bytes = encode(&wp);
+        bytes[0] ^= flip;
+        // Flag corruption may still be a different valid frame (e.g. a
+        // flipped dup bit); it must simply never panic or misreport length.
+        if let Ok(other) = decode(&bytes) {
+            prop_assert_eq!(encode(&other), bytes);
+        }
+    }
+}
+
+/// Deterministic W-wraparound coverage on top of the random sweep: a bulk
+/// stream's `seq mod W` passes 255→0 for every power-of-two window.
+#[test]
+fn wraparound_sequences_round_trip_exactly() {
+    for window in [2u16, 4, 8, 16, 32, 64, 128, 256] {
+        for step in 0u16..(2 * window) {
+            let seq = ((250 + step) % 256) as u8;
+            let wp = WirePacket {
+                src: WireSource::Dialog,
+                dst: NodeId::new(1),
+                lane: Lane::Request,
+                size_words: 6,
+                wire: Wire::Data {
+                    bulk_request: false,
+                    bulk_exit: step == 2 * window - 1,
+                    bulk: Some(BulkTag { dialog: 255, seq }),
+                    needs_ack: true,
+                    dup_bit: step % 2 == 1,
+                    piggy_ack: None,
+                },
+                user: UserData::default(),
+            };
+            let bytes = encode(&wp);
+            assert_eq!(bytes[3], seq, "seq occupies the source bytes");
+            assert_eq!(bytes[4], 255, "max dialog id survives");
+            assert_eq!(decode(&bytes), Ok(wp));
+        }
+    }
+}
