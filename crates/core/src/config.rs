@@ -368,6 +368,26 @@ impl NifdyConfig {
         self
     }
 
+    /// Builder: override the NIFDY ack-processing delay (paper Table 1).
+    pub fn with_ack_proc_cycles(mut self, cycles: u16) -> Self {
+        self.ack_proc_cycles = cycles;
+        self
+    }
+
+    /// Builder: how long a ready ack waits for reverse data to piggyback
+    /// on (§6.1) before it is sent standalone.
+    pub fn with_piggyback_hold_cycles(mut self, cycles: u64) -> Self {
+        self.piggyback_hold_cycles = cycles;
+        self
+    }
+
+    /// Builder: backlog (queued packets to one destination) required
+    /// before a scalar send asks for a bulk dialog.
+    pub fn with_bulk_request_min_backlog(mut self, backlog: u8) -> Self {
+        self.bulk_request_min_backlog = backlog;
+        self
+    }
+
     /// Total hardware packet buffers this configuration implies
     /// (`B + D·W + arrivals`) — the figure the buffering-only baseline must
     /// match for a fair comparison (§3).

@@ -29,7 +29,7 @@
 //!   configured — abandons undeliverable transfers with a typed
 //!   [`DeliveryFailure`] instead of retrying forever.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use nifdy_net::{AckInfo, BulkGrant, BulkTag, Lane, NetPort, Packet, Wire};
 use nifdy_sim::{Cycle, NodeId, PacketId, SimRng};
@@ -174,13 +174,13 @@ pub struct NifdyUnit {
     out_dialog: Option<OutDialog>,
     bulk_request_pending: Option<NodeId>,
     retx_queue: VecDeque<Packet>,
-    alt_bits: HashMap<NodeId, bool>,
+    alt_bits: BTreeMap<NodeId, bool>,
     /// Peers whose outgoing bulk dialog was torn down by the retry budget:
     /// traffic to them stays scalar (a fresh dialog against the receiver's
     /// stale slot state could not resynchronize).
-    bulk_poisoned: HashSet<NodeId>,
+    bulk_poisoned: BTreeSet<NodeId>,
     /// Per-destination round-trip estimators (adaptive RTO only).
-    rtt: HashMap<NodeId, RttEstimator>,
+    rtt: BTreeMap<NodeId, RttEstimator>,
     /// Jitter source for the retransmission backoff.
     jitter: SimRng,
     /// Typed failures awaiting [`Nic::take_failures`].
@@ -190,11 +190,11 @@ pub struct NifdyUnit {
     arrivals: VecDeque<Packet>,
     dialogs: Vec<Option<InDialog>>,
     closed: Vec<Option<ClosedDialog>>,
-    peer_dialog: HashMap<NodeId, u8>,
+    peer_dialog: BTreeMap<NodeId, u8>,
     ack_queue: VecDeque<PendingAck>,
     ack_delay: VecDeque<(Cycle, NodeId, AckInfo)>,
-    last_insert_bit: HashMap<NodeId, bool>,
-    last_acked_bit: HashMap<NodeId, bool>,
+    last_insert_bit: BTreeMap<NodeId, bool>,
+    last_acked_bit: BTreeMap<NodeId, bool>,
 
     trace: TraceHandle,
     /// True while an eligibility stall episode is in progress (the stall
@@ -223,19 +223,19 @@ impl NifdyUnit {
             out_dialog: None,
             bulk_request_pending: None,
             retx_queue: VecDeque::new(),
-            alt_bits: HashMap::new(),
-            bulk_poisoned: HashSet::new(),
-            rtt: HashMap::new(),
+            alt_bits: BTreeMap::new(),
+            bulk_poisoned: BTreeSet::new(),
+            rtt: BTreeMap::new(),
             jitter: SimRng::from_seed_stream(node.index() as u64, JITTER_STREAM),
             failures: Vec::new(),
             arrivals: VecDeque::with_capacity(cfg.arrivals_capacity as usize),
             dialogs: (0..d).map(|_| None).collect(),
             closed: (0..d).map(|_| None).collect(),
-            peer_dialog: HashMap::new(),
+            peer_dialog: BTreeMap::new(),
             ack_queue: VecDeque::new(),
             ack_delay: VecDeque::new(),
-            last_insert_bit: HashMap::new(),
-            last_acked_bit: HashMap::new(),
+            last_insert_bit: BTreeMap::new(),
+            last_acked_bit: BTreeMap::new(),
             trace: TraceHandle::off(),
             elig_stalled: false,
             stats: NicStats::default(),
@@ -521,7 +521,7 @@ impl NifdyUnit {
                     d.acked = count;
                     advance = Some((count, d.next_seq - count));
                     while d.copies.front().is_some_and(|c| c.seq < count) {
-                        let c = d.copies.pop_front().expect("nonempty");
+                        let Some(c) = d.copies.pop_front() else { break };
                         // Karn's rule: retransmitted copies give no sample.
                         if c.retries == 0 {
                             samples.push(now.saturating_since(c.first_sent));
@@ -600,7 +600,9 @@ impl NifdyUnit {
             self.stats.duplicates_dropped.incr();
             return;
         }
-        let d = self.dialogs[slot].as_mut().expect("checked above");
+        let Some(d) = self.dialogs.get_mut(slot).and_then(Option::as_mut) else {
+            return; // guarded above; kept total for the datapath
+        };
         d.last_activity = self.now;
         // Re-substitute the source identifier from the dialog slot. Over the
         // simulated fabric this is a no-op (the struct still carries `src`);
@@ -717,10 +719,16 @@ impl NifdyUnit {
             return false;
         }
         let Wire::Data {
-            dup_bit, needs_ack, ..
+            dup_bit,
+            needs_ack,
+            bulk_request,
+            ..
         } = pkt.wire
         else {
-            unreachable!("acks are consumed on the reply lane");
+            // Acks are consumed on the reply lane; a non-data packet here is
+            // a dispatch bug. Swallow it rather than poison the datapath.
+            debug_assert!(false, "receive_scalar called with a non-data packet");
+            return true;
         };
         if self.cfg.retx_timeout.is_some() && needs_ack {
             if self.last_insert_bit.get(&pkt.src) == Some(&dup_bit) {
@@ -730,9 +738,6 @@ impl NifdyUnit {
                 self.stats.duplicates_dropped.incr();
                 if self.last_acked_bit.get(&pkt.src) == Some(&dup_bit) {
                     let src = pkt.src;
-                    let Wire::Data { bulk_request, .. } = pkt.wire else {
-                        unreachable!()
-                    };
                     let grant = self.decide_grant(bulk_request, src);
                     self.queue_ack(
                         src,
@@ -786,9 +791,11 @@ impl NifdyUnit {
         None
     }
 
-    /// Builds the wire packet for pool entry `i` and records protocol state.
-    fn launch(&mut self, i: usize) -> Packet {
-        let out = self.pool.remove(i).expect("index in range");
+    /// Builds the wire packet for pool entry `i` and records protocol
+    /// state. Returns `None` when `i` is out of range (callers pass indices
+    /// from [`Self::pick_eligible`], so this is a defensive no-op).
+    fn launch(&mut self, i: usize) -> Option<Packet> {
+        let out = self.pool.remove(i)?;
         let id = self.next_packet_id();
         let mut pkt = Packet::data(id, self.node, out.dst, out.size_words);
         pkt.user = out.user;
@@ -811,40 +818,45 @@ impl NifdyUnit {
             None
         };
 
-        let bulk = self
-            .out_dialog
-            .as_ref()
-            .is_some_and(|d| d.peer == out.dst && !d.exiting);
-        if bulk {
-            let d = self.out_dialog.as_mut().expect("checked above");
-            let seq = (d.next_seq % SEQ_SPACE) as u8;
-            d.next_seq += 1;
+        // Claim the bulk slot in one borrow: the dialog id and the next
+        // sequence number are all the rest of the branch needs.
+        let bulk_fields = match self.out_dialog.as_mut() {
+            Some(d) if d.peer == out.dst && !d.exiting => {
+                let seq = (d.next_seq % SEQ_SPACE) as u8;
+                d.next_seq += 1;
+                Some((d.dialog, seq))
+            }
+            _ => None,
+        };
+        if let Some((dialog, seq)) = bulk_fields {
             let exit = self.pool.iter().all(|q| q.dst != out.dst);
             pkt.wire = Wire::Data {
                 bulk_request: false,
                 bulk_exit: exit,
-                bulk: Some(BulkTag {
-                    dialog: d.dialog,
-                    seq,
-                }),
+                bulk: Some(BulkTag { dialog, seq }),
                 needs_ack: true,
                 dup_bit: false,
                 piggy_ack: piggy,
             };
-            if exit {
-                d.exiting = true;
-            }
-            if self.cfg.retx_timeout.is_some() {
-                let wait = self.fresh_rto(out.dst);
-                let d = self.out_dialog.as_mut().expect("still in dialog");
-                d.copies.push_back(BulkCopy {
-                    seq: d.next_seq - 1,
-                    pkt: pkt.clone(),
-                    first_sent: self.now,
-                    last_sent: self.now,
-                    retries: 0,
-                    wait,
-                });
+            let wait = if self.cfg.retx_timeout.is_some() {
+                Some(self.fresh_rto(out.dst))
+            } else {
+                None
+            };
+            if let Some(d) = self.out_dialog.as_mut() {
+                if exit {
+                    d.exiting = true;
+                }
+                if let Some(wait) = wait {
+                    d.copies.push_back(BulkCopy {
+                        seq: d.next_seq - 1,
+                        pkt: pkt.clone(),
+                        first_sent: self.now,
+                        last_sent: self.now,
+                        retries: 0,
+                        wait,
+                    });
+                }
             }
             self.stats.sent_bulk.incr();
             trace_event!(
@@ -853,12 +865,7 @@ impl NifdyUnit {
                 self.node,
                 EventKind::BulkSend {
                     dst: out.dst,
-                    dialog: match &pkt.wire {
-                        Wire::Data {
-                            bulk: Some(tag), ..
-                        } => tag.dialog,
-                        _ => 0,
-                    },
+                    dialog,
                     seq,
                     exit,
                 }
@@ -926,7 +933,7 @@ impl NifdyUnit {
             );
         }
         self.stats.sent.incr();
-        pkt
+        Some(pkt)
     }
 
     /// Fires retransmission timers (§6.2), applying the adaptive-RTO backoff,
@@ -1191,7 +1198,9 @@ impl Nic for NifdyUnit {
             .front()
             .is_some_and(|(r, _, _)| *r <= self.now)
         {
-            let (_, from, info) = self.ack_delay.pop_front().expect("nonempty");
+            let Some((_, from, info)) = self.ack_delay.pop_front() else {
+                break;
+            };
             self.handle_ack(from, info);
         }
 
@@ -1203,14 +1212,19 @@ impl Nic for NifdyUnit {
             };
             match peek.wire {
                 Wire::Data { bulk: Some(_), .. } => {
-                    let pkt = fab.eject(self.node, Lane::Request).expect("peeked");
+                    let Some(pkt) = fab.eject(self.node, Lane::Request) else {
+                        debug_assert!(false, "peeked packet vanished");
+                        break;
+                    };
                     let Wire::Data {
                         bulk: Some(tag),
                         piggy_ack,
                         ..
                     } = pkt.wire
                     else {
-                        unreachable!()
+                        // Peek promised a bulk data packet; drop the impostor.
+                        debug_assert!(false, "peek/eject disagree on the packet");
+                        continue;
                     };
                     if let Some(info) = piggy_ack {
                         let ready = self.now + u64::from(self.cfg.ack_proc_cycles);
@@ -1227,7 +1241,10 @@ impl Nic for NifdyUnit {
                     if self.arrivals.len() >= self.cfg.arrivals_capacity as usize {
                         break; // backpressure into the fabric
                     }
-                    let pkt = fab.eject(self.node, Lane::Request).expect("peeked");
+                    let Some(pkt) = fab.eject(self.node, Lane::Request) else {
+                        debug_assert!(false, "peeked packet vanished");
+                        break;
+                    };
                     if let Wire::Data {
                         piggy_ack: Some(info),
                         ..
@@ -1270,8 +1287,7 @@ impl Nic for NifdyUnit {
                 let reverse_data = self.pool.iter().any(|p| p.dst == a.dst);
                 !reverse_data || self.now.saturating_since(a.ready_at) >= hold
             });
-            if let Some(idx) = idx {
-                let a = self.ack_queue.remove(idx).expect("index valid");
+            if let Some(a) = idx.and_then(|idx| self.ack_queue.remove(idx)) {
                 let id = self.next_packet_id();
                 let ack = Packet::ack(id, self.node, a.dst, a.info);
                 fab.inject(self.node, ack);
@@ -1291,8 +1307,7 @@ impl Nic for NifdyUnit {
             if let Some(copy) = self.retx_queue.pop_front() {
                 fab.inject(self.node, copy);
                 self.elig_stalled = false;
-            } else if let Some(i) = self.pick_eligible() {
-                let pkt = self.launch(i);
+            } else if let Some(pkt) = self.pick_eligible().and_then(|i| self.launch(i)) {
                 fab.inject(self.node, pkt);
                 self.elig_stalled = false;
             } else if !self.pool.is_empty() {
@@ -1597,7 +1612,7 @@ mod tests {
         // First eligible is pool[0] (first to node 1).
         assert_eq!(u.pick_eligible(), Some(0));
         // Simulate launching it: node 1 now outstanding.
-        let pkt = u.launch(0);
+        let pkt = u.launch(0).expect("index in range");
         assert_eq!(pkt.dst, NodeId::new(1));
         // The second node-1 packet is blocked; node 2 is next eligible.
         let idx = u.pick_eligible().expect("node 2 eligible");
@@ -1768,7 +1783,9 @@ mod tests {
         for _ in 0..4 {
             assert!(u.try_send(OutboundPacket::new(dst, 8).with_bulk(true), Cycle::ZERO));
         }
-        let pkt = u.launch(u.pick_eligible().expect("eligible"));
+        let pkt = u
+            .launch(u.pick_eligible().expect("eligible"))
+            .expect("index in range");
         assert!(
             matches!(
                 pkt.wire,

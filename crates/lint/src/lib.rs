@@ -1,0 +1,338 @@
+//! `nifdy-lint`: workspace static analysis for the NIFDY reproduction.
+//!
+//! The repo's headline guarantees — byte-identical parallel runs, sim/wire
+//! conformance, trace/stats parity — are enforced dynamically by tests
+//! that can silently lose coverage as code drifts. This crate is the
+//! static backstop: a dependency-light line/token analyzer (no rustc, no
+//! syn) that runs over every `crates/*/src/**.rs` and fails CI on four
+//! invariant classes (see [`rules`]):
+//!
+//! * **R1 panic-freedom** — no `unwrap`/`expect`/`panic!`/`unreachable!`
+//!   (and, on the wire decode path, no index expressions) in designated
+//!   protocol hot paths,
+//! * **R2 determinism hygiene** — no wall clock, no ambient RNG, no
+//!   hash-ordered containers in the deterministic crates,
+//! * **R3 trace parity** — every `EventKind` variant is exported by both
+//!   the JSONL and Perfetto exporters and exercised by trace fixtures,
+//! * **R4 config coverage** — every config field is validated or
+//!   builder-settable.
+//!
+//! Suppressions live in `lint-allow.toml` ([`allow`]) and must each carry
+//! a written justification; entries that stop matching anything are hard
+//! errors, so the allowlist cannot rot. Run it as
+//! `cargo run -p nifdy-lint` (exit 0 = clean, 1 = violations, 2 = broken
+//! allowlist or I/O error); `--json <path>` writes the machine-readable
+//! report CI archives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use allow::AllowEntry;
+use rules::{ConfigCoverageScope, DeterminismScope, Diagnostic, HotPath, TraceParityScope};
+use source::SourceFile;
+
+/// What to analyze. [`LintConfig::workspace`] builds the real repo
+/// configuration; fixture tests build small ad-hoc ones.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Analysis root; all configured paths are relative to it.
+    pub root: PathBuf,
+    /// Directories walked recursively for `.rs` files (R1/R2 inputs).
+    pub src_dirs: Vec<String>,
+    /// R1 scopes.
+    pub hot_paths: Vec<HotPath>,
+    /// R2 scope (`None` disables the rule).
+    pub determinism: Option<DeterminismScope>,
+    /// R3 scope (`None` disables the rule).
+    pub trace_parity: Option<TraceParityScope>,
+    /// R4 scopes.
+    pub config_coverage: Vec<ConfigCoverageScope>,
+    /// `lint-allow.toml` location (`None` = no suppressions).
+    pub allowlist: Option<PathBuf>,
+}
+
+impl LintConfig {
+    /// The NIFDY workspace rule set, rooted at the repo checkout.
+    ///
+    /// Hot paths (R1): the `NifdyUnit` datapath, the wire decode path
+    /// (with index expressions also banned — decode must be total), and
+    /// the fabric per-cycle step loop. Determinism (R2): hash-ordered
+    /// containers banned in `sim`/`core`/`net`/`traffic`/`trace`;
+    /// wall-clock and ambient-RNG bans apply everywhere scanned.
+    pub fn workspace(root: PathBuf) -> io::Result<LintConfig> {
+        let crates_dir = root.join("crates");
+        let mut src_dirs = Vec::new();
+        let mut names: Vec<String> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().join("src").is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        for name in names {
+            src_dirs.push(format!("crates/{name}/src"));
+        }
+        let allowlist = Some(root.join("lint-allow.toml"));
+        Ok(LintConfig {
+            root,
+            src_dirs,
+            hot_paths: vec![
+                HotPath {
+                    path: "crates/core/src/unit.rs".into(),
+                    functions: Vec::new(),
+                    deny_indexing: false,
+                },
+                HotPath {
+                    path: "crates/wire/src/codec.rs".into(),
+                    functions: vec![
+                        "decode".into(),
+                        "decode_ack_body".into(),
+                        "read_node".into(),
+                        "byte_at".into(),
+                        "arr_at".into(),
+                        "tail_from".into(),
+                    ],
+                    deny_indexing: true,
+                },
+                HotPath {
+                    path: "crates/net/src/fabric.rs".into(),
+                    functions: vec![
+                        "step".into(),
+                        "progress_wires".into(),
+                        "start_router_transmissions".into(),
+                        "commit_transmission".into(),
+                        "progress_injection".into(),
+                        "try_inject_flit".into(),
+                        "advancing_lane".into(),
+                        "deliver_to_node".into(),
+                    ],
+                    deny_indexing: false,
+                },
+            ],
+            determinism: Some(DeterminismScope {
+                hash_dir_prefixes: vec![
+                    "crates/sim/".into(),
+                    "crates/core/".into(),
+                    "crates/net/".into(),
+                    "crates/traffic/".into(),
+                    "crates/trace/".into(),
+                ],
+            }),
+            trace_parity: Some(TraceParityScope {
+                event_file: "crates/trace/src/event.rs".into(),
+                enum_name: "EventKind".into(),
+                name_fn: "name".into(),
+                count_const: "VARIANT_COUNT".into(),
+                exporter_file: "crates/trace/src/export.rs".into(),
+                jsonl_fn: "kind_args".into(),
+                chrome_fn: "to_chrome_trace".into(),
+                fixture_files: vec![
+                    "crates/trace/tests/exporter_coverage.rs".into(),
+                    "crates/net/tests/trace_parity.rs".into(),
+                    "crates/harness/tests/trace_export.rs".into(),
+                ],
+            }),
+            config_coverage: vec![
+                ConfigCoverageScope {
+                    path: "crates/core/src/config.rs".into(),
+                    struct_name: "NifdyConfig".into(),
+                    validate_fn: "validate".into(),
+                },
+                ConfigCoverageScope {
+                    path: "crates/net/src/fault.rs".into(),
+                    struct_name: "FaultConfig".into(),
+                    validate_fn: "validate".into(),
+                },
+            ],
+            allowlist,
+        })
+    }
+}
+
+/// Engine output: active violations, suppressed findings (with the entry
+/// that covered each), and fatal errors (allowlist schema/staleness, I/O).
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed violations, sorted `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings covered by a justified allowlist entry.
+    pub suppressed: Vec<(Diagnostic, AllowEntry)>,
+    /// Hard errors; any entry makes the run fail with exit 2.
+    pub errors: Vec<String>,
+    /// How many files the scan covered.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// No violations and no errors.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Runs every configured rule and applies the allowlist.
+pub fn run(config: &LintConfig) -> LintReport {
+    let mut report = LintReport::default();
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    // Discover and model the source set.
+    let mut files: Vec<SourceFile> = Vec::new();
+    for dir in &config.src_dirs {
+        let mut rels = Vec::new();
+        collect_rs(&config.root, dir, &mut rels, &mut report.errors);
+        rels.sort();
+        for rel in rels {
+            match SourceFile::load(&config.root, &rel) {
+                Ok(f) => files.push(f),
+                Err(e) => report.errors.push(format!("cannot read {rel}: {e}")),
+            }
+        }
+    }
+    report.files_scanned = files.len();
+
+    // R1 over the designated hot paths.
+    for hot in &config.hot_paths {
+        match files.iter().find(|f| f.rel == hot.path) {
+            Some(file) => rules::r1_panic_freedom(file, hot, &mut raw),
+            None => report
+                .errors
+                .push(format!("R1 hot path {} not found in scan set", hot.path)),
+        }
+    }
+
+    // R2 over every scanned file.
+    if let Some(scope) = &config.determinism {
+        for file in &files {
+            rules::r2_determinism(file, scope, &mut raw);
+        }
+    }
+
+    // R3 loads its fixture files on top of the scan set.
+    if let Some(scope) = &config.trace_parity {
+        let event = files.iter().find(|f| f.rel == scope.event_file);
+        let exporter = files.iter().find(|f| f.rel == scope.exporter_file);
+        match (event, exporter) {
+            (Some(event), Some(exporter)) => {
+                let mut fixtures = Vec::new();
+                for rel in &scope.fixture_files {
+                    match SourceFile::load(&config.root, rel) {
+                        Ok(f) => fixtures.push(f),
+                        Err(e) => report
+                            .errors
+                            .push(format!("R3 fixture file {rel} unreadable: {e}")),
+                    }
+                }
+                rules::r3_trace_parity(event, exporter, &fixtures, scope, &mut raw);
+            }
+            _ => report.errors.push(format!(
+                "R3 needs {} and {} in the scan set",
+                scope.event_file, scope.exporter_file
+            )),
+        }
+    }
+
+    // R4 per configured struct.
+    for scope in &config.config_coverage {
+        match files.iter().find(|f| f.rel == scope.path) {
+            Some(file) => rules::r4_config_coverage(file, scope, &mut raw),
+            None => report.errors.push(format!(
+                "R4 config file {} not found in scan set",
+                scope.path
+            )),
+        }
+    }
+
+    raw.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    raw.dedup();
+
+    // Apply the allowlist: every diagnostic either stays or records which
+    // entry covered it; every entry must cover something.
+    let entries = match &config.allowlist {
+        None => Vec::new(),
+        Some(path) => match allow::load(path) {
+            Ok(entries) => entries,
+            Err(errs) => {
+                for e in errs {
+                    report.errors.push(e.to_string());
+                }
+                Vec::new()
+            }
+        },
+    };
+    let mut hits = vec![0usize; entries.len()];
+    for diag in raw {
+        let covering = entries.iter().position(|e| {
+            e.rule == diag.rule
+                && e.path == diag.path
+                && (diag.snippet.contains(&e.pattern)
+                    || (diag.line == 0 && diag.message.contains(&e.pattern)))
+        });
+        match covering {
+            Some(idx) => {
+                hits[idx] += 1;
+                report.suppressed.push((diag, entries[idx].clone()));
+            }
+            None => report.diagnostics.push(diag),
+        }
+    }
+    for (entry, count) in entries.iter().zip(&hits) {
+        if *count == 0 {
+            report.errors.push(format!(
+                "lint-allow.toml:{}: stale entry (rule {}, path {}, pattern {:?}) \
+                 suppresses nothing — delete it",
+                entry.line, entry.rule, entry.path, entry.pattern
+            ));
+        }
+    }
+    report
+}
+
+/// Recursively collects `.rs` files under `root/dir` as root-relative,
+/// `/`-separated paths.
+fn collect_rs(root: &Path, dir: &str, out: &mut Vec<String>, errors: &mut Vec<String>) {
+    let abs = root.join(dir);
+    let entries = match fs::read_dir(&abs) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("cannot scan {dir}: {e}"));
+            return;
+        }
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        let rel = format!("{dir}/{name}");
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(root, &rel, out, errors);
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_config_lists_every_crate_src() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let cfg = LintConfig::workspace(root).unwrap();
+        assert!(cfg.src_dirs.contains(&"crates/core/src".to_string()));
+        assert!(cfg.src_dirs.contains(&"crates/lint/src".to_string()));
+        assert!(cfg.trace_parity.is_some());
+        assert_eq!(cfg.config_coverage.len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Rendering: human `file:line` diagnostics and a machine-readable JSON
+//! document (archived by the `static-analysis` CI job).
+
+use std::collections::BTreeMap;
+
+use nifdy_trace::json::Json;
+
+use crate::allow::AllowEntry;
+use crate::rules::Diagnostic;
+use crate::LintReport;
+
+/// Stable schema version of the JSON report.
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// `path:line: [rule] message`, one diagnostic per line, then allowlist
+/// errors, then a one-line summary.
+pub fn human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            d.path, d.line, d.rule, d.message
+        ));
+        if !d.snippet.is_empty() {
+            out.push_str(&format!("    {}\n", d.snippet));
+        }
+    }
+    for e in &report.errors {
+        out.push_str(&format!("error: {e}\n"));
+    }
+    out.push_str(&format!(
+        "nifdy-lint: {} violation(s), {} suppressed by lint-allow.toml, {} error(s)\n",
+        report.diagnostics.len(),
+        report.suppressed.len(),
+        report.errors.len()
+    ));
+    out
+}
+
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    Json::obj([
+        ("rule", Json::str(d.rule)),
+        ("path", Json::str(d.path.clone())),
+        ("line", Json::u64(d.line as u64)),
+        ("message", Json::str(d.message.clone())),
+        ("snippet", Json::str(d.snippet.clone())),
+    ])
+}
+
+fn entry_json(e: &AllowEntry) -> Json {
+    Json::obj([
+        ("rule", Json::str(e.rule.clone())),
+        ("path", Json::str(e.path.clone())),
+        ("pattern", Json::str(e.pattern.clone())),
+        ("justification", Json::str(e.justification.clone())),
+    ])
+}
+
+/// The full machine-readable report.
+pub fn to_json(report: &LintReport) -> String {
+    let mut map = BTreeMap::new();
+    map.insert("schema".to_string(), Json::u64(REPORT_SCHEMA));
+    map.insert(
+        "clean".to_string(),
+        Json::Bool(report.diagnostics.is_empty() && report.errors.is_empty()),
+    );
+    map.insert(
+        "violations".to_string(),
+        Json::Arr(report.diagnostics.iter().map(diagnostic_json).collect()),
+    );
+    map.insert(
+        "suppressed".to_string(),
+        Json::Arr(
+            report
+                .suppressed
+                .iter()
+                .map(|(d, entry)| {
+                    Json::obj([
+                        ("diagnostic", diagnostic_json(d)),
+                        ("allowed_by", entry_json(entry)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    map.insert(
+        "errors".to_string(),
+        Json::Arr(report.errors.iter().map(|e| Json::str(e.clone())).collect()),
+    );
+    map.insert(
+        "files_scanned".to_string(),
+        Json::u64(report.files_scanned as u64),
+    );
+    Json::Obj(map).render()
+}

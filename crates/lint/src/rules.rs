@@ -1,0 +1,546 @@
+//! The four workspace rules. Each rule consumes the [`SourceFile`] model
+//! and appends [`Diagnostic`]s; suppression against `lint-allow.toml`
+//! happens later in the engine so every rule stays allowlist-agnostic.
+//!
+//! | Rule | Property |
+//! |------|----------|
+//! | R1   | panic-freedom in designated protocol hot paths |
+//! | R2   | determinism hygiene (no wall clock, no ambient RNG, no hash-ordered containers in deterministic crates) |
+//! | R3   | trace parity (every `EventKind` variant exported and fixture-covered) |
+//! | R4   | config coverage (every config field validated or builder-settable) |
+
+use crate::source::{contains_word, SourceFile};
+
+/// One finding, addressed `path:line`, before allowlist filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id: `"R1"`..`"R4"`.
+    pub rule: &'static str,
+    /// File path relative to the analysis root.
+    pub path: String,
+    /// 1-based line (0 when the finding is about a whole file).
+    pub line: usize,
+    /// What is wrong and what the fix direction is.
+    pub message: String,
+    /// The offending source line, trimmed (empty for file-level findings).
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    fn at(rule: &'static str, file: &SourceFile, line: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: file.rel.clone(),
+            line,
+            message,
+            snippet: file
+                .raw
+                .get(line.wrapping_sub(1))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// R1 scope: one file whose listed functions (or whole file when empty)
+/// must be panic-free.
+#[derive(Debug, Clone)]
+pub struct HotPath {
+    /// File path relative to the root.
+    pub path: String,
+    /// Function names delimiting the hot path; empty = entire file.
+    pub functions: Vec<String>,
+    /// Also forbid index expressions (`x[i]`, `x[a..b]`) — used for the
+    /// wire decode path, which must be total over arbitrary bytes.
+    pub deny_indexing: bool,
+}
+
+/// Tokens whose presence on a hot-path line is a panic risk.
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// R1 — panic-freedom in protocol hot paths.
+pub fn r1_panic_freedom(file: &SourceFile, hot: &HotPath, out: &mut Vec<Diagnostic>) {
+    let (mask, missing) = if hot.functions.is_empty() {
+        (vec![true; file.raw.len()], Vec::new())
+    } else {
+        file.fn_mask(&hot.functions)
+    };
+    for name in missing {
+        out.push(Diagnostic {
+            rule: "R1",
+            path: file.rel.clone(),
+            line: 0,
+            message: format!(
+                "hot-path function `{name}` not found; update the R1 scope in \
+                 `LintConfig::workspace` if it was renamed"
+            ),
+            snippet: String::new(),
+        });
+    }
+    for (idx, line) in file.code.iter().enumerate() {
+        let line_no = idx + 1;
+        if !mask[idx] || file.is_test_line(line_no) {
+            continue;
+        }
+        for token in PANIC_TOKENS {
+            if line.contains(token) {
+                out.push(Diagnostic::at(
+                    "R1",
+                    file,
+                    line_no,
+                    format!(
+                        "`{token}` on a protocol hot path; use a typed error or \
+                         `debug_assert!` + graceful recovery"
+                    ),
+                ));
+            }
+        }
+        if hot.deny_indexing {
+            for at in index_expr_positions(line) {
+                out.push(Diagnostic::at(
+                    "R1",
+                    file,
+                    line_no,
+                    format!(
+                        "index expression at column {} in a total decode path; \
+                         use `get`/checked accessors that return a typed error",
+                        at + 1
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Byte offsets of `[` tokens that open an index expression: a `[`
+/// immediately preceded by an identifier character, `)`, or `]`.
+fn index_expr_positions(line: &str) -> Vec<usize> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c != b'[' || i == 0 {
+            continue;
+        }
+        let p = b[i - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' || p == b')' || p == b']' {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// R2 scope.
+#[derive(Debug, Clone)]
+pub struct DeterminismScope {
+    /// Path prefixes (e.g. `crates/core/`) where hash-ordered containers
+    /// are forbidden; seeded RNG and wall-clock bans apply to every
+    /// scanned file.
+    pub hash_dir_prefixes: Vec<String>,
+}
+
+/// R2 — determinism hygiene.
+pub fn r2_determinism(file: &SourceFile, scope: &DeterminismScope, out: &mut Vec<Diagnostic>) {
+    let hash_banned = scope
+        .hash_dir_prefixes
+        .iter()
+        .any(|p| file.rel.starts_with(p.as_str()));
+    for (idx, line) in file.code.iter().enumerate() {
+        let line_no = idx + 1;
+        if file.is_test_line(line_no) {
+            continue;
+        }
+        for clock in ["Instant", "SystemTime"] {
+            if contains_word(line, clock) {
+                out.push(Diagnostic::at(
+                    "R2",
+                    file,
+                    line_no,
+                    format!(
+                        "wall-clock type `{clock}` in the deterministic stack; use \
+                         `Cycle` time, or add a justified allowlist entry for \
+                         harness timing / transport deadlines"
+                    ),
+                ));
+            }
+        }
+        for rng in ["thread_rng", "rand::random"] {
+            if line.contains(rng) {
+                out.push(Diagnostic::at(
+                    "R2",
+                    file,
+                    line_no,
+                    format!("ambient RNG `{rng}`; use the seeded `nifdy-sim` streams"),
+                ));
+            }
+        }
+        if hash_banned {
+            for map in ["HashMap", "HashSet"] {
+                if contains_word(line, map) {
+                    out.push(Diagnostic::at(
+                        "R2",
+                        file,
+                        line_no,
+                        format!(
+                            "default-hasher `{map}` in a deterministic crate; use \
+                             `BTreeMap`/`BTreeSet` (or sorted iteration) so order \
+                             never depends on the hasher"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// R3 scope: the event vocabulary and its exporters/fixtures.
+#[derive(Debug, Clone)]
+pub struct TraceParityScope {
+    /// File declaring the event enum.
+    pub event_file: String,
+    /// The enum name (e.g. `EventKind`).
+    pub enum_name: String,
+    /// Function mapping variants to stable wire names (e.g. `name`).
+    pub name_fn: String,
+    /// A `const` in the event file that must equal the variant count.
+    pub count_const: String,
+    /// The exporter file (JSONL + Perfetto live together).
+    pub exporter_file: String,
+    /// Per-variant JSONL field function (no catch-all allowed).
+    pub jsonl_fn: String,
+    /// The Perfetto/Chrome exporter function.
+    pub chrome_fn: String,
+    /// Test files that together must mention every wire name.
+    pub fixture_files: Vec<String>,
+}
+
+/// R3 — trace parity across exporters and fixtures.
+pub fn r3_trace_parity(
+    event: &SourceFile,
+    exporter: &SourceFile,
+    fixtures: &[SourceFile],
+    scope: &TraceParityScope,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(variants) = event.enum_variants(&scope.enum_name) else {
+        out.push(Diagnostic {
+            rule: "R3",
+            path: event.rel.clone(),
+            line: 0,
+            message: format!("enum `{}` not found", scope.enum_name),
+            snippet: String::new(),
+        });
+        return;
+    };
+    if variants.is_empty() {
+        out.push(Diagnostic {
+            rule: "R3",
+            path: event.rel.clone(),
+            line: 0,
+            message: format!("enum `{}` has no parsed variants", scope.enum_name),
+            snippet: String::new(),
+        });
+        return;
+    }
+
+    // The declared count const keeps humans honest when adding variants.
+    match event.const_value(&scope.count_const) {
+        Some((value, line)) if value as usize != variants.len() => {
+            out.push(Diagnostic::at(
+                "R3",
+                event,
+                line,
+                format!(
+                    "`{}` is {value} but `{}` has {} variants",
+                    scope.count_const,
+                    scope.enum_name,
+                    variants.len()
+                ),
+            ));
+        }
+        None => out.push(Diagnostic {
+            rule: "R3",
+            path: event.rel.clone(),
+            line: 0,
+            message: format!(
+                "`const {}` not found in the event file; declare it equal to the \
+                 variant count",
+                scope.count_const
+            ),
+            snippet: String::new(),
+        }),
+        _ => {}
+    }
+
+    // Wire names: one `Enum::Variant … => "literal"` arm per variant.
+    let mut wire_names: Vec<(String, String, usize)> = Vec::new();
+    for span in event.fns_named(&scope.name_fn) {
+        for line_no in span.start..=span.end.min(event.code.len()) {
+            let code = &event.code[line_no - 1];
+            let marker = format!("{}::", scope.enum_name);
+            let Some(pos) = code.find(&marker) else {
+                continue;
+            };
+            let variant: String = code[pos + marker.len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if let Some((lit, _)) = event
+                .string_literals_in(line_no, line_no)
+                .into_iter()
+                .next()
+            {
+                wire_names.push((variant, lit, line_no));
+            }
+        }
+    }
+
+    let jsonl_mask = fn_lines(exporter, &scope.jsonl_fn);
+    let chrome_mask = fn_lines(exporter, &scope.chrome_fn);
+    let chrome_has_catch_all = chrome_mask
+        .iter()
+        .any(|&l| exporter.code[l - 1].contains("_ =>"));
+
+    for (variant, line) in &variants {
+        let qualified = format!("{}::{}", scope.enum_name, variant);
+        if !jsonl_mask
+            .iter()
+            .any(|&l| exporter.code[l - 1].contains(&qualified))
+        {
+            out.push(Diagnostic::at(
+                "R3",
+                event,
+                *line,
+                format!(
+                    "variant `{variant}` has no arm in the JSONL exporter \
+                     (`{}::{}`)",
+                    exporter.rel, scope.jsonl_fn
+                ),
+            ));
+        }
+        let chrome_ok = chrome_has_catch_all
+            || chrome_mask
+                .iter()
+                .any(|&l| exporter.code[l - 1].contains(&qualified));
+        if !chrome_ok {
+            out.push(Diagnostic::at(
+                "R3",
+                event,
+                *line,
+                format!(
+                    "variant `{variant}` unhandled by the Perfetto exporter \
+                     (`{}::{}`)",
+                    exporter.rel, scope.chrome_fn
+                ),
+            ));
+        }
+        let named = wire_names.iter().find(|(v, _, _)| v == variant);
+        match named {
+            None => out.push(Diagnostic::at(
+                "R3",
+                event,
+                *line,
+                format!(
+                    "variant `{variant}` has no wire name in `{}`",
+                    scope.name_fn
+                ),
+            )),
+            Some((_, wire, _)) => {
+                let covered = fixtures.iter().any(|f| {
+                    f.raw
+                        .iter()
+                        .any(|l| l.contains(&format!("\"{wire}\"")) || contains_word(l, variant))
+                });
+                if !covered {
+                    out.push(Diagnostic::at(
+                        "R3",
+                        event,
+                        *line,
+                        format!(
+                            "variant `{variant}` (wire name \"{wire}\") appears in no \
+                             trace fixture test"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// 1-based lines covered by functions with the given name.
+fn fn_lines(file: &SourceFile, name: &str) -> Vec<usize> {
+    let mut lines = Vec::new();
+    for span in file.fns_named(name) {
+        lines.extend(span.start..=span.end.min(file.code.len()));
+    }
+    lines
+}
+
+/// R4 scope: one config struct and its validation function.
+#[derive(Debug, Clone)]
+pub struct ConfigCoverageScope {
+    /// File declaring the struct.
+    pub path: String,
+    /// Struct whose public fields are checked.
+    pub struct_name: String,
+    /// The validation function name (all same-named spans in the file
+    /// count, so `impl` duplication is fine).
+    pub validate_fn: String,
+}
+
+/// R4 — config coverage: every public field is either constrained by
+/// `validate()` or reachable through a builder setter (`with_<field>` or a
+/// builder method named after the field). Orphan fields silently drift.
+pub fn r4_config_coverage(
+    file: &SourceFile,
+    scope: &ConfigCoverageScope,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(fields) = file.struct_fields(&scope.struct_name) else {
+        out.push(Diagnostic {
+            rule: "R4",
+            path: file.rel.clone(),
+            line: 0,
+            message: format!("struct `{}` not found", scope.struct_name),
+            snippet: String::new(),
+        });
+        return;
+    };
+    let validate_lines = fn_lines(file, &scope.validate_fn);
+    if validate_lines.is_empty() {
+        out.push(Diagnostic {
+            rule: "R4",
+            path: file.rel.clone(),
+            line: 0,
+            message: format!(
+                "validation fn `{}` not found for `{}`",
+                scope.validate_fn, scope.struct_name
+            ),
+            snippet: String::new(),
+        });
+        return;
+    }
+    for (field, line) in fields {
+        let validated = validate_lines
+            .iter()
+            .any(|&l| contains_word(&file.code[l - 1], &field));
+        let has_setter = file.fns_named(&format!("with_{field}")).next().is_some()
+            || file.fns_named(&field).next().is_some();
+        if !validated && !has_setter {
+            out.push(Diagnostic::at(
+                "R4",
+                file,
+                line,
+                format!(
+                    "field `{field}` of `{}` is neither referenced by `{}` nor \
+                     settable via a builder method; wire it into validation or \
+                     add `with_{field}`",
+                    scope.struct_name, scope.validate_fn
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn r1_flags_tokens_and_skips_tests() {
+        let f = file(
+            "fn hot() {\n    a.unwrap();\n    b.expect(\"x\");\n    panic!();\n}\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); }\n}\n",
+        );
+        let hot = HotPath {
+            path: f.rel.clone(),
+            functions: vec![],
+            deny_indexing: false,
+        };
+        let mut out = Vec::new();
+        r1_panic_freedom(&f, &hot, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|d| d.rule == "R1"));
+    }
+
+    #[test]
+    fn r1_function_scope_and_indexing() {
+        let f = file("fn cold() { a.unwrap(); }\nfn hot(b: &[u8]) -> u8 { b[0] }\n");
+        let hot = HotPath {
+            path: f.rel.clone(),
+            functions: vec!["hot".into()],
+            deny_indexing: true,
+        };
+        let mut out = Vec::new();
+        r1_panic_freedom(&f, &hot, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn r1_reports_missing_scope_functions() {
+        let f = file("fn present() {}\n");
+        let hot = HotPath {
+            path: f.rel.clone(),
+            functions: vec!["gone".into()],
+            deny_indexing: false,
+        };
+        let mut out = Vec::new();
+        r1_panic_freedom(&f, &hot, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`gone`"));
+    }
+
+    #[test]
+    fn r2_flags_clock_rng_and_hash() {
+        let f = file(
+            "use std::time::Instant;\nuse std::collections::HashMap;\n\
+             fn f() { let _ = rand::random::<u8>(); }\n",
+        );
+        let scope = DeterminismScope {
+            hash_dir_prefixes: vec!["crates/x/".into()],
+        };
+        let mut out = Vec::new();
+        r2_determinism(&f, &scope, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn r2_hash_ban_is_scoped() {
+        let f = file("use std::collections::HashMap;\n");
+        let scope = DeterminismScope {
+            hash_dir_prefixes: vec!["crates/other/".into()],
+        };
+        let mut out = Vec::new();
+        r2_determinism(&f, &scope, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn r4_flags_orphan_fields() {
+        let f = file(
+            "pub struct Cfg {\n    pub checked: u8,\n    pub set: u8,\n    pub orphan: u8,\n}\n\
+             impl Cfg {\n    pub fn with_set(mut self, v: u8) -> Self { self.set = v; self }\n\
+             \n    pub fn validate(&self) { assert!(self.checked > 0); }\n}\n",
+        );
+        let scope = ConfigCoverageScope {
+            path: f.rel.clone(),
+            struct_name: "Cfg".into(),
+            validate_fn: "validate".into(),
+        };
+        let mut out = Vec::new();
+        r4_config_coverage(&f, &scope, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`orphan`"));
+    }
+}

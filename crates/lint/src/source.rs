@@ -1,0 +1,664 @@
+//! A line/token source model for the workspace analyzer.
+//!
+//! The rules in this crate do not need a real Rust parser: every property
+//! they check is visible at the token level once comments and string
+//! literals are blanked out. [`SourceFile`] loads one file and precomputes
+//!
+//! * a **code view** — the original text with comment and string-literal
+//!   contents replaced by spaces (newlines preserved), so token scans never
+//!   match prose or payload bytes,
+//! * a per-line **test mask** — lines inside `#[cfg(test)]` items or
+//!   `#[test]` functions, which the rules skip (test code may panic and may
+//!   time things),
+//! * **function spans** — `fn name { … }` line ranges, so rules can scope
+//!   themselves to designated hot-path functions,
+//!
+//! plus small item parsers (enum variants, struct fields, const values)
+//! used by the trace-parity and config-coverage rules.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The line range (1-based, inclusive) of one `fn` item, including nested
+/// functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// Function name as written.
+    pub name: String,
+    /// First line of the `fn` keyword.
+    pub start: usize,
+    /// Line of the closing brace (equal to `start` for bodyless items).
+    pub end: usize,
+}
+
+/// One loaded source file with its derived views.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the analysis root, `/`-separated.
+    pub rel: String,
+    /// Original lines.
+    pub raw: Vec<String>,
+    /// Comment/string-blanked lines (same count and per-line length).
+    pub code: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` items or `#[test]` functions.
+    pub test: Vec<bool>,
+    /// Every `fn` item span found in the file.
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Reads and models `root/rel`.
+    pub fn load(root: &Path, rel: &str) -> io::Result<SourceFile> {
+        let content = fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::parse(rel, &content))
+    }
+
+    /// Models already-read content (used by the self-tests).
+    pub fn parse(rel: &str, content: &str) -> SourceFile {
+        let blanked = blank(content);
+        let raw: Vec<String> = content.lines().map(str::to_string).collect();
+        let mut code: Vec<String> = blanked.lines().map(str::to_string).collect();
+        code.resize(raw.len(), String::new());
+        let test = test_mask(&code);
+        let fns = fn_spans(&code);
+        SourceFile {
+            rel: rel.to_string(),
+            raw,
+            code,
+            test,
+            fns,
+        }
+    }
+
+    /// Whether 1-based `line` is test code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// All spans of functions with the given name.
+    pub fn fns_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a FnSpan> {
+        self.fns.iter().filter(move |f| f.name == name)
+    }
+
+    /// Per-line mask of the union of the named functions' spans. Functions
+    /// not found in the file are reported back so rules can flag config
+    /// drift instead of silently scanning nothing.
+    pub fn fn_mask(&self, names: &[String]) -> (Vec<bool>, Vec<String>) {
+        let mut mask = vec![false; self.raw.len()];
+        let mut missing = Vec::new();
+        for name in names {
+            let mut found = false;
+            for span in self.fns_named(name) {
+                found = true;
+                for flag in mask
+                    .iter_mut()
+                    .take(span.end.min(self.raw.len()))
+                    .skip(span.start.saturating_sub(1))
+                {
+                    *flag = true;
+                }
+            }
+            if !found {
+                missing.push(name.clone());
+            }
+        }
+        (mask, missing)
+    }
+
+    /// Variant names of `enum name`, with the 1-based line each starts on.
+    pub fn enum_variants(&self, name: &str) -> Option<Vec<(String, usize)>> {
+        self.item_members(&format!("enum {name}"), |trimmed| {
+            let ident: String = trimmed
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ident.is_empty() || !ident.chars().next().is_some_and(char::is_alphabetic) {
+                None
+            } else {
+                Some(ident)
+            }
+        })
+    }
+
+    /// Public field names of `struct name`, with their 1-based lines.
+    pub fn struct_fields(&self, name: &str) -> Option<Vec<(String, usize)>> {
+        self.item_members(&format!("struct {name}"), |trimmed| {
+            let rest = trimmed.strip_prefix("pub ")?;
+            let ident: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ident.is_empty() || !rest[ident.len()..].trim_start().starts_with(':') {
+                None
+            } else {
+                Some(ident)
+            }
+        })
+    }
+
+    /// Walks the brace block of the item introduced by `header`, yielding
+    /// one entry per depth-1 line `extract` accepts.
+    fn item_members(
+        &self,
+        header: &str,
+        extract: impl Fn(&str) -> Option<String>,
+    ) -> Option<Vec<(String, usize)>> {
+        let start = self
+            .code
+            .iter()
+            .position(|line| contains_phrase(line, header))?;
+        let mut members = Vec::new();
+        let mut depth = 0usize;
+        let mut entered = false;
+        for (idx, line) in self.code.iter().enumerate().skip(start) {
+            if entered && depth == 1 {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                    if let Some(member) = extract(trimmed) {
+                        members.push((member, idx + 1));
+                    }
+                }
+            }
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            return Some(members);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Some(members)
+    }
+
+    /// The integer value of `const NAME` (any type), if declared.
+    pub fn const_value(&self, name: &str) -> Option<(u64, usize)> {
+        let phrase = format!("const {name}");
+        for (idx, line) in self.code.iter().enumerate() {
+            if !contains_phrase(line, &phrase) {
+                continue;
+            }
+            let eq = line.find('=')?;
+            let digits: String = line[eq + 1..]
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if let Ok(v) = digits.parse() {
+                return Some((v, idx + 1));
+            }
+        }
+        None
+    }
+
+    /// String literals (unescaped content) appearing on raw lines
+    /// `start..=end` (1-based). Good enough for `match` arms mapping
+    /// variants to wire names; does not handle raw strings.
+    pub fn string_literals_in(&self, start: usize, end: usize) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for line_no in start..=end.min(self.raw.len()) {
+            let line = &self.raw[line_no - 1];
+            let mut chars = line.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c != '"' {
+                    continue;
+                }
+                let mut lit = String::new();
+                loop {
+                    match chars.next() {
+                        None | Some('"') => break,
+                        Some('\\') => {
+                            if let Some(esc) = chars.next() {
+                                lit.push(esc);
+                            }
+                        }
+                        Some(other) => lit.push(other),
+                    }
+                }
+                out.push((lit, line_no));
+            }
+        }
+        out
+    }
+}
+
+/// Does `line` contain `word` delimited by non-identifier characters?
+pub fn contains_word(line: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len().max(1);
+    }
+    false
+}
+
+/// `contains_word` over a multi-word phrase: every space in `phrase`
+/// matches one-or-more whitespace, and both ends sit on word boundaries.
+fn contains_phrase(line: &str, phrase: &str) -> bool {
+    let words: Vec<&str> = phrase.split_whitespace().collect();
+    let Some((first, rest)) = words.split_first() else {
+        return false;
+    };
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(first) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let mut cursor = at + first.len();
+        let mut ok = before_ok;
+        if ok {
+            for word in rest {
+                let trimmed = line[cursor..].trim_start();
+                if trimmed.starts_with(word) {
+                    cursor = line.len() - trimmed.len() + word.len();
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok
+            && !line[cursor..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            return true;
+        }
+        from = at + first.len().max(1);
+    }
+    false
+}
+
+/// Replaces comment and string-literal contents with spaces, preserving
+/// line structure, so token scans see only code. Handles line and nested
+/// block comments, plain/byte/raw strings, char literals, and lifetimes.
+fn blank(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            out.extend_from_slice(b"  ");
+            i += 2;
+            let mut depth = 1usize;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+        } else if let Some((hashes, quote)) = raw_string_at(b, i) {
+            // Blank from the prefix through the closing quote+hashes.
+            let mut j = quote + 1;
+            loop {
+                if j >= b.len() {
+                    break;
+                }
+                if b[j] == b'"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == b'#')
+                        .count()
+                        == hashes
+                {
+                    j += 1 + hashes;
+                    break;
+                }
+                j += 1;
+            }
+            for &ch in &b[i..j.min(b.len())] {
+                push_blank(&mut out, ch);
+            }
+            i = j;
+        } else if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                    if i < b.len() {
+                        push_blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+        } else if c == b'\'' {
+            if b.get(i + 1) == Some(&b'\\') {
+                // Escaped char literal: blank to the closing quote.
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            } else if char_literal_len(b, i).is_some() {
+                let n = char_literal_len(b, i).unwrap_or(0);
+                for &ch in &b[i..i + n] {
+                    push_blank(&mut out, ch);
+                }
+                i += n;
+            } else {
+                // A lifetime: keep the tick, it is code.
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn push_blank(out: &mut Vec<u8>, c: u8) {
+    out.push(if c == b'\n' { b'\n' } else { b' ' });
+}
+
+/// If position `i` starts a raw (or raw byte) string, returns
+/// `(hash_count, index_of_opening_quote)`.
+fn raw_string_at(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((hashes, j))
+    } else {
+        None
+    }
+}
+
+/// If position `i` (a `'`) starts an unescaped char literal, its total
+/// byte length including both quotes.
+fn char_literal_len(b: &[u8], i: usize) -> Option<usize> {
+    let first = *b.get(i + 1)?;
+    if first == b'\'' {
+        return None;
+    }
+    let char_len = match first {
+        x if x < 0x80 => 1,
+        x if x >= 0xF0 => 4,
+        x if x >= 0xE0 => 3,
+        _ => 2,
+    };
+    (b.get(i + 1 + char_len) == Some(&b'\'')).then_some(char_len + 2)
+}
+
+/// Marks lines covered by `#[cfg(test)]` items and `#[test]` functions.
+fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let line = &code[i];
+        let is_marker = line.contains("#[cfg(test)")
+            || line.contains("#[cfg(all(test")
+            || line.contains("#[cfg(any(test")
+            || line.trim_start().starts_with("#[test]");
+        if !is_marker {
+            i += 1;
+            continue;
+        }
+        // Extend over the annotated item: to the matching close brace, or
+        // to the terminating `;` for braceless items (`use`, `const`).
+        let mut depth = 0usize;
+        let mut entered = false;
+        let mut j = i;
+        loop {
+            if j >= code.len() {
+                break;
+            }
+            let mut done = false;
+            for ch in code[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            done = true;
+                        }
+                    }
+                    ';' if !entered => done = true,
+                    _ => {}
+                }
+            }
+            if done {
+                break;
+            }
+            j += 1;
+        }
+        for flag in mask.iter_mut().take((j + 1).min(code.len())).skip(i) {
+            *flag = true;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Finds every `fn name … { … }` span via brace matching on the code view.
+fn fn_spans(code: &[String]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    // Functions awaiting their body's opening brace, then open bodies as
+    // (name, start_line, depth_at_open).
+    let mut pending: Option<(String, usize)> = None;
+    let mut sig_depth = 0usize;
+    let mut open: Vec<(String, usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    for (idx, line) in code.iter().enumerate() {
+        for (at, ch) in line.char_indices() {
+            match ch {
+                '(' | '[' if pending.is_some() => sig_depth += 1,
+                ')' | ']' if pending.is_some() => sig_depth = sig_depth.saturating_sub(1),
+                '{' => {
+                    depth += 1;
+                    if let Some((name, start)) = pending.take() {
+                        open.push((name, start, depth));
+                    }
+                }
+                '}' => {
+                    if let Some(pos) = open.iter().rposition(|(_, _, d)| *d == depth) {
+                        let (name, start, _) = open.remove(pos);
+                        spans.push(FnSpan {
+                            name,
+                            start,
+                            end: idx + 1,
+                        });
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' if sig_depth == 0 => {
+                    // Bodyless declaration (trait method, extern). A `;`
+                    // inside the signature's parens or an array type does
+                    // not end the item.
+                    if let Some((name, start)) = pending.take() {
+                        spans.push(FnSpan {
+                            name,
+                            start,
+                            end: start,
+                        });
+                    }
+                }
+                'f' => {
+                    // A word-boundary `fn` followed by an identifier.
+                    let before_ok = at == 0
+                        || !line[..at]
+                            .chars()
+                            .next_back()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if before_ok && line[at..].starts_with("fn") {
+                        let rest = &line[at + 2..];
+                        if rest.starts_with(char::is_whitespace) {
+                            let name: String = rest
+                                .trim_start()
+                                .chars()
+                                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                                .collect();
+                            if !name.is_empty() {
+                                pending = Some((name, idx + 1));
+                                sig_depth = 0;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    spans.sort_by_key(|s| (s.start, s.end));
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_hides_comments_strings_and_chars() {
+        let src =
+            "let a = \"panic!()\"; // unwrap()\nlet b = 'x'; /* expect( */ let c = r#\"todo!\"#;\n";
+        let out = blank(src);
+        assert!(!out.contains("panic!"));
+        assert!(!out.contains("unwrap"));
+        assert!(!out.contains("expect"));
+        assert!(!out.contains("todo"));
+        assert!(out.contains("let a ="));
+        assert!(out.contains("let c ="));
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn lifetimes_survive_blanking() {
+        let out = blank("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(out.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod_and_test_fn() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+    }
+
+    #[test]
+    fn fn_spans_nest() {
+        let src = "fn outer() {\n    fn inner() {\n    }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let outer = f.fns_named("outer").next().unwrap();
+        assert_eq!((outer.start, outer.end), (1, 4));
+        let inner = f.fns_named("inner").next().unwrap();
+        assert_eq!((inner.start, inner.end), (2, 3));
+        let after = f.fns_named("after").next().unwrap();
+        assert_eq!((after.start, after.end), (5, 5));
+    }
+
+    #[test]
+    fn enum_and_struct_parsing() {
+        let src = "pub enum Kind {\n    A { x: u8 },\n    B,\n}\npub struct Cfg {\n    pub one: u8,\n    pub two: bool,\n    hidden: u8,\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let variants: Vec<String> = f
+            .enum_variants("Kind")
+            .unwrap()
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(variants, vec!["A", "B"]);
+        let fields: Vec<String> = f
+            .struct_fields("Cfg")
+            .unwrap()
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(fields, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn const_and_literals() {
+        let src = "pub const COUNT: usize = 21;\nfn name() { let s = \"wire_name\"; }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.const_value("COUNT"), Some((21, 1)));
+        assert_eq!(
+            f.string_literals_in(2, 2),
+            vec![("wire_name".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("use std::time::Instant;", "Instant"));
+        assert!(!contains_word("let instantaneous = 1;", "Instant"));
+        assert!(!contains_word("InstantX", "Instant"));
+    }
+}

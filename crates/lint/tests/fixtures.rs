@@ -1,0 +1,227 @@
+//! Fixture-driven rule tests: each rule R1–R4 is demonstrated by a small
+//! fake workspace under `tests/fixtures/` that must FAIL the pass, the
+//! allowlist machinery is exercised against schema-broken / stale / valid
+//! suppression files, and a final self-test asserts the live NIFDY
+//! workspace itself is clean.
+
+use std::path::{Path, PathBuf};
+
+use nifdy_lint::rules::{ConfigCoverageScope, DeterminismScope, HotPath, TraceParityScope};
+use nifdy_lint::{run, LintConfig, LintReport};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// A config with every rule disabled, rooted at a fixture tree.
+fn base_config(fixture: &str) -> LintConfig {
+    LintConfig {
+        root: fixture_root(fixture),
+        src_dirs: vec!["crates/app/src".to_string()],
+        hot_paths: Vec::new(),
+        determinism: None,
+        trace_parity: None,
+        config_coverage: Vec::new(),
+        allowlist: None,
+    }
+}
+
+fn rules_fired(report: &LintReport, rule: &str) -> usize {
+    report.diagnostics.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn r1_fixture_fails_on_panics_and_indexing() {
+    let mut config = base_config("r1");
+    config.hot_paths = vec![HotPath {
+        path: "crates/app/src/hot.rs".to_string(),
+        functions: vec!["decode".to_string(), "step".to_string()],
+        deny_indexing: true,
+    }];
+    let report = run(&config);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    // bytes[0] indexing + .unwrap() + panic! — and nothing else: the
+    // unwraps in `cold()` and in the test module are out of scope.
+    assert_eq!(rules_fired(&report, "R1"), 3, "{:#?}", report.diagnostics);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("index expression")));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.snippet.contains("panic!")));
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.snippet.contains("Some(1u8)")));
+}
+
+#[test]
+fn r2_fixture_fails_on_clock_rng_and_hash() {
+    let mut config = base_config("r2");
+    config.determinism = Some(DeterminismScope {
+        hash_dir_prefixes: vec!["crates/app/".to_string()],
+    });
+    let report = run(&config);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    let msgs: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(msgs.iter().any(|m| m.contains("`Instant`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("rand::random")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`HashMap`")), "{msgs:?}");
+    // The Instant inside #[cfg(test)] must not fire.
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.snippet.contains("clocks_in_tests") || d.line > 23));
+}
+
+#[test]
+fn r3_fixture_fails_on_every_parity_gap() {
+    let mut config = base_config("r3");
+    config.trace_parity = Some(TraceParityScope {
+        event_file: "crates/app/src/event.rs".to_string(),
+        enum_name: "EventKind".to_string(),
+        name_fn: "name".to_string(),
+        count_const: "VARIANT_COUNT".to_string(),
+        exporter_file: "crates/app/src/export.rs".to_string(),
+        jsonl_fn: "kind_args".to_string(),
+        chrome_fn: "to_chrome_trace".to_string(),
+        fixture_files: vec!["crates/app/tests/fixture.rs".to_string()],
+    });
+    let report = run(&config);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    let msgs: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect();
+    // Wrong count const, Beta hidden by the JSONL catch-all, Beta missing
+    // from the Chrome exporter, Beta absent from the fixture file.
+    assert!(
+        msgs.iter().any(|m| m.contains("`VARIANT_COUNT` is 3")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`Beta` has no arm in the JSONL")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`Beta` unhandled by the Perfetto")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`Beta` (wire name \"beta\") appears in no")),
+        "{msgs:?}"
+    );
+    // Alpha is fully covered and must not be flagged.
+    assert!(!msgs.iter().any(|m| m.contains("`Alpha`")), "{msgs:?}");
+}
+
+#[test]
+fn r4_fixture_fails_on_the_orphan_field() {
+    let mut config = base_config("r4");
+    config.config_coverage = vec![ConfigCoverageScope {
+        path: "crates/app/src/config.rs".to_string(),
+        struct_name: "AppConfig".to_string(),
+        validate_fn: "validate".to_string(),
+    }];
+    let report = run(&config);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(rules_fired(&report, "R4"), 1, "{:#?}", report.diagnostics);
+    assert!(report.diagnostics[0].message.contains("`orphan_knob`"));
+}
+
+#[test]
+fn schema_broken_allowlist_is_a_hard_error() {
+    let mut config = base_config("r1");
+    config.allowlist = Some(fixture_root("allow").join("bad.toml"));
+    let report = run(&config);
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| e.contains("unknown rule `R9`")),
+        "{:?}",
+        report.errors
+    );
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| e.contains("unknown key `severity`")),
+        "{:?}",
+        report.errors
+    );
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| e.contains("missing required key `pattern`")),
+        "{:?}",
+        report.errors
+    );
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn stale_allowlist_entry_is_a_hard_error() {
+    let mut config = base_config("r1");
+    config.hot_paths = vec![HotPath {
+        path: "crates/app/src/hot.rs".to_string(),
+        functions: vec!["step".to_string()],
+        deny_indexing: false,
+    }];
+    config.allowlist = Some(fixture_root("allow").join("stale.toml"));
+    let report = run(&config);
+    assert!(
+        report.errors.iter().any(|e| e.contains("stale entry")),
+        "{:?}",
+        report.errors
+    );
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn justified_entry_suppresses_exactly_its_diagnostic() {
+    let mut config = base_config("r1");
+    config.hot_paths = vec![HotPath {
+        path: "crates/app/src/hot.rs".to_string(),
+        functions: vec!["decode".to_string(), "step".to_string()],
+        deny_indexing: true,
+    }];
+    config.allowlist = Some(fixture_root("allow").join("covers-r1.toml"));
+    let report = run(&config);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.suppressed.len(), 1, "{:#?}", report.suppressed);
+    assert!(report.suppressed[0].0.snippet.contains(".unwrap()"));
+    // The indexing and panic! diagnostics are NOT covered and stay active.
+    assert_eq!(rules_fired(&report, "R1"), 2, "{:#?}", report.diagnostics);
+}
+
+/// The tentpole acceptance check: the live workspace passes its own lint
+/// with zero violations and zero errors.
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let config = LintConfig::workspace(root).expect("workspace enumerates");
+    let report = run(&config);
+    assert!(
+        report.is_clean(),
+        "live workspace must lint clean:\n{}",
+        nifdy_lint::report::human(&report)
+    );
+    assert!(report.files_scanned > 20, "scan set unexpectedly small");
+}

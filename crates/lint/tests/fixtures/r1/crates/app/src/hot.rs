@@ -1,0 +1,32 @@
+//! R1 fixture: a fake hot path with one indexing, one unwrap, and one
+//! panic; the test-module unwrap must NOT be flagged.
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn step(queue: &mut Vec<u8>) {
+    let head = queue.pop().unwrap();
+    if head == 0 {
+        panic!("zero");
+    }
+}
+
+pub fn cold() -> u8 {
+    // Outside the configured hot functions: not a violation.
+    Some(1u8).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ok() {
+        assert_eq!(super::decode(&[1]), 1);
+    }
+
+    #[test]
+    fn test_unwrap_is_fine() {
+        let v = Some(3u8).unwrap();
+        assert_eq!(v, 3);
+    }
+}

@@ -1,0 +1,30 @@
+//! R2 fixture: wall clock, ambient RNG, and a hash-ordered container in a
+//! crate configured as deterministic.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn jitter() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn roll() -> u8 {
+    rand::random::<u8>()
+}
+
+pub fn count(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,18 @@
+//! R3 fixture: two variants, a deliberately wrong `VARIANT_COUNT`, and a
+//! `Beta` variant the exporters and fixtures fail to cover.
+
+pub enum EventKind {
+    Alpha { x: u8 },
+    Beta { y: u8 },
+}
+
+impl EventKind {
+    pub const VARIANT_COUNT: usize = 3;
+
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EventKind::Alpha { .. } => "alpha",
+            EventKind::Beta { .. } => "beta",
+        }
+    }
+}

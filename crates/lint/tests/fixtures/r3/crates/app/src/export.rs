@@ -1,0 +1,25 @@
+//! R3 fixture exporters: `kind_args` (JSONL) hides `Beta` behind a
+//! catch-all; the Chrome exporter has no catch-all and no `Beta` arm.
+
+use crate::event::EventKind;
+
+fn kind_args(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Alpha { x } => format!("x={x}"),
+        _ => String::new(),
+    }
+}
+
+pub fn to_jsonl(events: &[EventKind]) -> String {
+    events.iter().map(kind_args).collect()
+}
+
+pub fn to_chrome_trace(events: &[EventKind]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        if let EventKind::Alpha { .. } = ev {
+            out.push('a');
+        }
+    }
+    out
+}

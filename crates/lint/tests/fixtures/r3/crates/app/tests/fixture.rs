@@ -1,0 +1,8 @@
+//! R3 fixture test file: covers only the first variant's wire name,
+//! leaving the second uncovered.
+
+#[test]
+fn alpha_round_trips() {
+    let line = "{\"ev\":\"alpha\"}";
+    assert!(line.contains("alpha"));
+}

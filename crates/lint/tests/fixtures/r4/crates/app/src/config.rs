@@ -1,0 +1,22 @@
+//! R4 fixture: `window` is validated, `depth` has a builder setter, and
+//! `orphan_knob` is reachable by neither — the violation.
+
+pub struct AppConfig {
+    pub window: u8,
+    pub depth: u8,
+    pub orphan_knob: u8,
+}
+
+impl AppConfig {
+    pub fn with_depth(mut self, d: u8) -> Self {
+        self.depth = d;
+        self
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        Ok(())
+    }
+}

@@ -523,7 +523,8 @@ impl Fabric {
                 (false, false) => return None,
             }
         };
-        Some(Lane::from_index(index).expect("lane slots are indexed 0..2"))
+        // Both arms produce 0 or 1, so the conversion is total.
+        Lane::from_index(index).ok()
     }
 
     /// Phase A: decrement serialization counters; deliver flits whose
@@ -541,8 +542,10 @@ impl Fabric {
                 if busy[0] && busy[1] {
                     self.routers[r].outs[p].mux_rr ^= 1;
                 }
-                let (flit, dvc, rem) =
-                    self.routers[r].outs[p].in_flight[lane.index()].expect("busy lane");
+                let Some((flit, dvc, rem)) = self.routers[r].outs[p].in_flight[lane.index()] else {
+                    debug_assert!(false, "advancing lane has no flit in flight");
+                    continue;
+                };
                 if rem > 1 {
                     self.routers[r].outs[p].in_flight[lane.index()] = Some((flit, dvc, rem - 1));
                     continue;
@@ -578,7 +581,10 @@ impl Fabric {
             if busy[0] && busy[1] {
                 self.nodes[n].lane_rr ^= 1;
             }
-            let (flit, dvc, rem) = self.nodes[n].in_flight[lane.index()].expect("busy lane");
+            let Some((flit, dvc, rem)) = self.nodes[n].in_flight[lane.index()] else {
+                debug_assert!(false, "advancing lane has no flit in flight");
+                continue;
+            };
             if rem > 1 {
                 self.nodes[n].in_flight[lane.index()] = Some((flit, dvc, rem - 1));
                 continue;
@@ -829,10 +835,10 @@ impl Fabric {
         dvc: u8,
         is_head: bool,
     ) {
-        let (popped, _) = self.routers[r].ins[ip].vcs[vc]
-            .buf
-            .pop_front()
-            .expect("flit present");
+        let Some((popped, _)) = self.routers[r].ins[ip].vcs[vc].buf.pop_front() else {
+            debug_assert!(false, "committed transmission from an empty VC buffer");
+            return;
+        };
         debug_assert_eq!(popped, flit);
         self.routers[r].lane_flits[vc / self.cfg.vcs_per_lane as usize] -= 1;
         let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
@@ -905,7 +911,10 @@ impl Fabric {
             return false;
         }
         let iface = &mut self.nodes[n];
-        let slot = iface.slots[lane.index()].as_mut().expect("slot present");
+        let Some(slot) = iface.slots[lane.index()].as_mut() else {
+            debug_assert!(false, "slot checked non-empty above");
+            return false;
+        };
         if slot.vc.is_none() {
             slot.vc = Some(dvc);
             iface.inj_owner[dvc as usize] = Some(worm_id);

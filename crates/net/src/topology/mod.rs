@@ -214,7 +214,7 @@ pub(crate) mod checks {
     //! Shared structural validation used by every topology's tests.
 
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     /// Asserts structural sanity of a spec: link endpoints in range, node
     /// attaches consistent, each router input port fed by at most one link,
@@ -225,8 +225,8 @@ pub(crate) mod checks {
         assert_eq!(spec.attaches.len(), nodes, "one attach per node");
 
         // Every link endpoint must exist.
-        let mut fed: HashSet<(u32, u8)> = HashSet::new();
-        let mut ejected: HashSet<u32> = HashSet::new();
+        let mut fed: BTreeSet<(u32, u8)> = BTreeSet::new();
+        let mut ejected: BTreeSet<u32> = BTreeSet::new();
         for (r, router) in spec.routers.iter().enumerate() {
             for link in &router.links {
                 match *link {

@@ -1,0 +1,168 @@
+//! Trace-parity fixture (`nifdy-lint` rule R3): constructs every
+//! [`EventKind`] variant once, runs both exporters over the set, and
+//! asserts each variant's stable wire name appears in both outputs. A new
+//! variant that is not added here (and to `EventKind::VARIANT_COUNT`)
+//! fails this test and the lint pass.
+
+use nifdy_sim::{Cycle, NodeId};
+use nifdy_trace::export::{to_chrome_trace, to_jsonl};
+use nifdy_trace::{DialogEnd, DropReason, EventKind, TraceEvent};
+
+/// One event of every variant, in declaration order.
+fn one_of_each() -> Vec<EventKind> {
+    let a = NodeId::new(0);
+    let b = NodeId::new(1);
+    vec![
+        EventKind::ScalarSend {
+            dst: b,
+            size_words: 8,
+        },
+        EventKind::BulkSend {
+            dst: b,
+            dialog: 2,
+            seq: 5,
+            exit: false,
+        },
+        EventKind::AckSend { dst: a },
+        EventKind::OptInsert {
+            dst: b,
+            occupancy: 1,
+        },
+        EventKind::OptClear {
+            dst: b,
+            occupancy: 0,
+        },
+        EventKind::EligStall { pool: 4, opt: 4 },
+        EventKind::BulkRequest { dst: b },
+        EventKind::DialogOpen {
+            peer: b,
+            dialog: 2,
+            window: 8,
+        },
+        EventKind::DialogGrant { peer: a, dialog: 2 },
+        EventKind::DialogReject { peer: a },
+        EventKind::WindowAdvance {
+            peer: b,
+            dialog: 2,
+            acked: 3,
+            outstanding: 5,
+        },
+        EventKind::DialogClose {
+            peer: b,
+            dialog: 2,
+            end: DialogEnd::Exit,
+        },
+        EventKind::Retransmit {
+            dst: b,
+            rto: 64,
+            retries: 1,
+            bulk: false,
+        },
+        EventKind::RttSample {
+            dst: b,
+            rtt: 40,
+            srtt: 42,
+            rto: 80,
+        },
+        EventKind::DeliveryFail { dst: b, retries: 7 },
+        EventKind::Drop {
+            src: a,
+            dst: b,
+            ack: false,
+            cause: DropReason::Burst,
+        },
+        EventKind::Deliver {
+            src: a,
+            dst: b,
+            ack: false,
+            latency: 12,
+        },
+        EventKind::FrameSend {
+            dst: b,
+            ack: false,
+            bytes: 32,
+        },
+        EventKind::FrameRecv {
+            src: a,
+            ack: true,
+            bytes: 8,
+        },
+        EventKind::FrameReject { bytes: 3 },
+        EventKind::WatchdogFire {
+            unit: 1,
+            since: Cycle::ZERO,
+            fingerprint: 0xdead,
+        },
+    ]
+}
+
+fn events() -> Vec<TraceEvent> {
+    one_of_each()
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| TraceEvent {
+            seq: i as u64,
+            at: Cycle::new(i as u64),
+            node: NodeId::new(0),
+            kind,
+        })
+        .collect()
+}
+
+/// The string that proves a variant survived the Chrome export: the wire
+/// name for instants, the span/counter track name for the variants the
+/// exporter maps onto richer trace-event phases.
+fn chrome_marker(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::DialogOpen { .. }
+        | EventKind::DialogGrant { .. }
+        | EventKind::DialogClose { .. } => "bulk_dialog",
+        EventKind::OptInsert { .. } | EventKind::OptClear { .. } => "opt_occupancy",
+        EventKind::WindowAdvance { .. } => "window_outstanding",
+        other => other.name(),
+    }
+}
+
+#[test]
+fn fixture_covers_every_variant() {
+    let kinds = one_of_each();
+    assert_eq!(
+        kinds.len(),
+        EventKind::VARIANT_COUNT,
+        "one_of_each() must construct every EventKind variant exactly once \
+         (update it and VARIANT_COUNT together)"
+    );
+    // Names are the wire identity; a duplicate means a variant is missing.
+    let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), EventKind::VARIANT_COUNT, "duplicate wire name");
+}
+
+#[test]
+fn jsonl_exports_every_variant() {
+    let events = events();
+    let jsonl = to_jsonl(&events);
+    assert_eq!(jsonl.lines().count(), EventKind::VARIANT_COUNT);
+    for kind in one_of_each() {
+        let quoted = format!("\"{}\"", kind.name());
+        assert!(
+            jsonl.contains(&quoted),
+            "JSONL export lost variant {quoted}"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_exports_every_variant() {
+    let events = events();
+    let chrome = to_chrome_trace(&events);
+    for kind in one_of_each() {
+        let quoted = format!("\"{}\"", chrome_marker(&kind));
+        assert!(
+            chrome.contains(&quoted),
+            "Chrome export lost variant {} (marker {quoted})",
+            kind.name()
+        );
+    }
+}

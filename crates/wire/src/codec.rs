@@ -280,9 +280,9 @@ fn encode_ack_body(buf: &mut Vec<u8>, info: AckInfo) {
     }
 }
 
-fn decode_ack_body(bytes: &[u8], base: usize) -> Result<AckInfo, WireError> {
-    debug_assert_eq!(bytes.len(), ACK_BODY_LEN);
-    let flags = bytes[0];
+fn decode_ack_body(body: [u8; ACK_BODY_LEN], base: usize) -> Result<AckInfo, WireError> {
+    // Destructure instead of indexing: the decode path must be total.
+    let [flags, byte1, byte2] = body;
     if flags & !(ACK_KIND_BULK | ACK_ECHO_OR_TERM | (0b11 << GRANT_SHIFT)) != 0 {
         return Err(WireError::ReservedFlags { byte: flags });
     }
@@ -292,8 +292,8 @@ fn decode_ack_body(bytes: &[u8], base: usize) -> Result<AckInfo, WireError> {
             return Err(WireError::ReservedFlags { byte: flags });
         }
         return Ok(AckInfo::Bulk {
-            dialog: bytes[1],
-            cum_seq: bytes[2],
+            dialog: byte1,
+            cum_seq: byte2,
             terminate: flags & ACK_ECHO_OR_TERM != 0,
         });
     }
@@ -301,10 +301,10 @@ fn decode_ack_body(bytes: &[u8], base: usize) -> Result<AckInfo, WireError> {
         GRANT_NOT_REQUESTED | GRANT_REJECTED => {
             // The dialog/window bytes are undefined for these codes; require
             // the canonical zero so every frame has exactly one encoding.
-            if bytes[1] != 0 {
+            if byte1 != 0 {
                 return Err(WireError::NonZeroPadding { at: base + 1 });
             }
-            if bytes[2] != 0 {
+            if byte2 != 0 {
                 return Err(WireError::NonZeroPadding { at: base + 2 });
             }
             if (flags >> GRANT_SHIFT) & 0b11 == GRANT_NOT_REQUESTED {
@@ -314,8 +314,8 @@ fn decode_ack_body(bytes: &[u8], base: usize) -> Result<AckInfo, WireError> {
             }
         }
         GRANT_GRANTED => BulkGrant::Granted {
-            dialog: bytes[1],
-            window: bytes[2],
+            dialog: byte1,
+            window: byte2,
         },
         code => return Err(WireError::BadGrant { code }),
     };
@@ -399,8 +399,11 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
     let &[flags, ..] = bytes else {
         return Err(WireError::Truncated { need: 1, got: 0 });
     };
-    let lane = Lane::from_index(usize::from(flags & FLAG_LANE != 0))
-        .expect("a single bit is always a valid lane index");
+    let lane = if flags & FLAG_LANE != 0 {
+        Lane::Reply
+    } else {
+        Lane::Request
+    };
     if flags & FLAG_ACK != 0 {
         if flags & !(FLAG_ACK | FLAG_LANE) != 0 {
             return Err(WireError::ReservedFlags { byte: flags });
@@ -420,7 +423,7 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
                 got: bytes.len(),
             });
         }
-        let info = decode_ack_body(&bytes[5..8], 5)?;
+        let info = decode_ack_body(arr_at(bytes, 5), 5)?;
         return Ok(WirePacket {
             src: WireSource::Node(read_node(bytes, 3)),
             dst: read_node(bytes, 1),
@@ -443,7 +446,7 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
             got: bytes.len(),
         });
     }
-    let size_words = u16::from_le_bytes([bytes[5], bytes[6]]);
+    let size_words = u16::from_le_bytes(arr_at(bytes, 5));
     if size_words == 0 {
         return Err(WireError::ZeroSize);
     }
@@ -454,7 +457,7 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
             got: bytes.len(),
         });
     }
-    if let Some(pad) = bytes[structured..].iter().position(|&b| b != 0) {
+    if let Some(pad) = tail_from(bytes, structured).iter().position(|&b| b != 0) {
         return Err(WireError::NonZeroPadding {
             at: structured + pad,
         });
@@ -463,8 +466,8 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
         (
             WireSource::Dialog,
             Some(BulkTag {
-                seq: bytes[3],
-                dialog: bytes[4],
+                seq: byte_at(bytes, 3),
+                dialog: byte_at(bytes, 4),
             }),
         )
     } else {
@@ -472,7 +475,7 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
     };
     let piggy_ack = if flags & FLAG_PIGGY != 0 {
         Some(decode_ack_body(
-            &bytes[DATA_BASE_LEN..DATA_BASE_LEN + ACK_BODY_LEN],
+            arr_at(bytes, DATA_BASE_LEN),
             DATA_BASE_LEN,
         )?)
     } else {
@@ -492,10 +495,10 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
             piggy_ack,
         },
         user: UserData {
-            msg_id: u64::from_le_bytes(bytes[7..15].try_into().expect("length checked")),
-            pkt_index: u32::from_le_bytes(bytes[15..19].try_into().expect("length checked")),
-            msg_packets: u32::from_le_bytes(bytes[19..23].try_into().expect("length checked")),
-            user_words: u16::from_le_bytes([bytes[23], bytes[24]]),
+            msg_id: u64::from_le_bytes(arr_at(bytes, 7)),
+            pkt_index: u32::from_le_bytes(arr_at(bytes, 15)),
+            msg_packets: u32::from_le_bytes(arr_at(bytes, 19)),
+            user_words: u16::from_le_bytes(arr_at(bytes, 23)),
         },
     })
 }
@@ -516,7 +519,32 @@ fn node_bytes(node: NodeId) -> [u8; 2] {
 
 #[inline]
 fn read_node(bytes: &[u8], at: usize) -> NodeId {
-    NodeId::new(usize::from(u16::from_le_bytes([bytes[at], bytes[at + 1]])))
+    NodeId::new(usize::from(u16::from_le_bytes(arr_at(bytes, at))))
+}
+
+/// Byte at `at`, or `0` past the end. Decode pre-validates every frame
+/// length, so the default is never observed; totality (no indexing, no
+/// panic) is what the decode path requires.
+#[inline]
+fn byte_at(bytes: &[u8], at: usize) -> u8 {
+    bytes.get(at).copied().unwrap_or(0)
+}
+
+/// Fixed-size window starting at `at`, zero-filled past the end of the
+/// input. Same totality contract as [`byte_at`].
+#[inline]
+fn arr_at<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(bytes.iter().skip(at)) {
+        *dst = *src;
+    }
+    out
+}
+
+/// Suffix starting at `at`; empty when `at` is out of range.
+#[inline]
+fn tail_from(bytes: &[u8], at: usize) -> &[u8] {
+    bytes.get(at..).unwrap_or(&[])
 }
 
 #[cfg(test)]
