@@ -1146,6 +1146,76 @@ impl NifdyUnit {
             self.peer_dialog.remove(&peer);
         }
     }
+
+    /// Discards all protocol state entangled with `peer` after learning the
+    /// peer's interface restarted (a supervision layer detects the new
+    /// incarnation, e.g. via heartbeat epochs, and calls this).
+    ///
+    /// A restarted peer forgot every grant, sequence number, and duplicate
+    /// bit it ever exchanged with us, so state on our side referring to the
+    /// old incarnation is not just stale but *hazardous*:
+    ///
+    /// * an outgoing bulk dialog's sequence numbers are meaningless to the
+    ///   new incarnation — the dialog is torn down (unacked packets surface
+    ///   as a typed [`DeliveryFailure`](crate::DeliveryFailure)), but the
+    ///   peer is *not* left bulk-poisoned: unlike a budget teardown, the
+    ///   receiver's slot state is gone too, so a fresh handshake can
+    ///   resynchronize;
+    /// * a granted incoming dialog will never see its remaining packets —
+    ///   the slot is freed immediately, without the usual tombstone (no old
+    ///   incarnation survives to retransmit the tail);
+    /// * remembered receive-side duplicate bits would silently swallow the
+    ///   new incarnation's first packet as a "retransmission" — cleared;
+    /// * queued acks toward the dead incarnation are dropped.
+    ///
+    /// Scalar packets in flight to `peer` are left in the OPT on purpose:
+    /// the §6.2 retransmission machinery re-sends them and the fresh
+    /// incarnation accepts them as new inserts, so they self-heal.
+    pub fn reset_peer(&mut self, peer: NodeId) {
+        // Sender side: tear down the outgoing dialog, then lift the
+        // poison — the peer's slate is clean, a new dialog can work.
+        if let Some(d) = self.out_dialog.take_if(|d| d.peer == peer) {
+            self.teardown_dialog(d);
+        }
+        self.bulk_poisoned.remove(&peer);
+        if self.bulk_request_pending == Some(peer) {
+            // The grant this latch awaits died with the old incarnation.
+            self.bulk_request_pending = None;
+        }
+
+        // Receiver side: free the granted slot without a tombstone.
+        if let Some(slot) = self.peer_dialog.remove(&peer).map(usize::from) {
+            if self
+                .dialogs
+                .get(slot)
+                .is_some_and(|d| d.as_ref().is_some_and(|d| d.peer == peer))
+            {
+                self.stats.dialogs_reclaimed.incr();
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::DialogClose {
+                        peer,
+                        dialog: slot as u8,
+                        end: DialogEnd::Reclaimed,
+                    }
+                );
+                if let Some(d) = self.dialogs.get_mut(slot) {
+                    *d = None;
+                }
+            }
+        }
+        for c in self.closed.iter_mut() {
+            if c.is_some_and(|c| c.peer == peer) {
+                *c = None;
+            }
+        }
+        self.last_insert_bit.remove(&peer);
+        self.last_acked_bit.remove(&peer);
+        self.ack_queue.retain(|a| a.dst != peer);
+        self.ack_delay.retain(|(_, dst, _)| *dst != peer);
+    }
 }
 
 impl Nic for NifdyUnit {

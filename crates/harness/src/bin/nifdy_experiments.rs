@@ -14,9 +14,10 @@ use nifdy_trace::export;
 
 const USAGE: &str = "usage: nifdy-experiments \
     <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
-    |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard|wire:loopback|wire:udp> \
+    |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard|wire:loopback|wire:udp|wire:chaos> \
     [--full|--quick|--smoke] [--seed N] [--jobs N] \
-    [--trace-out FILE.json] [--trace-jsonl FILE.jsonl] [--metrics-out FILE.json]";
+    [--trace-out FILE.json] [--trace-jsonl FILE.jsonl] [--metrics-out FILE.json]\n\
+    wire:chaos --metrics-out writes the per-cause fault-counter JSON report";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -136,6 +137,19 @@ fn main() -> ExitCode {
         println!("{table}");
         matched = true;
     }
+    if target == "wire:chaos" {
+        let (table, points) = wire_cmd::run_chaos(scale, seed);
+        println!("{table}");
+        if let Some(path) = &metrics_out {
+            let json = wire_cmd::chaos_json(seed, &points).render();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        matched = true;
+    }
     if target == "wire:udp" {
         match wire_cmd::run_udp(scale, seed) {
             Ok(report) => {
@@ -168,9 +182,14 @@ fn main() -> ExitCode {
     // Flight-recorder artifacts: re-run the lossy sweep's representative
     // cell (10% bursty loss, bulk, adaptive RTO) with the recorder on and
     // export whatever was requested.
-    if trace_out.is_some() || trace_jsonl.is_some() || metrics_out.is_some() {
+    if (trace_out.is_some() || trace_jsonl.is_some() || metrics_out.is_some())
+        && target != "wire:chaos"
+    {
         if !(target.starts_with("ext:lossy") || target == "ext-lossy") {
-            eprintln!("--trace-out/--trace-jsonl/--metrics-out only apply to ext:lossy\n{USAGE}");
+            eprintln!(
+                "--trace-out/--trace-jsonl/--metrics-out only apply to ext:lossy \
+                 and wire:chaos\n{USAGE}"
+            );
             return ExitCode::FAILURE;
         }
         let (events, registry, point) = ext_lossy::run_traced_cell(scale, seed);

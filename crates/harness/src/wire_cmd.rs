@@ -15,10 +15,12 @@
 
 use nifdy::analysis::{min_window_combined_acks, pairwise_bandwidth, roundtrip, Timing};
 use nifdy::{NifdyConfig, OutboundPacket};
-use nifdy_net::UserData;
+use nifdy_net::{GilbertElliott, UserData};
 use nifdy_sim::NodeId;
+use nifdy_trace::json::Json;
+use nifdy_trace::WireFaultCause;
 use nifdy_wire::codec::BYTES_PER_WORD;
-use nifdy_wire::{LoopbackHub, UdpTransport, WireEndpoint};
+use nifdy_wire::{FaultyTransport, LoopbackHub, UdpTransport, WireEndpoint, WireFaultConfig};
 
 use crate::{Scale, Table};
 
@@ -155,6 +157,256 @@ pub fn run_loopback(scale: Scale, seed: u64) -> (Table, Vec<WirePoint>) {
     (table, points)
 }
 
+/// Mean loss rates the chaos sweep visits (0.0 is the clean baseline).
+pub const CHAOS_LOSS_SWEEP: [f64; 5] = [0.0, 0.01, 0.05, 0.1, 0.2];
+
+/// One measured cell of the chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Mean Gilbert–Elliott loss rate this cell ran under.
+    pub mean_loss: f64,
+    /// Distinct packets the workload wanted delivered.
+    pub packets: u32,
+    /// Deliveries observed, counting at-least-once re-offers after a
+    /// typed failure (so this can exceed `packets`).
+    pub delivered: u32,
+    /// Hub cycles from the first injection to the last delivery.
+    pub cycles: u64,
+    /// Goodput in payload bytes per cycle (distinct packets only).
+    pub goodput: f64,
+    /// Median first-offer-to-delivery latency in cycles.
+    pub p50: u64,
+    /// 99th-percentile first-offer-to-delivery latency in cycles.
+    pub p99: u64,
+    /// Data retransmissions the §6.2 machinery issued.
+    pub retransmits: u64,
+    /// Typed delivery failures the sender surfaced (budget exhausted).
+    pub failures: u64,
+    /// Per-cause chaos-plane counters summed over both endpoints.
+    pub fault_counts: Vec<(&'static str, u64)>,
+}
+
+/// The chaos plane at a given intensity: bursty loss at `mean_loss`, with
+/// corruption, duplication, delay, and reordering scaled down from it so
+/// every fault cause stays exercised across the sweep.
+fn chaos_faults(mean_loss: f64) -> WireFaultConfig {
+    if mean_loss <= 0.0 {
+        return WireFaultConfig::default();
+    }
+    WireFaultConfig::default()
+        .with_burst(GilbertElliott::with_mean_loss(mean_loss))
+        .with_corrupt_prob(mean_loss / 2.0)
+        .with_duplicate_prob(mean_loss / 4.0)
+        .with_delay(mean_loss / 4.0, 8)
+        .with_reorder_prob(mean_loss / 4.0)
+}
+
+/// Sorted-latency percentile (nearest-rank on the cycle counts).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
+/// Streams `packets` 6-word bulk packets from node 0 to node 1 through a
+/// seeded [`FaultyTransport`] on each side and measures goodput and
+/// delivery latency. Typed failures are absorbed by an application-level
+/// re-offer shim, so the cell always finishes; the failure count stays
+/// visible in the report.
+fn measure_chaos(mean_loss: f64, packets: u32, seed: u64) -> ChaosPoint {
+    let hub = LoopbackHub::new(2, HUB_LATENCY);
+    let n0 = NodeId::new(0);
+    let n1 = NodeId::new(1);
+    let faults = chaos_faults(mean_loss);
+    let cfg = config(8, true)
+        .with_retx_timeout(64)
+        .with_adaptive_rto(true)
+        .with_retx_budget(30);
+    let mut tx = WireEndpoint::new(
+        n0,
+        cfg.clone(),
+        FaultyTransport::new(hub.endpoint(n0), faults.clone(), seed),
+    );
+    let mut rx = WireEndpoint::new(
+        n1,
+        cfg,
+        FaultyTransport::new(hub.endpoint(n1), faults, seed),
+    );
+
+    let mut queue: std::collections::VecDeque<u32> = (0..packets).collect();
+    let mut first_offer: Vec<Option<u64>> = vec![None; packets as usize];
+    let mut arrived: Vec<bool> = vec![false; packets as usize];
+    let mut latencies: Vec<u64> = Vec::with_capacity(packets as usize);
+    let mut unique = 0u32;
+    let mut delivered = 0u32;
+    let mut failures = 0u64;
+    let mut last_delivery = 0u64;
+    let deadline = 500_000 + u64::from(packets) * 4_000;
+
+    while unique < packets {
+        let now = hub.now().as_u64();
+        assert!(
+            now < deadline,
+            "chaos cell (loss {mean_loss}) wedged at {unique}/{packets}"
+        );
+        if let Some(&idx) = queue.front() {
+            let pkt = OutboundPacket::new(n1, SIZE_WORDS)
+                .with_bulk(true)
+                .with_user(UserData {
+                    msg_id: seed,
+                    pkt_index: idx,
+                    msg_packets: packets,
+                    user_words: SIZE_WORDS - 2,
+                });
+            if tx.try_send(pkt) {
+                queue.pop_front();
+                if let Some(slot) = first_offer.get_mut(idx as usize) {
+                    slot.get_or_insert(now);
+                }
+            }
+        }
+        tx.step();
+        rx.step();
+        // Budget-exhausted packets come back as typed failures; re-offer
+        // anything that provably never arrived (at-least-once semantics —
+        // a failure whose data did land re-delivers at the app level).
+        failures += tx.take_failures().len() as u64;
+        if failures > 0 && queue.is_empty() && tx.is_idle() {
+            for (idx, seen) in arrived.iter().enumerate() {
+                if !seen {
+                    queue.push_back(idx as u32);
+                }
+            }
+        }
+        while let Some(d) = rx.poll() {
+            delivered += 1;
+            last_delivery = hub.now().as_u64();
+            let idx = d.user.pkt_index as usize;
+            if let Some(seen @ false) = arrived.get_mut(idx) {
+                *seen = true;
+                unique += 1;
+                if let Some(at) = first_offer.get(idx).copied().flatten() {
+                    latencies.push(last_delivery.saturating_sub(at));
+                }
+            }
+        }
+        hub.tick();
+    }
+
+    latencies.sort_unstable();
+    let bytes = u64::from(packets) * u64::from(SIZE_WORDS) * BYTES_PER_WORD as u64;
+    let fault_counts = WireFaultCause::ALL
+        .iter()
+        .map(|&c| {
+            let total =
+                tx.port().transport().stats().count(c) + rx.port().transport().stats().count(c);
+            (c.label(), total)
+        })
+        .collect();
+    ChaosPoint {
+        mean_loss,
+        packets,
+        delivered,
+        cycles: last_delivery,
+        goodput: bytes as f64 / last_delivery.max(1) as f64,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        retransmits: tx.stats().retransmitted.get(),
+        failures,
+        fault_counts,
+    }
+}
+
+/// The chaos sweep: goodput and delivery-latency percentiles for the
+/// two-node loopback workload as the chaos plane's intensity rises.
+pub fn run_chaos(scale: Scale, seed: u64) -> (Table, Vec<ChaosPoint>) {
+    let packets = scale.count(1_024) as u32;
+    let mut table = Table::new(
+        format!(
+            "nifdy-wire: chaos sweep, 2 nodes, {SIZE_WORDS}-word packets, hub \
+             latency {HUB_LATENCY}, bursty loss + corrupt/duplicate/delay/reorder \
+             (seed {seed})"
+        ),
+        vec![
+            "mean loss".into(),
+            "packets".into(),
+            "delivered".into(),
+            "cycles".into(),
+            "goodput B/cyc".into(),
+            "p50 lat".into(),
+            "p99 lat".into(),
+            "retx".into(),
+            "failures".into(),
+            "faults".into(),
+        ],
+    );
+    let mut points = Vec::new();
+    for loss in CHAOS_LOSS_SWEEP {
+        let p = measure_chaos(loss, packets, seed);
+        table.row(vec![
+            format!("{loss:.2}"),
+            p.packets.to_string(),
+            p.delivered.to_string(),
+            p.cycles.to_string(),
+            format!("{:.2}", p.goodput),
+            p.p50.to_string(),
+            p.p99.to_string(),
+            p.retransmits.to_string(),
+            p.failures.to_string(),
+            p.fault_counts
+                .iter()
+                .map(|&(_, n)| n)
+                .sum::<u64>()
+                .to_string(),
+        ]);
+        points.push(p);
+    }
+    (table, points)
+}
+
+/// Machine-readable form of the chaos sweep, including the per-cause
+/// fault counters CI archives.
+pub fn chaos_json(seed: u64, points: &[ChaosPoint]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("wire:chaos")),
+        ("seed", Json::u64(seed)),
+        ("size_words", Json::u64(u64::from(SIZE_WORDS))),
+        ("hub_latency", Json::u64(HUB_LATENCY)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("mean_loss", Json::Num(p.mean_loss)),
+                            ("packets", Json::u64(u64::from(p.packets))),
+                            ("delivered", Json::u64(u64::from(p.delivered))),
+                            ("cycles", Json::u64(p.cycles)),
+                            ("goodput_bytes_per_cycle", Json::Num(p.goodput)),
+                            ("latency_p50", Json::u64(p.p50)),
+                            ("latency_p99", Json::u64(p.p99)),
+                            ("retransmits", Json::u64(p.retransmits)),
+                            ("failures", Json::u64(p.failures)),
+                            (
+                                "fault_counts",
+                                Json::Obj(
+                                    p.fault_counts
+                                        .iter()
+                                        .map(|&(k, n)| (k.to_string(), Json::u64(n)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Result of the two-node UDP exchange.
 #[derive(Debug, Clone, Copy)]
 pub struct UdpReport {
@@ -242,6 +494,49 @@ mod tests {
             widest >= ceiling * 0.80,
             "a wide window should approach the ceiling, got {widest:.2}"
         );
+    }
+
+    #[test]
+    fn chaos_cell_recovers_and_counts_faults() {
+        let clean = measure_chaos(0.0, 128, 9);
+        assert_eq!(clean.failures, 0);
+        assert_eq!(clean.delivered, 128);
+        assert!(clean.fault_counts.iter().all(|&(_, n)| n == 0));
+
+        let lossy = measure_chaos(0.1, 128, 9);
+        assert!(lossy.delivered >= 128, "every packet eventually lands");
+        assert!(
+            lossy.fault_counts.iter().any(|&(_, n)| n > 0),
+            "the chaos plane never fired"
+        );
+        assert!(lossy.retransmits > 0, "loss must cost retransmissions");
+        assert!(lossy.p99 >= lossy.p50);
+        assert!(
+            lossy.goodput < clean.goodput,
+            "chaos cannot be free: {:.2} vs clean {:.2}",
+            lossy.goodput,
+            clean.goodput
+        );
+    }
+
+    #[test]
+    fn chaos_json_is_parseable_and_complete() {
+        let points = vec![measure_chaos(0.05, 64, 2)];
+        let rendered = chaos_json(2, &points).render();
+        let parsed = nifdy_trace::json::parse(&rendered).expect("chaos JSON parses");
+        let arr = parsed
+            .get("points")
+            .and_then(|p| p.as_arr())
+            .expect("points array");
+        assert_eq!(arr.len(), 1);
+        let counts = arr[0].get("fault_counts").expect("per-cause counters");
+        for cause in nifdy_trace::WireFaultCause::ALL {
+            assert!(
+                counts.get(cause.label()).is_some(),
+                "cause {:?} missing from the JSON report",
+                cause
+            );
+        }
     }
 
     #[test]

@@ -63,9 +63,11 @@ pub struct LintConfig {
 impl LintConfig {
     /// The NIFDY workspace rule set, rooted at the repo checkout.
     ///
-    /// Hot paths (R1): the `NifdyUnit` datapath, the wire decode path
-    /// (with index expressions also banned — decode must be total), and
-    /// the fabric per-cycle step loop. Determinism (R2): hash-ordered
+    /// Hot paths (R1): the `NifdyUnit` datapath, the wire codec path
+    /// (with index expressions also banned — decode must be total), the
+    /// chaos-plane fault loop and supervised endpoint poll path (also
+    /// indexing-free: they handle arbitrary wire bytes), and the fabric
+    /// per-cycle step loop. Determinism (R2): hash-ordered
     /// containers banned in `sim`/`core`/`net`/`traffic`/`trace`;
     /// wall-clock and ambient-RNG bans apply everywhere scanned.
     pub fn workspace(root: PathBuf) -> io::Result<LintConfig> {
@@ -94,11 +96,43 @@ impl LintConfig {
                     path: "crates/wire/src/codec.rs".into(),
                     functions: vec![
                         "decode".into(),
+                        "decode_frame".into(),
+                        "decode_body".into(),
                         "decode_ack_body".into(),
+                        "decode_heartbeat_body".into(),
+                        "encode_heartbeat".into(),
+                        "crc16".into(),
+                        "append_checksum".into(),
+                        "verify_checksum".into(),
+                        "body_len".into(),
                         "read_node".into(),
                         "byte_at".into(),
                         "arr_at".into(),
                         "tail_from".into(),
+                    ],
+                    deny_indexing: true,
+                },
+                HotPath {
+                    path: "crates/wire/src/fault.rs".into(),
+                    functions: vec![
+                        "send".into(),
+                        "recv".into(),
+                        "tick".into(),
+                        "flush_held".into(),
+                        "hold_until".into(),
+                        "record".into(),
+                    ],
+                    deny_indexing: true,
+                },
+                HotPath {
+                    path: "crates/wire/src/supervisor.rs".into(),
+                    functions: vec![
+                        "step".into(),
+                        "consume_heartbeats".into(),
+                        "broadcast".into(),
+                        "check_silence".into(),
+                        "kill".into(),
+                        "incarnate".into(),
                     ],
                     deny_indexing: true,
                 },
@@ -149,6 +183,16 @@ impl LintConfig {
                 ConfigCoverageScope {
                     path: "crates/net/src/fault.rs".into(),
                     struct_name: "FaultConfig".into(),
+                    validate_fn: "validate".into(),
+                },
+                ConfigCoverageScope {
+                    path: "crates/wire/src/fault.rs".into(),
+                    struct_name: "WireFaultConfig".into(),
+                    validate_fn: "validate".into(),
+                },
+                ConfigCoverageScope {
+                    path: "crates/wire/src/supervisor.rs".into(),
+                    struct_name: "SupervisorConfig".into(),
                     validate_fn: "validate".into(),
                 },
             ],
@@ -333,6 +377,6 @@ mod tests {
         assert!(cfg.src_dirs.contains(&"crates/core/src".to_string()));
         assert!(cfg.src_dirs.contains(&"crates/lint/src".to_string()));
         assert!(cfg.trace_parity.is_some());
-        assert_eq!(cfg.config_coverage.len(), 2);
+        assert_eq!(cfg.config_coverage.len(), 4);
     }
 }

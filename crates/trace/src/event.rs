@@ -55,6 +55,57 @@ impl DropReason {
     }
 }
 
+/// What the wire-layer chaos plane did to a frame, mirrored from
+/// `nifdy-wire`'s own accounting so the trace layer stays dependency-free
+/// (the same arrangement as [`DropReason`] for the fabric's fault plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireFaultCause {
+    /// Uniform data-lane (request) frame drop.
+    Drop,
+    /// Uniform ack-lane (reply) frame drop.
+    AckDrop,
+    /// Gilbert–Elliott burst-loss drop.
+    Burst,
+    /// A scheduled partition window swallowed the frame.
+    Partition,
+    /// One frame byte was flipped in flight (the checksum catches it).
+    Corrupt,
+    /// The frame was delivered twice.
+    Duplicate,
+    /// The frame was held back a seeded number of cycles.
+    Delay,
+    /// The frame was deferred one tick so later sends overtake it.
+    Reorder,
+}
+
+impl WireFaultCause {
+    /// Every cause, in a stable order (used by counters and JSON reports).
+    pub const ALL: [WireFaultCause; 8] = [
+        WireFaultCause::Drop,
+        WireFaultCause::AckDrop,
+        WireFaultCause::Burst,
+        WireFaultCause::Partition,
+        WireFaultCause::Corrupt,
+        WireFaultCause::Duplicate,
+        WireFaultCause::Delay,
+        WireFaultCause::Reorder,
+    ];
+
+    /// Stable short label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            WireFaultCause::Drop => "drop",
+            WireFaultCause::AckDrop => "ack_drop",
+            WireFaultCause::Burst => "burst",
+            WireFaultCause::Partition => "partition",
+            WireFaultCause::Corrupt => "corrupt",
+            WireFaultCause::Duplicate => "duplicate",
+            WireFaultCause::Delay => "delay",
+            WireFaultCause::Reorder => "reorder",
+        }
+    }
+}
+
 /// How a bulk dialog ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DialogEnd {
@@ -262,13 +313,51 @@ pub enum EventKind {
         /// The frozen progress fingerprint.
         fingerprint: u64,
     },
+    /// The wire chaos plane injected a fault into a frame.
+    WireFault {
+        /// Which fault model fired.
+        cause: WireFaultCause,
+        /// Length of the affected frame in bytes.
+        bytes: u32,
+    },
+    /// A liveness heartbeat was sent to (or received from) a peer.
+    Heartbeat {
+        /// The peer the heartbeat names.
+        peer: NodeId,
+        /// The announcing endpoint's incarnation epoch.
+        epoch: u32,
+        /// `true` when this node sent the heartbeat, `false` on receive.
+        sent: bool,
+    },
+    /// A supervised endpoint declared a peer dead after heartbeat silence.
+    PeerDown {
+        /// The silent peer.
+        peer: NodeId,
+        /// Cycles since the peer was last heard from.
+        silent_for: u64,
+    },
+    /// A peer's heartbeat epoch jumped: it crashed and restarted, and its
+    /// dialog state toward this node is gone.
+    PeerRestart {
+        /// The restarted peer.
+        peer: NodeId,
+        /// The peer's new incarnation epoch.
+        epoch: u32,
+    },
+    /// A supervisor restarted its endpoint after a crash, with backoff.
+    EndpointRestart {
+        /// The new incarnation's epoch.
+        epoch: u32,
+        /// Backoff waited before this restart, in cycles.
+        backoff: u64,
+    },
 }
 
 impl EventKind {
     /// Number of `EventKind` variants. Kept next to the enum so a new
     /// variant cannot land without updating it; `nifdy-lint` (rule R3) and
     /// the exporter-coverage fixture both cross-check it against the enum.
-    pub const VARIANT_COUNT: usize = 21;
+    pub const VARIANT_COUNT: usize = 26;
 
     /// Stable event name (JSONL `ev` field and Perfetto slice name).
     pub const fn name(&self) -> &'static str {
@@ -294,6 +383,11 @@ impl EventKind {
             EventKind::FrameRecv { .. } => "frame_recv",
             EventKind::FrameReject { .. } => "frame_reject",
             EventKind::WatchdogFire { .. } => "watchdog_fire",
+            EventKind::WireFault { .. } => "wire_fault",
+            EventKind::Heartbeat { .. } => "heartbeat",
+            EventKind::PeerDown { .. } => "peer_down",
+            EventKind::PeerRestart { .. } => "peer_restart",
+            EventKind::EndpointRestart { .. } => "endpoint_restart",
         }
     }
 
@@ -314,6 +408,10 @@ impl EventKind {
                 | EventKind::Drop { .. }
                 | EventKind::FrameReject { .. }
                 | EventKind::WatchdogFire { .. }
+                | EventKind::WireFault { .. }
+                | EventKind::PeerDown { .. }
+                | EventKind::PeerRestart { .. }
+                | EventKind::EndpointRestart { .. }
         )
     }
 }

@@ -204,6 +204,27 @@ fn kind_args(kind: &EventKind) -> Json {
             ("since", Json::u64(since.as_u64())),
             ("fingerprint", Json::u64(fingerprint)),
         ]),
+        EventKind::WireFault { cause, bytes } => Json::obj([
+            ("cause", Json::str(cause.label())),
+            ("bytes", Json::u64(bytes as u64)),
+        ]),
+        EventKind::Heartbeat { peer, epoch, sent } => Json::obj([
+            ("peer", Json::u64(peer.index() as u64)),
+            ("epoch", Json::u64(epoch as u64)),
+            ("sent", Json::Bool(sent)),
+        ]),
+        EventKind::PeerDown { peer, silent_for } => Json::obj([
+            ("peer", Json::u64(peer.index() as u64)),
+            ("silent_for", Json::u64(silent_for)),
+        ]),
+        EventKind::PeerRestart { peer, epoch } => Json::obj([
+            ("peer", Json::u64(peer.index() as u64)),
+            ("epoch", Json::u64(epoch as u64)),
+        ]),
+        EventKind::EndpointRestart { epoch, backoff } => Json::obj([
+            ("epoch", Json::u64(epoch as u64)),
+            ("backoff", Json::u64(backoff)),
+        ]),
     }
 }
 

@@ -68,7 +68,7 @@ pub mod json;
 mod recorder;
 mod registry;
 
-pub use event::{DialogEnd, DropReason, EventKind, TraceEvent};
+pub use event::{DialogEnd, DropReason, EventKind, TraceEvent, WireFaultCause};
 pub use recorder::{Recorder, TraceConfig, TraceHandle};
 pub use registry::{GaugeSeries, MetricsRegistry, PercentileRow};
 

@@ -6,7 +6,7 @@
 
 use nifdy_sim::{Cycle, NodeId};
 use nifdy_trace::export::{to_chrome_trace, to_jsonl};
-use nifdy_trace::{DialogEnd, DropReason, EventKind, TraceEvent};
+use nifdy_trace::{DialogEnd, DropReason, EventKind, TraceEvent, WireFaultCause};
 
 /// One event of every variant, in declaration order.
 fn one_of_each() -> Vec<EventKind> {
@@ -92,6 +92,24 @@ fn one_of_each() -> Vec<EventKind> {
             unit: 1,
             since: Cycle::ZERO,
             fingerprint: 0xdead,
+        },
+        EventKind::WireFault {
+            cause: WireFaultCause::Corrupt,
+            bytes: 26,
+        },
+        EventKind::Heartbeat {
+            peer: b,
+            epoch: 2,
+            sent: true,
+        },
+        EventKind::PeerDown {
+            peer: b,
+            silent_for: 4_000,
+        },
+        EventKind::PeerRestart { peer: b, epoch: 3 },
+        EventKind::EndpointRestart {
+            epoch: 3,
+            backoff: 128,
         },
     ]
 }

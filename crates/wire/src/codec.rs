@@ -15,10 +15,23 @@
 //! string returns `Ok` or a typed [`WireError`], never a panic — this is
 //! property-tested over arbitrary inputs.
 //!
+//! # Integrity trailer
+//!
+//! Every frame ends in a 2-byte CRC-16/CCITT-FALSE checksum (little-endian)
+//! over all preceding bytes. The decoder verifies the trailer *before*
+//! interpreting any field, so a corrupted datagram is rejected as
+//! [`WireError::Checksum`] and counted — it can never be mis-decoded into a
+//! plausible frame. CRC-16 detects every single-byte corruption (indeed
+//! every burst up to 16 bits), the property the chaos plane's corruption
+//! injector relies on.
+//!
 //! # Frame layouts
 //!
+//! Byte offsets below are within the frame *body* (everything before the
+//! checksum trailer).
+//!
 //! Data frame (`FLAG_ACK` clear), `25 + 3·piggy` structured bytes, padded
-//! with zeros to `max(structured, 4 · size_words)`:
+//! with zeros to `max(structured, 4 · size_words)`, then the trailer:
 //!
 //! | bytes   | field                                                       |
 //! |---------|-------------------------------------------------------------|
@@ -32,7 +45,7 @@
 //! | 23..25  | user `user_words`                                           |
 //! | 25..28  | piggybacked ack body, iff `FLAG_PIGGY`                      |
 //!
-//! Ack frame (`FLAG_ACK` set), exactly 8 bytes:
+//! Ack frame (`FLAG_ACK` set, `FLAG_HEARTBEAT` clear), exactly 8 body bytes:
 //!
 //! | bytes | field                          |
 //! |-------|--------------------------------|
@@ -40,6 +53,18 @@
 //! | 1..3  | destination node id            |
 //! | 3..5  | source node id                 |
 //! | 5..8  | ack body                       |
+//!
+//! Heartbeat frame (`FLAG_ACK`, `FLAG_LANE`, and `FLAG_HEARTBEAT` all set —
+//! a flag combination the packet decoder rejects, so heartbeats are
+//! invisible to [`decode`] and only surface via [`decode_frame`]), exactly
+//! 9 body bytes:
+//!
+//! | bytes | field                              |
+//! |-------|------------------------------------|
+//! | 0     | flags (`FLAG_ACK`+`FLAG_LANE`+`FLAG_HEARTBEAT`) |
+//! | 1..3  | destination node id                |
+//! | 3..5  | source node id                     |
+//! | 5..9  | sender incarnation epoch (u32)     |
 //!
 //! Ack body (3 bytes, shared by standalone and piggybacked acks): byte 0 is
 //! `bit0` = bulk/scalar kind, `bit1` = echo (scalar) or terminate (bulk),
@@ -67,6 +92,12 @@ const FLAG_NEEDS_ACK: u8 = 1 << 5;
 const FLAG_DUP: u8 = 1 << 6;
 /// Data flag: a piggybacked ack body follows the user fields (§6.1).
 const FLAG_PIGGY: u8 = 1 << 7;
+/// Control flag: combined with `FLAG_ACK | FLAG_LANE`, marks a liveness
+/// heartbeat frame. Reuses the `FLAG_BULK_REQUEST` bit position, which the
+/// ack decoder treats as reserved — so a heartbeat can never alias an ack.
+const FLAG_HEARTBEAT: u8 = 1 << 2;
+/// The exact flag byte of a heartbeat frame.
+const HEARTBEAT_FLAGS: u8 = FLAG_ACK | FLAG_LANE | FLAG_HEARTBEAT;
 
 /// Ack-body flag: cumulative bulk ack (set) vs scalar ack (clear).
 const ACK_KIND_BULK: u8 = 1 << 0;
@@ -82,8 +113,16 @@ const GRANT_REJECTED: u8 = 2;
 const DATA_BASE_LEN: usize = 25;
 /// Length of an encoded ack body.
 const ACK_BODY_LEN: usize = 3;
-/// Exact length of a standalone ack frame.
-pub const ACK_FRAME_LEN: usize = 5 + ACK_BODY_LEN;
+/// Body length of a standalone ack frame (before the checksum trailer).
+const ACK_BODY_FRAME_LEN: usize = 5 + ACK_BODY_LEN;
+/// Length of the CRC-16 checksum trailer every frame ends with.
+pub const CHECKSUM_LEN: usize = 2;
+/// Exact length of a standalone ack frame, trailer included.
+pub const ACK_FRAME_LEN: usize = ACK_BODY_FRAME_LEN + CHECKSUM_LEN;
+/// Body length of a heartbeat frame (before the checksum trailer).
+const HEARTBEAT_BODY_LEN: usize = 9;
+/// Exact length of a heartbeat frame, trailer included.
+pub const HEARTBEAT_FRAME_LEN: usize = HEARTBEAT_BODY_LEN + CHECKSUM_LEN;
 /// Encoded bytes per packet word: frames are padded so their byte length is
 /// proportional to the simulated `size_words` (4-byte words), keeping byte
 /// counts and word counts interchangeable in bandwidth arithmetic.
@@ -129,6 +168,14 @@ pub enum WireError {
         /// Offset of the first nonzero byte.
         at: usize,
     },
+    /// The CRC-16 trailer did not match the frame body: the bytes were
+    /// corrupted in flight (or were never a NIFDY frame).
+    Checksum {
+        /// Checksum the body implies.
+        expect: u16,
+        /// Checksum the trailer carried.
+        got: u16,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -151,6 +198,12 @@ impl fmt::Display for WireError {
             WireError::ZeroSize => write!(f, "data frame with size_words == 0"),
             WireError::NonZeroPadding { at } => {
                 write!(f, "nonzero padding byte at offset {at}")
+            }
+            WireError::Checksum { expect, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: body implies {expect:#06x}, trailer carries {got:#06x}"
+                )
             }
         }
     }
@@ -240,16 +293,44 @@ impl WirePacket {
         }
     }
 
-    /// Encoded length of this packet in bytes.
+    /// Encoded length of this packet in bytes, checksum trailer included.
     pub fn encoded_len(&self) -> usize {
+        self.body_len() + CHECKSUM_LEN
+    }
+
+    /// Length of the frame body (everything before the checksum trailer).
+    fn body_len(&self) -> usize {
         match self.wire {
-            Wire::Ack(_) => ACK_FRAME_LEN,
+            Wire::Ack(_) => ACK_BODY_FRAME_LEN,
             Wire::Data { piggy_ack, .. } => {
                 let structured = DATA_BASE_LEN + if piggy_ack.is_some() { ACK_BODY_LEN } else { 0 };
                 structured.max(BYTES_PER_WORD * usize::from(self.size_words))
             }
         }
     }
+}
+
+/// A liveness heartbeat: "node `src`, incarnation `epoch`, is alive". Sent
+/// periodically by supervised endpoints on the reply lane; an epoch jump
+/// tells the peer the sender restarted and its dialog state is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The node announcing liveness.
+    pub src: NodeId,
+    /// The node being kept alive.
+    pub dst: NodeId,
+    /// The sender's incarnation number, bumped on every restart.
+    pub epoch: u32,
+}
+
+/// Everything a byte frame can decode into: a protocol packet or a
+/// liveness heartbeat. [`decode_frame`] is the total decoder over both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFrame {
+    /// A data or acknowledgment frame.
+    Packet(WirePacket),
+    /// A liveness/recovery heartbeat.
+    Heartbeat(Heartbeat),
 }
 
 fn encode_ack_body(buf: &mut Vec<u8>, info: AckInfo) {
@@ -325,8 +406,8 @@ fn decode_ack_body(body: [u8; ACK_BODY_LEN], base: usize) -> Result<AckInfo, Wir
     })
 }
 
-/// Encodes a packet into a fresh byte frame. See the module docs for the
-/// layout. The inverse of [`decode`]:
+/// Encodes a packet into a fresh byte frame (checksum trailer included).
+/// See the module docs for the layout. The inverse of [`decode`]:
 /// `decode(&encode(&wp)) == Ok(wp)` for every encodable `wp`.
 pub fn encode(wp: &WirePacket) -> Vec<u8> {
     let mut buf = Vec::with_capacity(wp.encoded_len());
@@ -386,16 +467,103 @@ pub fn encode(wp: &WirePacket) -> Vec<u8> {
             if let Some(info) = piggy_ack {
                 encode_ack_body(&mut buf, info);
             }
-            buf.resize(wp.encoded_len(), 0);
+            buf.resize(wp.body_len(), 0);
         }
     }
+    append_checksum(&mut buf);
     buf
 }
 
-/// Decodes a byte frame. Total over arbitrary input: every byte string
-/// yields `Ok` or a typed [`WireError`]; no input panics (property-tested
-/// in `tests/codec_props.rs`).
+/// Encodes a liveness heartbeat frame (checksum trailer included).
+pub fn encode_heartbeat(hb: &Heartbeat) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEARTBEAT_FRAME_LEN);
+    buf.push(HEARTBEAT_FLAGS);
+    buf.extend_from_slice(&node_bytes(hb.dst));
+    buf.extend_from_slice(&node_bytes(hb.src));
+    buf.extend_from_slice(&hb.epoch.to_le_bytes());
+    append_checksum(&mut buf);
+    buf
+}
+
+/// Decodes a byte frame into a protocol packet. Total over arbitrary
+/// input: every byte string yields `Ok` or a typed [`WireError`]; no input
+/// panics (property-tested in `tests/codec_props.rs`). Heartbeat frames
+/// are rejected here (`ReservedFlags`) — use [`decode_frame`] to accept
+/// both kinds.
 pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
+    decode_body(verify_checksum(bytes)?)
+}
+
+/// Decodes a byte frame into either a protocol packet or a heartbeat.
+/// Total over arbitrary input, like [`decode`].
+pub fn decode_frame(bytes: &[u8]) -> Result<WireFrame, WireError> {
+    let body = verify_checksum(bytes)?;
+    if byte_at(body, 0) == HEARTBEAT_FLAGS {
+        return decode_heartbeat_body(body).map(WireFrame::Heartbeat);
+    }
+    decode_body(body).map(WireFrame::Packet)
+}
+
+/// CRC-16/CCITT-FALSE over `bytes` (init `0xFFFF`, polynomial `0x1021`,
+/// no reflection, no final xor).
+fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in bytes {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Appends the little-endian CRC-16 trailer over the body built so far.
+fn append_checksum(buf: &mut Vec<u8>) {
+    let crc = crc16(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Splits a frame into its body after verifying the checksum trailer.
+fn verify_checksum(bytes: &[u8]) -> Result<&[u8], WireError> {
+    // The shortest frame body is one flag byte; anything shorter than
+    // body + trailer cannot be a frame at all.
+    if bytes.len() < 1 + CHECKSUM_LEN {
+        return Err(WireError::Truncated {
+            need: 1 + CHECKSUM_LEN,
+            got: bytes.len(),
+        });
+    }
+    let split = bytes.len() - CHECKSUM_LEN;
+    let body = tail_from(bytes, 0).get(..split).unwrap_or(&[]);
+    let got = u16::from_le_bytes(arr_at(bytes, split));
+    let expect = crc16(body);
+    if got != expect {
+        return Err(WireError::Checksum { expect, got });
+    }
+    Ok(body)
+}
+
+/// Decodes a heartbeat frame body (flag byte already matched).
+fn decode_heartbeat_body(bytes: &[u8]) -> Result<Heartbeat, WireError> {
+    if bytes.len() != HEARTBEAT_BODY_LEN {
+        return Err(WireError::LengthMismatch {
+            expect: HEARTBEAT_BODY_LEN,
+            got: bytes.len(),
+        });
+    }
+    Ok(Heartbeat {
+        dst: read_node(bytes, 1),
+        src: read_node(bytes, 3),
+        epoch: u32::from_le_bytes(arr_at(bytes, 5)),
+    })
+}
+
+/// Decodes a packet frame body (checksum already stripped and verified).
+fn decode_body(bytes: &[u8]) -> Result<WirePacket, WireError> {
     let &[flags, ..] = bytes else {
         return Err(WireError::Truncated { need: 1, got: 0 });
     };
@@ -411,15 +579,15 @@ pub fn decode(bytes: &[u8]) -> Result<WirePacket, WireError> {
         if lane == Lane::Request {
             return Err(WireError::AckOnRequestLane);
         }
-        if bytes.len() < ACK_FRAME_LEN {
+        if bytes.len() < ACK_BODY_FRAME_LEN {
             return Err(WireError::Truncated {
-                need: ACK_FRAME_LEN,
+                need: ACK_BODY_FRAME_LEN,
                 got: bytes.len(),
             });
         }
-        if bytes.len() != ACK_FRAME_LEN {
+        if bytes.len() != ACK_BODY_FRAME_LEN {
             return Err(WireError::LengthMismatch {
-                expect: ACK_FRAME_LEN,
+                expect: ACK_BODY_FRAME_LEN,
                 got: bytes.len(),
             });
         }
@@ -689,38 +857,128 @@ mod tests {
         );
     }
 
+    /// Appends a valid checksum trailer to a hand-built frame body, so the
+    /// structural validators past the trailer check can be exercised.
+    fn with_crc(mut body: Vec<u8>) -> Vec<u8> {
+        append_checksum(&mut body);
+        body
+    }
+
     #[test]
     fn decode_rejects_the_documented_corruptions() {
-        assert_eq!(decode(&[]), Err(WireError::Truncated { need: 1, got: 0 }));
+        assert_eq!(decode(&[]), Err(WireError::Truncated { need: 3, got: 0 }));
         // Ack with a reserved data flag set.
         assert_eq!(
-            decode(&[FLAG_ACK | FLAG_DUP, 0, 0, 0, 0, 0, 0, 0]),
+            decode(&with_crc(vec![FLAG_ACK | FLAG_DUP, 0, 0, 0, 0, 0, 0, 0])),
             Err(WireError::ReservedFlags {
                 byte: FLAG_ACK | FLAG_DUP
             })
         );
         // Ack claiming the request lane.
         assert_eq!(
-            decode(&[FLAG_ACK, 0, 0, 0, 0, 0, 0, 0]),
+            decode(&with_crc(vec![FLAG_ACK, 0, 0, 0, 0, 0, 0, 0])),
             Err(WireError::AckOnRequestLane)
         );
         // Grant code 3 does not exist.
         let mut ack = vec![FLAG_ACK | FLAG_LANE, 0, 0, 0, 0, 0b11 << GRANT_SHIFT, 0, 0];
-        assert_eq!(decode(&ack), Err(WireError::BadGrant { code: 3 }));
+        assert_eq!(
+            decode(&with_crc(ack.clone())),
+            Err(WireError::BadGrant { code: 3 })
+        );
         // Oversized ack.
         ack[5] = 0;
         ack.push(0);
         assert_eq!(
-            decode(&ack),
+            decode(&with_crc(ack)),
             Err(WireError::LengthMismatch { expect: 8, got: 9 })
         );
         // Data frame with zero size.
         let mut data = vec![0u8; DATA_BASE_LEN];
-        assert_eq!(decode(&data), Err(WireError::ZeroSize));
+        assert_eq!(decode(&with_crc(data.clone())), Err(WireError::ZeroSize));
         // Nonzero padding.
-        data[5] = 8; // size_words = 8 -> 32-byte frame
+        data[5] = 8; // size_words = 8 -> 32-byte body
         data.resize(32, 0);
         data[31] = 1;
-        assert_eq!(decode(&data), Err(WireError::NonZeroPadding { at: 31 }));
+        assert_eq!(
+            decode(&with_crc(data)),
+            Err(WireError::NonZeroPadding { at: 31 })
+        );
+    }
+
+    #[test]
+    fn checksum_is_verified_before_any_field() {
+        let wp = WirePacket {
+            src: WireSource::Node(NodeId::new(3)),
+            dst: NodeId::new(4),
+            lane: Lane::Request,
+            size_words: 6,
+            wire: Wire::Data {
+                bulk_request: false,
+                bulk_exit: false,
+                bulk: None,
+                needs_ack: true,
+                dup_bit: false,
+                piggy_ack: None,
+            },
+            user: UserData::default(),
+        };
+        let mut bytes = encode(&wp);
+        assert_eq!(bytes.len(), wp.encoded_len());
+        // Corrupt one body byte: the checksum rejects before field decode.
+        bytes[7] ^= 0x40;
+        assert!(
+            matches!(decode(&bytes), Err(WireError::Checksum { .. })),
+            "corrupted body must fail the trailer check"
+        );
+        // Corrupt only the trailer: same rejection.
+        bytes[7] ^= 0x40;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(matches!(decode(&bytes), Err(WireError::Checksum { .. })));
+    }
+
+    #[test]
+    fn heartbeat_round_trips_and_is_invisible_to_packet_decode() {
+        let hb = Heartbeat {
+            src: NodeId::new(9),
+            dst: NodeId::new(65_535),
+            epoch: 0xDEAD_BEEF,
+        };
+        let bytes = encode_heartbeat(&hb);
+        assert_eq!(bytes.len(), HEARTBEAT_FRAME_LEN);
+        assert_eq!(decode_frame(&bytes), Ok(WireFrame::Heartbeat(hb)));
+        // The packet decoder must reject a heartbeat (its flag byte carries
+        // a bit that is reserved for acks), never misparse it as an ack.
+        assert_eq!(
+            decode(&bytes),
+            Err(WireError::ReservedFlags {
+                byte: HEARTBEAT_FLAGS
+            })
+        );
+    }
+
+    #[test]
+    fn decode_frame_handles_packets_too() {
+        let wp = WirePacket {
+            src: WireSource::Node(NodeId::new(1)),
+            dst: NodeId::new(2),
+            lane: Lane::Reply,
+            size_words: nifdy_net::ACK_WORDS,
+            wire: Wire::Ack(AckInfo::Scalar {
+                grant: BulkGrant::NotRequested,
+                echo: true,
+            }),
+            user: UserData::default(),
+        };
+        assert_eq!(decode_frame(&encode(&wp)), Ok(WireFrame::Packet(wp)));
+        // A truncated heartbeat fails cleanly.
+        let hb = encode_heartbeat(&Heartbeat {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            epoch: 7,
+        });
+        for cut in 0..hb.len() {
+            assert!(decode_frame(&hb[..cut]).is_err(), "prefix {cut} decoded");
+        }
     }
 }

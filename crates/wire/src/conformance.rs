@@ -15,13 +15,14 @@
 
 use std::collections::BTreeMap;
 
-use nifdy::{Nic, NifdyConfig, NifdyUnit, OutboundPacket};
+use nifdy::{FailureKind, Nic, NifdyConfig, NifdyUnit, OutboundPacket};
 use nifdy_net::topology::Mesh;
-use nifdy_net::{Fabric, FabricConfig, UserData};
+use nifdy_net::{Fabric, FabricConfig, FaultConfig, UserData};
 use nifdy_sim::NodeId;
 use nifdy_trace::{TraceConfig, TraceHandle};
 
 use crate::endpoint::WireEndpoint;
+use crate::fault::{FaultyTransport, WireFaultConfig, WireFaultStats};
 use crate::transport::LoopbackHub;
 
 /// Per-pair delivery record: `(src, dst) -> [(msg_id, pkt_index), ...]` in
@@ -154,6 +155,70 @@ impl ConformanceReport {
     }
 }
 
+/// Per-pair typed delivery-failure counts:
+/// `(src, dst) -> {failure kind name -> count}`. Chaos parity compares
+/// failures as totals per kind, not as timed sequences, because *when* a
+/// retry budget exhausts depends on the carrier's latency — only *what*
+/// failed and *how* is protocol-determined.
+pub type FailureLog = BTreeMap<(usize, usize), BTreeMap<&'static str, u64>>;
+
+/// Stable comparison name for a failure kind (the per-dialog details —
+/// which slot id, how many unacked — legitimately differ between carriers).
+fn failure_kind_name(kind: &FailureKind) -> &'static str {
+    match kind {
+        FailureKind::Scalar => "scalar",
+        FailureKind::BulkDialog { .. } => "bulk_dialog",
+    }
+}
+
+/// Everything a chaos-conformance run produces for comparison.
+///
+/// Unlike [`ConformanceReport`], the dialog lifecycle is *not* compared:
+/// the two fault planes draw from independent RNG streams, so which
+/// message triggers a retransmission or a reject is carrier-specific. The
+/// protocol guarantees under test are the ones loss cannot excuse:
+/// per-destination delivery order, zero corrupted deliveries, and typed
+/// failure parity when retry budgets exhaust.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Per-pair delivery order observed at the receivers.
+    pub log: DeliveryLog,
+    /// Per-pair typed failures drained from the units.
+    pub failures: FailureLog,
+    /// Frames rejected by the codec (checksum trailer catches corruption).
+    pub decode_errors: u64,
+    /// Summed per-cause wire fault counters (empty for fabric runs).
+    pub fault_counts: Vec<(&'static str, u64)>,
+    /// Cycles until the run quiesced.
+    pub cycles: u64,
+}
+
+impl ChaosReport {
+    /// Panics with a readable diff if two chaos runs disagree on delivery
+    /// order or typed-failure accounting.
+    pub fn assert_matches(&self, other: &ChaosReport, label: &str) {
+        assert_eq!(
+            self.log, other.log,
+            "{label}: per-destination delivery orders diverge under faults"
+        );
+        assert_eq!(
+            self.failures, other.failures,
+            "{label}: typed delivery-failure accounting diverges"
+        );
+    }
+}
+
+/// The protocol config chaos runs use: the clean conformance preset plus
+/// the §6.2 retransmission machinery (adaptive RTO, the given retry
+/// budget), without which any loss would wedge the run instead of either
+/// recovering or surfacing a typed failure.
+pub fn chaos_config(spec: &WorkloadSpec, budget: u32) -> NifdyConfig {
+    spec.config()
+        .with_retx_timeout(64)
+        .with_adaptive_rto(true)
+        .with_retx_budget(budget)
+}
+
 /// Per-node send-side pacing: feeds the workload to a unit one packet at a
 /// time, retrying rejected sends.
 struct Feeder {
@@ -197,6 +262,11 @@ impl Feeder {
         if !try_send(pkt) {
             self.head = Some(user);
         }
+    }
+
+    /// Every workload packet has been accepted by the interface.
+    fn done(&self) -> bool {
+        self.head.is_none() && self.queue.len() == 0
     }
 }
 
@@ -358,6 +428,169 @@ pub fn run_loopback(spec: &WorkloadSpec, latency: u64, jitter: u64) -> Conforman
     ConformanceReport {
         log,
         lifecycle: lifecycle_projection(&trace, spec.nodes),
+        cycles,
+    }
+}
+
+/// Cycles of sustained all-idle (with exhausted feeders) that end a chaos
+/// run: long enough for any held, delayed, or in-flight frame to land and
+/// provoke more work if it is going to.
+const CHAOS_QUIESCE_GRACE: u64 = 512;
+
+/// Runs the workload through the simulated fabric with its flit-level
+/// fault plane enabled. Terminates when the feeders are exhausted and
+/// every unit has been idle for a sustained grace period — under loss,
+/// "all packets delivered" is no longer the exit condition, because a
+/// retry-budget exhaustion converts deliveries into typed failures.
+///
+/// # Panics
+///
+/// Panics if the run does not quiesce within `spec.max_cycles`.
+pub fn run_fabric_chaos(spec: &WorkloadSpec, faults: FaultConfig, budget: u32) -> ChaosReport {
+    assert!(spec.nodes >= 2, "the permutation needs at least 2 nodes");
+    let (w, h) = mesh_dims(spec.nodes);
+    let mut fab = Fabric::new(
+        Box::new(Mesh::d2(w, h)),
+        FabricConfig::default()
+            .with_seed(spec.seed)
+            .with_fault(faults),
+    );
+    let cfg = chaos_config(spec, budget);
+    let mut units: Vec<NifdyUnit> = (0..spec.nodes)
+        .map(|i| NifdyUnit::new(NodeId::new(i), cfg.clone()))
+        .collect();
+    let mut feeders: Vec<Feeder> = (0..spec.nodes).map(|i| Feeder::new(spec, i)).collect();
+    let mut log = DeliveryLog::new();
+    let mut failures = FailureLog::new();
+    let mut cycles = 0u64;
+    let mut idle_streak = 0u64;
+    loop {
+        assert!(
+            cycles < spec.max_cycles,
+            "fabric chaos run never quiesced ({cycles} cycles)"
+        );
+        for (i, unit) in units.iter_mut().enumerate() {
+            let now = fab.now();
+            feeders[i].pump(|pkt| unit.try_send(pkt, now));
+            unit.step(&mut fab);
+            while let Some(d) = unit.poll(fab.now()) {
+                log.entry((d.src.index(), i))
+                    .or_default()
+                    .push((d.user.msg_id, d.user.pkt_index));
+            }
+            for f in unit.take_failures() {
+                *failures
+                    .entry((f.src.index(), f.dst.index()))
+                    .or_default()
+                    .entry(failure_kind_name(&f.kind))
+                    .or_default() += 1;
+            }
+        }
+        fab.step();
+        cycles += 1;
+        if feeders.iter().all(Feeder::done) && units.iter().all(Nic::is_idle) {
+            idle_streak += 1;
+            if idle_streak >= CHAOS_QUIESCE_GRACE {
+                break;
+            }
+        } else {
+            idle_streak = 0;
+        }
+    }
+    ChaosReport {
+        log,
+        failures,
+        decode_errors: 0,
+        fault_counts: Vec::new(),
+        cycles,
+    }
+}
+
+/// Runs the workload through the loopback byte transport with every
+/// endpoint's frames passing through a [`FaultyTransport`] chaos plane
+/// (seeded from `spec.seed`, independent per node). Termination as in
+/// [`run_fabric_chaos`].
+///
+/// Unlike [`run_loopback`], decode errors are *expected* here (that is the
+/// checksum trailer doing its job on corrupted frames) and are reported,
+/// not asserted away.
+///
+/// # Panics
+///
+/// Panics if the run does not quiesce within `spec.max_cycles`.
+pub fn run_loopback_chaos(
+    spec: &WorkloadSpec,
+    latency: u64,
+    jitter: u64,
+    faults: &WireFaultConfig,
+    budget: u32,
+) -> ChaosReport {
+    assert!(spec.nodes >= 2, "the permutation needs at least 2 nodes");
+    let hub = LoopbackHub::new(spec.nodes, latency).with_jitter(spec.seed, jitter);
+    let cfg = chaos_config(spec, budget);
+    let mut eps: Vec<WireEndpoint<FaultyTransport<_>>> = (0..spec.nodes)
+        .map(|i| {
+            let node = NodeId::new(i);
+            let faulty = FaultyTransport::new(hub.endpoint(node), faults.clone(), spec.seed);
+            WireEndpoint::new(node, cfg.clone(), faulty)
+        })
+        .collect();
+    let mut feeders: Vec<Feeder> = (0..spec.nodes).map(|i| Feeder::new(spec, i)).collect();
+    let mut log = DeliveryLog::new();
+    let mut failures = FailureLog::new();
+    let mut cycles = 0u64;
+    let mut idle_streak = 0u64;
+    loop {
+        assert!(
+            cycles < spec.max_cycles,
+            "loopback chaos run never quiesced ({cycles} cycles)"
+        );
+        for (i, ep) in eps.iter_mut().enumerate() {
+            feeders[i].pump(|pkt| ep.try_send(pkt));
+            ep.step();
+            while let Some(d) = ep.poll() {
+                log.entry((d.src.index(), i))
+                    .or_default()
+                    .push((d.user.msg_id, d.user.pkt_index));
+            }
+            for f in ep.take_failures() {
+                *failures
+                    .entry((f.src.index(), f.dst.index()))
+                    .or_default()
+                    .entry(failure_kind_name(&f.kind))
+                    .or_default() += 1;
+            }
+        }
+        hub.tick();
+        cycles += 1;
+        let quiet = feeders.iter().all(Feeder::done)
+            && eps.iter().all(WireEndpoint::is_idle)
+            && eps.iter().all(|ep| ep.port().transport().held() == 0)
+            && hub.in_flight() == 0;
+        if quiet {
+            idle_streak += 1;
+            if idle_streak >= CHAOS_QUIESCE_GRACE {
+                break;
+            }
+        } else {
+            idle_streak = 0;
+        }
+    }
+    let decode_errors = eps.iter().map(|ep| ep.port().decode_errors()).sum();
+    let per_node: Vec<&WireFaultStats> =
+        eps.iter().map(|ep| ep.port().transport().stats()).collect();
+    let fault_counts = nifdy_trace::WireFaultCause::ALL
+        .iter()
+        .map(|&cause| {
+            let n: u64 = per_node.iter().map(|s| s.count(cause)).sum();
+            (cause.label(), n)
+        })
+        .collect();
+    ChaosReport {
+        log,
+        failures,
+        decode_errors,
+        fault_counts,
         cycles,
     }
 }

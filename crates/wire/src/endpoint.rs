@@ -128,6 +128,16 @@ impl<T: Transport> WireEndpoint<T> {
     pub fn port(&self) -> &TransportPort<T> {
         &self.port
     }
+
+    /// Mutable unit access for the supervision layer (peer resets).
+    pub(crate) fn unit_mut(&mut self) -> &mut NifdyUnit {
+        &mut self.unit
+    }
+
+    /// Mutable port access for the supervision layer (heartbeats).
+    pub(crate) fn port_mut(&mut self) -> &mut TransportPort<T> {
+        &mut self.port
+    }
 }
 
 #[cfg(test)]

@@ -27,12 +27,19 @@
 pub mod codec;
 pub mod conformance;
 mod endpoint;
+pub mod fault;
 mod port;
+mod supervisor;
 mod transport;
 mod udp;
 
-pub use codec::{decode, encode, WireError, WirePacket, WireSource};
+pub use codec::{
+    decode, decode_frame, encode, encode_heartbeat, Heartbeat, WireError, WireFrame, WirePacket,
+    WireSource,
+};
 pub use endpoint::WireEndpoint;
+pub use fault::{FaultyTransport, WireFaultConfig, WireFaultStats};
 pub use port::TransportPort;
+pub use supervisor::{PeerEvent, SupervisedEndpoint, Supervisor, SupervisorConfig};
 pub use transport::{LoopbackHub, LoopbackTransport, Transport};
-pub use udp::UdpTransport;
+pub use udp::{TransportError, UdpTransport};

@@ -14,7 +14,7 @@ use nifdy_net::{Lane, NetPort, Packet};
 use nifdy_sim::{Cycle, NodeId, PacketId};
 use nifdy_trace::{trace_event, EventKind, TraceHandle};
 
-use crate::codec::{self, WirePacket, WireSource};
+use crate::codec::{self, Heartbeat, WireFrame, WirePacket, WireSource};
 use crate::transport::Transport;
 
 /// One node's [`NetPort`] view of a byte [`Transport`].
@@ -23,6 +23,10 @@ pub struct TransportPort<T: Transport> {
     transport: T,
     /// Decoded packets awaiting ejection, per lane.
     pending: [VecDeque<Packet>; 2],
+    /// Liveness beacons received since the last [`take_heartbeats`] drain.
+    ///
+    /// [`take_heartbeats`]: TransportPort::take_heartbeats
+    heartbeats: Vec<Heartbeat>,
     /// The cycle at which each lane's transmitter frees up.
     tx_busy_until: [Cycle; 2],
     pkt_counter: u64,
@@ -37,6 +41,7 @@ impl<T: Transport> TransportPort<T> {
         TransportPort {
             transport,
             pending: [VecDeque::new(), VecDeque::new()],
+            heartbeats: Vec::new(),
             tx_busy_until: [Cycle::ZERO; 2],
             pkt_counter: 0,
             decode_errors: 0,
@@ -77,6 +82,40 @@ impl<T: Transport> TransportPort<T> {
         &self.transport
     }
 
+    /// Drains the liveness beacons decoded since the last call. The
+    /// supervisor layer consumes these to track peer epochs and silence.
+    pub fn take_heartbeats(&mut self) -> Vec<Heartbeat> {
+        std::mem::take(&mut self.heartbeats)
+    }
+
+    /// Sends a liveness beacon on the reply lane.
+    ///
+    /// Heartbeats are port-level control traffic, not protocol packets: they
+    /// bypass the serialization budget (an 11-byte beacon every few hundred
+    /// cycles is negligible next to a data word per cycle, and charging it
+    /// would perturb the §2.4 bandwidth comparison for every chaos run).
+    pub fn send_heartbeat(&mut self, dst: NodeId, epoch: u32) {
+        let me = self.transport.node();
+        let now = self.transport.now();
+        let hb = Heartbeat {
+            src: me,
+            dst,
+            epoch,
+        };
+        let frame = codec::encode_heartbeat(&hb);
+        trace_event!(
+            self.trace,
+            now,
+            me,
+            EventKind::FrameSend {
+                dst,
+                ack: true,
+                bytes: frame.len() as u32,
+            }
+        );
+        self.transport.send(dst, Lane::Reply, frame);
+    }
+
     /// One cycle of port work: tick the transport's clock view and decode
     /// every frame it delivered. Call once per cycle, before the unit's
     /// [`Nic::step`](nifdy::Nic::step).
@@ -86,8 +125,34 @@ impl<T: Transport> TransportPort<T> {
         let me = self.transport.node();
         for lane in Lane::ALL {
             while let Some(frame) = self.transport.recv(lane) {
-                let wp = match codec::decode(&frame) {
-                    Ok(wp) => wp,
+                let wp = match codec::decode_frame(&frame) {
+                    Ok(WireFrame::Packet(wp)) => wp,
+                    Ok(WireFrame::Heartbeat(hb)) => {
+                        if hb.dst != me {
+                            self.foreign += 1;
+                            trace_event!(
+                                self.trace,
+                                now,
+                                me,
+                                EventKind::FrameReject {
+                                    bytes: frame.len() as u32,
+                                }
+                            );
+                            continue;
+                        }
+                        trace_event!(
+                            self.trace,
+                            now,
+                            me,
+                            EventKind::FrameRecv {
+                                src: hb.src,
+                                ack: true,
+                                bytes: frame.len() as u32,
+                            }
+                        );
+                        self.heartbeats.push(hb);
+                        continue;
+                    }
                     Err(_) => {
                         self.decode_errors += 1;
                         trace_event!(

@@ -160,14 +160,22 @@ proptest! {
     }
 
     #[test]
-    fn single_byte_flag_corruption_never_panics(wp in wire_packet(), flip in any::<u8>()) {
+    fn every_single_byte_corruption_is_rejected(
+        wp in wire_packet(),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        // CRC-16 detects every burst error up to 16 bits, so *any* one-byte
+        // change — flags, fields, padding, or the trailer itself — must be
+        // rejected outright: a corrupted frame can never decode, let alone
+        // decode into a frame that differs from the original.
         let mut bytes = encode(&wp);
-        bytes[0] ^= flip;
-        // Flag corruption may still be a different valid frame (e.g. a
-        // flipped dup bit); it must simply never panic or misreport length.
-        if let Ok(other) = decode(&bytes) {
-            prop_assert_eq!(encode(&other), bytes);
-        }
+        let at = pos % bytes.len();
+        bytes[at] ^= flip;
+        prop_assert!(
+            decode(&bytes).is_err(),
+            "corruption at byte {} (mask {:#04x}) decoded", at, flip
+        );
     }
 }
 

@@ -1,0 +1,61 @@
+//! Chaos-plane properties: wrapping a transport in an *inactive*
+//! [`FaultyTransport`] is observationally free — byte-identical delivery to
+//! the bare transport for any seed, any payload, any lane mix — because an
+//! inactive plane never draws from its generator at all.
+
+use nifdy_net::Lane;
+use nifdy_sim::NodeId;
+use nifdy_wire::{FaultyTransport, LoopbackHub, Transport, WireFaultConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn rate_zero_is_byte_identical_to_clean_for_any_seed(
+        seed in any::<u64>(),
+        jitter_seed in any::<u64>(),
+        frames in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..40), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let drive = |fault_seed: Option<u64>| -> Vec<(usize, Vec<u8>)> {
+            let hub = LoopbackHub::new(2, 1).with_jitter(jitter_seed, 3);
+            let tx = hub.endpoint(NodeId::new(0));
+            let mut tx: Box<dyn Transport> = match fault_seed {
+                Some(s) => Box::new(FaultyTransport::new(tx, WireFaultConfig::default(), s)),
+                None => Box::new(tx),
+            };
+            let mut rx = hub.endpoint(NodeId::new(1));
+            let mut got = Vec::new();
+            for (frame, reply_lane) in &frames {
+                let lane = if *reply_lane { Lane::Reply } else { Lane::Request };
+                tx.send(NodeId::new(1), lane, frame.clone());
+                hub.tick();
+                tx.tick();
+                rx.tick();
+                for lane in Lane::ALL {
+                    while let Some(f) = rx.recv(lane) {
+                        got.push((lane.index(), f));
+                    }
+                }
+            }
+            for _ in 0..8 {
+                hub.tick();
+                for lane in Lane::ALL {
+                    while let Some(f) = rx.recv(lane) {
+                        got.push((lane.index(), f));
+                    }
+                }
+            }
+            got
+        };
+        let clean = drive(None);
+        let wrapped = drive(Some(seed));
+        prop_assert_eq!(clean, wrapped, "inactive chaos plane perturbed delivery");
+    }
+}
