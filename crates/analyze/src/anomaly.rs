@@ -1,0 +1,212 @@
+//! Anomaly detectors: patterns that are legal protocol behaviour but
+//! deserve operator eyes — retransmission storms, wedged dialogs, OPT
+//! eligibility thrash, heartbeat gaps, and incomplete reconstructions.
+//!
+//! Detectors never fail a run by themselves (that is the invariants' job);
+//! they annotate the report so a human can find trouble without reading
+//! the raw stream.
+
+use std::collections::BTreeMap;
+
+use nifdy_trace::{EventKind, TraceEvent};
+
+use crate::journey::JourneyStatus;
+use crate::stitch::JourneySet;
+
+/// Detector thresholds. The defaults suit the repo's experiment scales;
+/// tighten or relax per run.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// A single journey retransmitted at least this many times is a storm.
+    pub retx_storm: u32,
+    /// A node stalling eligibility more than this many times is thrashing
+    /// its OPT.
+    pub opt_thrash: u64,
+    /// A heartbeat gap larger than `factor × median gap` (with at least 3
+    /// beats observed) is flagged.
+    pub heartbeat_gap_factor: u64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            retx_storm: 5,
+            opt_thrash: 256,
+            heartbeat_gap_factor: 8,
+        }
+    }
+}
+
+/// One flagged pattern.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// Stable snake_case detector name.
+    pub kind: &'static str,
+    /// Node the anomaly is attributed to, when node-scoped.
+    pub node: Option<usize>,
+    /// Flow the anomaly is attributed to, when flow-scoped.
+    pub flow: Option<(usize, usize)>,
+    /// Human-readable account.
+    pub detail: String,
+}
+
+/// Runs every detector over the stream and the reconstruction.
+pub fn detect(events: &[TraceEvent], set: &JourneySet, cfg: &AnomalyConfig) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+
+    // Retransmission storms: per journey.
+    for j in &set.journeys {
+        if j.retransmits >= cfg.retx_storm {
+            out.push(Anomaly {
+                kind: "retx_storm",
+                node: Some(j.src),
+                flow: Some(j.flow()),
+                detail: format!(
+                    "{} journey launched at cycle {} retried {} times (status {})",
+                    j.kind.name(),
+                    j.first_send,
+                    j.retransmits,
+                    j.status.name()
+                ),
+            });
+        }
+    }
+
+    // Wedged dialogs: sender generations never closed.
+    for &(src, dst, dialog) in &set.wedged_dialogs {
+        out.push(Anomaly {
+            kind: "wedged_dialog",
+            node: Some(src),
+            flow: Some((src, dst)),
+            detail: format!("dialog {dialog} on flow {src}->{dst} never closed"),
+        });
+    }
+
+    // OPT thrash: eligibility stalls per node.
+    let mut stalls: BTreeMap<usize, u64> = BTreeMap::new();
+    for ev in events {
+        if matches!(ev.kind, EventKind::EligStall { .. }) {
+            *stalls.entry(ev.node.index()).or_default() += 1;
+        }
+    }
+    for (node, count) in stalls {
+        if count > cfg.opt_thrash {
+            out.push(Anomaly {
+                kind: "opt_thrash",
+                node: Some(node),
+                flow: None,
+                detail: format!("{count} eligibility stalls (threshold {})", cfg.opt_thrash),
+            });
+        }
+    }
+
+    // Heartbeat gaps: per (node, peer) outbound beat cadence.
+    let mut beats: BTreeMap<(usize, usize), Vec<u64>> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::Heartbeat {
+            peer, sent: true, ..
+        } = ev.kind
+        {
+            beats
+                .entry((ev.node.index(), peer.index()))
+                .or_default()
+                .push(ev.at.as_u64());
+        }
+    }
+    for ((node, peer), times) in beats {
+        if times.len() < 3 {
+            continue;
+        }
+        let mut gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        let max = *gaps.last().expect("non-empty");
+        if median > 0 && max > cfg.heartbeat_gap_factor * median {
+            out.push(Anomaly {
+                kind: "heartbeat_gap",
+                node: Some(node),
+                flow: Some((node, peer)),
+                detail: format!(
+                    "max beat gap {max} vs median {median} (factor {})",
+                    cfg.heartbeat_gap_factor
+                ),
+            });
+        }
+    }
+
+    // Incomplete reconstructions, summarized per flow.
+    let mut incomplete: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+    for j in &set.journeys {
+        let e = incomplete.entry(j.flow()).or_default();
+        if j.incomplete {
+            e.0 += 1;
+        }
+        if j.status == JourneyStatus::InFlight {
+            e.1 += 1;
+        }
+    }
+    for ((src, dst), (inc, inflight)) in incomplete {
+        if inc > 0 || inflight > 0 {
+            out.push(Anomaly {
+                kind: "incomplete_journeys",
+                node: None,
+                flow: Some((src, dst)),
+                detail: format!("{inc} incomplete, {inflight} still in flight at trace end"),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journey::{Journey, JourneyKind};
+    use nifdy_sim::{Cycle, NodeId};
+
+    #[test]
+    fn storm_and_wedge_are_flagged() {
+        let mut set = JourneySet::default();
+        let mut j = Journey::new(0, 1, JourneyKind::Scalar, 0);
+        j.retransmits = 6;
+        j.status = JourneyStatus::Failed;
+        set.journeys.push(j);
+        set.wedged_dialogs.push((2, 3, 1));
+        let anomalies = detect(&[], &set, &AnomalyConfig::default());
+        assert!(anomalies.iter().any(|a| a.kind == "retx_storm"));
+        assert!(anomalies.iter().any(|a| a.kind == "wedged_dialog"));
+    }
+
+    #[test]
+    fn heartbeat_gap_detected() {
+        let mut events = Vec::new();
+        for (i, at) in [0u64, 100, 200, 300, 3000].iter().enumerate() {
+            events.push(TraceEvent {
+                seq: i as u64,
+                at: Cycle::new(*at),
+                node: NodeId::new(0),
+                kind: EventKind::Heartbeat {
+                    peer: NodeId::new(1),
+                    epoch: 1,
+                    sent: true,
+                },
+            });
+        }
+        let set = JourneySet::default();
+        let anomalies = detect(&events, &set, &AnomalyConfig::default());
+        assert!(anomalies.iter().any(|a| a.kind == "heartbeat_gap"));
+    }
+
+    #[test]
+    fn quiet_trace_has_no_anomalies() {
+        let mut set = JourneySet::default();
+        let mut j = Journey::new(0, 1, JourneyKind::Scalar, 0);
+        j.accept = Some(5);
+        j.end = Some(8);
+        j.has_opt = true;
+        j.status = JourneyStatus::Completed;
+        set.journeys.push(j);
+        assert!(detect(&[], &set, &AnomalyConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! The per-packet journey model: one [`Journey`] per data packet the
+//! sender launched, stitched from trace events by
+//! [`crate::stitch`](fn@crate::stitch::stitch).
+//!
+//! A journey's timeline is four ordered marks, each a cycle timestamp from
+//! the trace stream:
+//!
+//! ```text
+//! first_send ──▶ last_send ──▶ accept ──▶ end
+//!    launch      final (re)tx   receiver    sender sees ack
+//!                before accept  delivery    (OPT clear / window advance)
+//! ```
+//!
+//! The latency decomposition falls out of adjacent differences, so the
+//! parts sum to the end-to-end latency *exactly* (no estimation):
+//!
+//! * **retx penalty** `last_send − first_send`: time lost to copies that
+//!   never arrived (zero when the first copy got through),
+//! * **fabric transit** `accept − last_send`: flight time of the copy that
+//!   was actually delivered,
+//! * **ack turnaround** `end − accept`: delivery until the sender could
+//!   observe it (retire the OPT entry or advance the window).
+//!
+//! Admission wait — how long the packet queued *behind its flow* before
+//! launch — is reported separately and is not part of the end-to-end sum;
+//! see [`Journey::admission_wait`].
+
+/// What kind of packet the journey tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JourneyKind {
+    /// A scalar data packet (OPT-tracked when acked; see
+    /// [`Journey::has_opt`]).
+    Scalar,
+    /// One sequence of a bulk dialog.
+    Bulk {
+        /// Sender-side dialog slot the packet belonged to.
+        dialog: u8,
+        /// Absolute sequence number within the dialog generation (the wire
+        /// carries only `abs_seq mod 256`).
+        abs_seq: u64,
+    },
+}
+
+impl JourneyKind {
+    /// Stable lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JourneyKind::Scalar => "scalar",
+            JourneyKind::Bulk { .. } => "bulk",
+        }
+    }
+}
+
+/// Terminal state of a journey at the end of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JourneyStatus {
+    /// The packet was delivered (and, when acknowledgement applies, the
+    /// sender observed the ack).
+    Completed,
+    /// The sender gave up: retry budget exhausted (scalar
+    /// `DeliveryFail`) or the owning dialog was torn down.
+    Failed,
+    /// Neither completed nor failed when the trace ended.
+    InFlight,
+}
+
+impl JourneyStatus {
+    /// Stable lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JourneyStatus::Completed => "completed",
+            JourneyStatus::Failed => "failed",
+            JourneyStatus::InFlight => "in_flight",
+        }
+    }
+}
+
+/// The exactly-summing latency decomposition of a completed journey.
+/// All fields are in cycles; see the module docs for definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Decomposition {
+    /// `last_send − first_send`.
+    pub retx_penalty: u64,
+    /// `accept − last_send`.
+    pub fabric_transit: u64,
+    /// `end − accept` (zero when the journey needs no sender-visible ack).
+    pub ack_turnaround: u64,
+}
+
+impl Decomposition {
+    /// End-to-end latency: the sum of the three parts, by construction.
+    pub fn end_to_end(&self) -> u64 {
+        self.retx_penalty + self.fabric_transit + self.ack_turnaround
+    }
+}
+
+/// One reconstructed packet lifetime.
+#[derive(Debug, Clone)]
+pub struct Journey {
+    /// Sending node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Scalar or bulk, with bulk identity.
+    pub kind: JourneyKind,
+    /// Scalar only: the packet requested an ack and occupies an OPT slot
+    /// (journeys without it complete at delivery, with no ack turnaround).
+    pub has_opt: bool,
+    /// Cycle of the original launch.
+    pub first_send: u64,
+    /// Cycle of the last (re)transmission observed *before* delivery.
+    pub last_send: u64,
+    /// Cycle the receiver streamed the packet into its arrivals FIFO
+    /// (`ScalarAccept` / `BulkAccept`), if observed.
+    pub accept: Option<u64>,
+    /// Cycle the sender retired the packet (OPT clear, covering window
+    /// advance, or failure), if observed.
+    pub end: Option<u64>,
+    /// Retransmission events attributed to this journey.
+    pub retransmits: u32,
+    /// Terminal state at end of trace.
+    pub status: JourneyStatus,
+    /// True when the reconstruction is known or suspected partial: the
+    /// recorder evicted events on a node this journey touches, a sequence
+    /// residue failed to line up, or a lifecycle mark is missing. An
+    /// incomplete journey is surfaced, never silently folded into the
+    /// latency tables.
+    pub incomplete: bool,
+    /// Cycles the packet waited behind its own flow before launch (gap to
+    /// the predecessor journey's retirement for serialized scalars, to the
+    /// predecessor's launch for windowed bulk). Zero for flow-first
+    /// journeys. Reported separately from the end-to-end decomposition.
+    pub admission_wait: u64,
+}
+
+impl Journey {
+    pub(crate) fn new(src: usize, dst: usize, kind: JourneyKind, at: u64) -> Self {
+        Journey {
+            src,
+            dst,
+            kind,
+            has_opt: false,
+            first_send: at,
+            last_send: at,
+            accept: None,
+            end: None,
+            retransmits: 0,
+            status: JourneyStatus::InFlight,
+            incomplete: false,
+            admission_wait: 0,
+        }
+    }
+
+    /// The flow this journey belongs to.
+    pub fn flow(&self) -> (usize, usize) {
+        (self.src, self.dst)
+    }
+
+    /// Cycle at which the journey's clock stops for latency purposes: the
+    /// sender-visible end when one exists, otherwise the delivery point.
+    pub fn finish(&self) -> Option<u64> {
+        match self.status {
+            JourneyStatus::Completed => self.end.or(self.accept),
+            _ => None,
+        }
+    }
+
+    /// End-to-end latency in cycles (completed journeys only).
+    pub fn end_to_end(&self) -> Option<u64> {
+        Some(self.finish()?.saturating_sub(self.first_send))
+    }
+
+    /// The exactly-summing decomposition (completed journeys with an
+    /// observed delivery point only).
+    pub fn decomposition(&self) -> Option<Decomposition> {
+        if self.status != JourneyStatus::Completed {
+            return None;
+        }
+        let accept = self.accept?;
+        Some(Decomposition {
+            retx_penalty: self.last_send.saturating_sub(self.first_send),
+            fabric_transit: accept.saturating_sub(self.last_send),
+            ack_turnaround: self.end.map(|e| e.saturating_sub(accept)).unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_sums_to_end_to_end() {
+        let mut j = Journey::new(0, 1, JourneyKind::Scalar, 10);
+        j.has_opt = true;
+        j.last_send = 74; // one retransmission at cycle 74
+        j.accept = Some(90);
+        j.end = Some(103);
+        j.retransmits = 1;
+        j.status = JourneyStatus::Completed;
+        let d = j.decomposition().unwrap();
+        assert_eq!(d.retx_penalty, 64);
+        assert_eq!(d.fabric_transit, 16);
+        assert_eq!(d.ack_turnaround, 13);
+        assert_eq!(Some(d.end_to_end()), j.end_to_end());
+    }
+
+    #[test]
+    fn no_ack_journey_ends_at_accept() {
+        let mut j = Journey::new(2, 3, JourneyKind::Scalar, 5);
+        j.accept = Some(12);
+        j.status = JourneyStatus::Completed;
+        assert_eq!(j.end_to_end(), Some(7));
+        let d = j.decomposition().unwrap();
+        assert_eq!(d.ack_turnaround, 0);
+        assert_eq!(d.end_to_end(), 7);
+    }
+
+    #[test]
+    fn failed_journey_has_no_latency() {
+        let mut j = Journey::new(0, 1, JourneyKind::Scalar, 0);
+        j.status = JourneyStatus::Failed;
+        assert_eq!(j.end_to_end(), None);
+        assert!(j.decomposition().is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # nifdy-analyze — offline journey analysis for NIFDY traces
+//!
+//! The trace layer records *what happened*; this crate reconstructs *what
+//! it meant*. It consumes the merged event stream a recorder produced —
+//! from the simulated fabric or the byte wire, the vocabulary is shared —
+//! and stitches per-packet **journeys**: the scalar lifecycle
+//! (`ScalarSend → OptInsert → ScalarAccept → OptClear`, with retransmit
+//! loops) and the bulk lifecycle (dialog open → per-sequence send/accept
+//! → window advance → close), correlated without any packet id on the
+//! wire by exploiting the protocol's own ordering guarantees (see
+//! [`stitch`](mod@stitch)).
+//!
+//! On top of the journeys it computes:
+//!
+//! * a **latency decomposition** that sums *exactly* to the end-to-end
+//!   latency — retransmission penalty, fabric transit, ack turnaround —
+//!   aggregated into per-flow percentile tables ([`decompose`]),
+//! * **conservation invariants** cross-checking the reconstruction
+//!   against ground-truth NIC/fabric/wire counters, three-valued so trace
+//!   loss skips a check rather than faking a pass ([`invariants`]),
+//! * **anomaly detectors** for retransmission storms, wedged dialogs,
+//!   OPT thrash, heartbeat gaps, and incomplete reconstructions
+//!   ([`anomaly`]),
+//! * a deterministic JSON + human-table **report** ([`report`]) and a
+//!   journey-span **Perfetto enrichment** ([`perfetto`]).
+//!
+//! Everything is a pure function of its inputs: ordered containers
+//! throughout, no clocks, no randomness — identical runs yield
+//! byte-identical reports (DESIGN.md §12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod decompose;
+pub mod invariants;
+pub mod journey;
+pub mod perfetto;
+pub mod report;
+pub mod stitch;
+
+pub use anomaly::{Anomaly, AnomalyConfig};
+pub use decompose::{FlowStats, PercentileSummary};
+pub use invariants::{ExternalCounts, Invariant, InvariantStatus};
+pub use journey::{Decomposition, Journey, JourneyKind, JourneyStatus};
+pub use perfetto::enrich_chrome_trace;
+pub use report::{analyze, AnalysisReport};
+pub use stitch::{stitch, JourneySet};

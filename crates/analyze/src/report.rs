@@ -1,0 +1,390 @@
+//! The analysis report: one call folds a trace stream into journeys,
+//! per-flow latency tables, invariant verdicts, and anomalies, and renders
+//! the result as deterministic JSON or a human table.
+//!
+//! Determinism: the report is a pure function of the event stream, the
+//! loss accounting, and the external counters. All aggregation uses
+//! ordered containers and the JSON layer renders `BTreeMap`s, so the same
+//! inputs produce byte-identical output — repeated runs of a seeded
+//! experiment diff clean.
+
+use nifdy_trace::json::Json;
+use nifdy_trace::{TraceEvent, TraceLoss};
+
+use crate::anomaly::{self, Anomaly, AnomalyConfig};
+use crate::decompose::{self, FlowStats, PercentileSummary};
+use crate::invariants::{self, ExternalCounts, Invariant, InvariantStatus};
+use crate::journey::JourneyStatus;
+use crate::stitch::{self, JourneySet};
+
+/// The complete analysis of one trace stream.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// The reconstructed journeys and stream-level counters.
+    pub set: JourneySet,
+    /// Per-flow latency decomposition tables.
+    pub flows: Vec<FlowStats>,
+    /// Conservation-check verdicts.
+    pub invariants: Vec<Invariant>,
+    /// Flagged patterns.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// Runs the full pipeline: stitch → aggregate → check → detect.
+pub fn analyze(
+    events: &[TraceEvent],
+    loss: &TraceLoss,
+    ext: &ExternalCounts,
+    cfg: &AnomalyConfig,
+) -> AnalysisReport {
+    let set = stitch::stitch(events, loss);
+    let flows = decompose::per_flow(&set);
+    let invariants = invariants::check(&set, &flows, ext);
+    let anomalies = anomaly::detect(events, &set, cfg);
+    AnalysisReport {
+        set,
+        flows,
+        invariants,
+        anomalies,
+    }
+}
+
+impl AnalysisReport {
+    /// True when no conservation invariant failed (skips are fine).
+    pub fn ok(&self) -> bool {
+        invariants::all_green(&self.invariants)
+    }
+
+    /// The deterministic JSON form (stable key order, no wall-clock).
+    pub fn to_json(&self) -> Json {
+        let set = &self.set;
+        Json::obj([
+            (
+                "journeys",
+                Json::obj([
+                    ("total", Json::u64(set.journeys.len() as u64)),
+                    (
+                        "completed",
+                        Json::u64(set.with_status(JourneyStatus::Completed)),
+                    ),
+                    ("failed", Json::u64(set.with_status(JourneyStatus::Failed))),
+                    (
+                        "in_flight",
+                        Json::u64(set.with_status(JourneyStatus::InFlight)),
+                    ),
+                    ("accepted", Json::u64(set.accepted())),
+                    ("incomplete", Json::u64(set.incomplete())),
+                    ("retransmits", Json::u64(set.journey_retransmits())),
+                    ("orphan_accepts", Json::u64(set.orphan_accepts)),
+                    ("unmatched_events", Json::u64(set.unmatched_events)),
+                    ("acked_without_accept", Json::u64(set.acked_without_accept)),
+                ]),
+            ),
+            (
+                "events",
+                Json::obj([
+                    ("retransmit", Json::u64(set.retx_events)),
+                    ("delivery_fail", Json::u64(set.delivery_fail_events)),
+                    ("fabric_drop", Json::u64(set.drop_events)),
+                    ("wire_fault", Json::u64(set.wire_fault_events)),
+                ]),
+            ),
+            (
+                "trace_loss",
+                Json::obj([
+                    (
+                        "evicted",
+                        Json::Arr(set.loss.evicted.iter().map(|&v| Json::u64(v)).collect()),
+                    ),
+                    ("evicted_total", Json::u64(set.loss.evicted_total())),
+                    (
+                        "sampled_out",
+                        Json::Arr(set.loss.sampled_out.iter().map(|&v| Json::u64(v)).collect()),
+                    ),
+                    ("sampled_out_total", Json::u64(set.loss.sampled_out_total())),
+                ]),
+            ),
+            (
+                "flows",
+                Json::Arr(self.flows.iter().map(flow_json).collect()),
+            ),
+            (
+                "invariants",
+                Json::Arr(
+                    self.invariants
+                        .iter()
+                        .map(|i| {
+                            Json::obj([
+                                ("name", Json::str(i.name)),
+                                ("status", Json::str(i.status.name())),
+                                ("detail", Json::str(i.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "anomalies",
+                Json::Arr(
+                    self.anomalies
+                        .iter()
+                        .map(|a| {
+                            Json::obj([
+                                ("kind", Json::str(a.kind)),
+                                (
+                                    "node",
+                                    a.node.map(|n| Json::u64(n as u64)).unwrap_or(Json::Null),
+                                ),
+                                (
+                                    "flow",
+                                    a.flow
+                                        .map(|(s, d)| {
+                                            Json::Arr(vec![
+                                                Json::u64(s as u64),
+                                                Json::u64(d as u64),
+                                            ])
+                                        })
+                                        .unwrap_or(Json::Null),
+                                ),
+                                ("detail", Json::str(a.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A fixed-width human summary: per-flow decomposition table followed
+    /// by invariant verdicts and anomalies.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "journeys: {} total, {} completed, {} failed, {} in flight, {} incomplete\n",
+            self.set.journeys.len(),
+            self.set.with_status(JourneyStatus::Completed),
+            self.set.with_status(JourneyStatus::Failed),
+            self.set.with_status(JourneyStatus::InFlight),
+            self.set.incomplete(),
+        ));
+        out.push_str(&format!(
+            "trace loss: {} evicted, {} sampled out\n\n",
+            self.set.loss.evicted_total(),
+            self.set.loss.sampled_out_total(),
+        ));
+        out.push_str(&format!(
+            "{:<9} {:>5} {:>5} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8} {:>8}\n",
+            "flow",
+            "n",
+            "done",
+            "fail",
+            "retx",
+            "e2e p50",
+            "e2e p99",
+            "e2e max",
+            "admit",
+            "retx pen",
+            "transit",
+            "ack",
+        ));
+        for f in &self.flows {
+            out.push_str(&format!(
+                "{:<9} {:>5} {:>5} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
+                format!("{}->{}", f.flow.0, f.flow.1),
+                f.journeys,
+                f.completed,
+                f.failed,
+                f.retransmits,
+                f.e2e.p50,
+                f.e2e.p99,
+                f.e2e.max,
+                f.admission.mean,
+                f.retx_penalty.mean,
+                f.transit.mean,
+                f.ack.mean,
+            ));
+        }
+        out.push('\n');
+        for i in &self.invariants {
+            out.push_str(&format!(
+                "[{:^7}] {:<28} {}\n",
+                i.status.name(),
+                i.name,
+                i.detail
+            ));
+        }
+        if self.anomalies.is_empty() {
+            out.push_str("\nno anomalies\n");
+        } else {
+            out.push('\n');
+            for a in &self.anomalies {
+                let loc = match (a.node, a.flow) {
+                    (_, Some((s, d))) => format!("flow {s}->{d}"),
+                    (Some(n), None) => format!("node {n}"),
+                    (None, None) => "global".to_string(),
+                };
+                out.push_str(&format!("anomaly {:<20} {loc}: {}\n", a.kind, a.detail));
+            }
+        }
+        out
+    }
+}
+
+/// JSON form of one per-flow row.
+fn flow_json(f: &FlowStats) -> Json {
+    Json::obj([
+        ("src", Json::u64(f.flow.0 as u64)),
+        ("dst", Json::u64(f.flow.1 as u64)),
+        ("journeys", Json::u64(f.journeys)),
+        ("completed", Json::u64(f.completed)),
+        ("failed", Json::u64(f.failed)),
+        ("in_flight", Json::u64(f.in_flight)),
+        ("incomplete", Json::u64(f.incomplete)),
+        ("retransmits", Json::u64(f.retransmits)),
+        ("e2e", summary_json(&f.e2e)),
+        ("admission", summary_json(&f.admission)),
+        ("retx_penalty", summary_json(&f.retx_penalty)),
+        ("transit", summary_json(&f.transit)),
+        ("ack", summary_json(&f.ack)),
+    ])
+}
+
+/// JSON form of one percentile summary.
+fn summary_json(s: &PercentileSummary) -> Json {
+    Json::obj([
+        ("p50", Json::u64(s.p50)),
+        ("p90", Json::u64(s.p90)),
+        ("p99", Json::u64(s.p99)),
+        ("max", Json::u64(s.max)),
+        ("mean", Json::Num(s.mean)),
+    ])
+}
+
+/// Convenience: verdict lookup by name (used by tests and the harness).
+pub fn invariant_status(report: &AnalysisReport, name: &str) -> Option<InvariantStatus> {
+    report
+        .invariants
+        .iter()
+        .find(|i| i.name == name)
+        .map(|i| i.status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nifdy_sim::{Cycle, NodeId};
+    use nifdy_trace::EventKind;
+
+    fn lifecycle_events() -> Vec<TraceEvent> {
+        let n = NodeId::new;
+        [
+            (
+                0u64,
+                10u64,
+                0usize,
+                EventKind::OptInsert {
+                    dst: n(1),
+                    occupancy: 1,
+                },
+            ),
+            (
+                1,
+                10,
+                0,
+                EventKind::ScalarSend {
+                    dst: n(1),
+                    size_words: 8,
+                },
+            ),
+            (2, 26, 1, EventKind::ScalarAccept { src: n(0) }),
+            (
+                3,
+                40,
+                0,
+                EventKind::OptClear {
+                    dst: n(1),
+                    occupancy: 0,
+                },
+            ),
+        ]
+        .into_iter()
+        .map(|(seq, at, node, kind)| TraceEvent {
+            seq,
+            at: Cycle::new(at),
+            node: NodeId::new(node),
+            kind,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let events = lifecycle_events();
+        let ext = ExternalCounts {
+            delivered: Some(1),
+            ..ExternalCounts::default()
+        };
+        let a = analyze(
+            &events,
+            &TraceLoss::default(),
+            &ext,
+            &AnomalyConfig::default(),
+        );
+        let b = analyze(
+            &events,
+            &TraceLoss::default(),
+            &ext,
+            &AnomalyConfig::default(),
+        );
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        assert_eq!(a.table(), b.table());
+        assert!(a.ok());
+    }
+
+    #[test]
+    fn json_shape_has_all_sections() {
+        let events = lifecycle_events();
+        let report = analyze(
+            &events,
+            &TraceLoss::default(),
+            &ExternalCounts::default(),
+            &AnomalyConfig::default(),
+        );
+        let json = report.to_json();
+        for key in [
+            "journeys",
+            "events",
+            "trace_loss",
+            "flows",
+            "invariants",
+            "anomalies",
+        ] {
+            assert!(json.get(key).is_some(), "missing section {key}");
+        }
+        assert_eq!(
+            json.get("journeys")
+                .and_then(|j| j.get("completed"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            invariant_status(&report, "accepts_have_journeys"),
+            Some(InvariantStatus::Pass)
+        );
+    }
+
+    #[test]
+    fn table_mentions_flows_and_verdicts() {
+        let events = lifecycle_events();
+        let report = analyze(
+            &events,
+            &TraceLoss::default(),
+            &ExternalCounts::default(),
+            &AnomalyConfig::default(),
+        );
+        let table = report.table();
+        assert!(table.contains("0->1"));
+        assert!(table.contains("journey_accounting"));
+        assert!(table.contains("no anomalies"));
+    }
+}

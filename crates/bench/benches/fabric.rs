@@ -1,0 +1,109 @@
+//! Fabric stepping throughput across the four topologies, with a
+//! machine-readable snapshot. Besides the criterion smoke timings, the
+//! run writes `BENCH_fabric.json` (override the path with the
+//! `BENCH_FABRIC_JSON` env var) so simulator-throughput regressions are
+//! diffable across commits, alongside `BENCH_wire.json` and
+//! `BENCH_unit.json`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
+use nifdy_harness::NetworkKind;
+use nifdy_net::Fabric;
+use nifdy_sim::NodeId;
+use nifdy_trace::json::Json;
+
+const NODES: usize = 64;
+const SNAPSHOT_STEPS: u64 = 20_000;
+
+const KINDS: [NetworkKind; 4] = [
+    NetworkKind::Mesh2D,
+    NetworkKind::FatTree,
+    NetworkKind::Cm5,
+    NetworkKind::Butterfly,
+];
+
+/// A 64-node fabric primed with crossing traffic so the measurement sees
+/// busy routers, not idle ones.
+fn loaded_fabric(kind: NetworkKind) -> Fabric {
+    let mut fab = Fabric::new(kind.topology(NODES, 1), kind.fabric_config(1));
+    for i in 0..NODES / 2 {
+        let src = NodeId::new(i);
+        let dst = NodeId::new(NODES - 1 - i);
+        let pkt = nifdy_net::Packet::data(nifdy_sim::PacketId::new(i as u64), src, dst, 8);
+        fab.inject(src, pkt);
+    }
+    fab
+}
+
+fn bench_fabric_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric-bench-step");
+    group.throughput(Throughput::Elements(1_000));
+    for kind in KINDS {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched_ref(
+                || loaded_fabric(kind),
+                |fab| {
+                    for _ in 0..1_000 {
+                        fab.step();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// One snapshot cell: wall time for a fixed step count on a loaded fabric.
+fn timed_cell(kind: NetworkKind) -> (Duration, u64) {
+    let mut fab = loaded_fabric(kind);
+    let start = Instant::now();
+    for _ in 0..SNAPSHOT_STEPS {
+        fab.step();
+    }
+    let stats = fab.stats();
+    let delivered = stats.delivered[0].get() + stats.delivered[1].get();
+    (start.elapsed(), delivered)
+}
+
+/// Writes the per-topology stepping-throughput snapshot consumed by trend
+/// tooling.
+fn emit_snapshot() {
+    let mut cells = Vec::new();
+    for kind in KINDS {
+        let (wall, delivered) = timed_cell(kind);
+        let secs = wall.as_secs_f64().max(1e-9);
+        cells.push((
+            kind.label().to_string(),
+            Json::obj([
+                ("steps", Json::u64(SNAPSHOT_STEPS)),
+                ("wall_ms", Json::Num(secs * 1e3)),
+                ("steps_per_sec", Json::Num(SNAPSHOT_STEPS as f64 / secs)),
+                ("delivered", Json::u64(delivered)),
+            ]),
+        ));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("fabric")),
+        ("nodes", Json::u64(NODES as u64)),
+        ("topologies", Json::Obj(cells.into_iter().collect())),
+    ]);
+    let path = std::env::var("BENCH_FABRIC_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json").into());
+    match std::fs::write(&path, doc.render() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = fabric;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fabric_step
+}
+
+fn main() {
+    fabric();
+    emit_snapshot();
+}

@@ -669,6 +669,17 @@ impl NifdyUnit {
                     d.last_acked = delivered;
                 }
                 self.arrivals.push_back(pkt);
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    self.node,
+                    EventKind::BulkAccept {
+                        src: peer,
+                        dialog: slot as u8,
+                        seq: ((delivered - 1) % SEQ_SPACE) as u8,
+                        exit,
+                    }
+                );
                 if exit {
                     // Final cumulative ack; free the slot with a tombstone.
                     let cum = ((delivered - 1) % SEQ_SPACE) as u8;
@@ -754,7 +765,14 @@ impl NifdyUnit {
         if self.cfg.ack_on_insert {
             self.ack_scalar(&pkt);
         }
+        let src = pkt.src;
         self.arrivals.push_back(pkt);
+        trace_event!(
+            self.trace,
+            self.now,
+            self.node,
+            EventKind::ScalarAccept { src }
+        );
         true
     }
 
@@ -978,6 +996,7 @@ impl NifdyUnit {
                         rto: wait,
                         retries,
                         bulk: false,
+                        seq: 0,
                     }
                 );
                 let e = &mut self.opt[i];
@@ -1020,6 +1039,7 @@ impl NifdyUnit {
                         rto: c.wait,
                         retries: c.retries,
                         bulk: true,
+                        seq: (c.seq % SEQ_SPACE) as u8,
                     }
                 );
             }

@@ -7,17 +7,21 @@
 use std::process::ExitCode;
 
 use nifdy_harness::{
-    ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, percentile_table, sweep, table3,
-    trace_guard, wire_cmd, Jobs, Scale,
+    analyze_cmd, ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, percentile_table, sweep,
+    table3, trace_guard, wire_cmd, Jobs, Scale,
 };
 use nifdy_trace::export;
 
 const USAGE: &str = "usage: nifdy-experiments \
     <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
-    |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard|wire:loopback|wire:udp|wire:chaos> \
+    |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard|wire:loopback|wire:udp|wire:chaos\
+    |trace:analyze> \
     [--full|--quick|--smoke] [--seed N] [--jobs N] \
     [--trace-out FILE.json] [--trace-jsonl FILE.jsonl] [--metrics-out FILE.json]\n\
-    wire:chaos --metrics-out writes the per-cause fault-counter JSON report";
+    wire:chaos --metrics-out writes the per-cause fault-counter JSON report\n\
+    trace:analyze --metrics-out writes the journey-analysis JSON report, \
+    --trace-out the journey-enriched Perfetto trace (fabric carrier), \
+    --trace-jsonl the raw event stream; exits nonzero on invariant violation";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -166,6 +170,41 @@ fn main() -> ExitCode {
         }
         matched = true;
     }
+    if target == "trace:analyze" {
+        let run = analyze_cmd::run(scale, seed);
+        println!("{}", run.render());
+        let write = |path: &str, data: String| -> bool {
+            if let Err(e) = std::fs::write(path, data) {
+                eprintln!("cannot write {path}: {e}");
+                return false;
+            }
+            eprintln!("wrote {path}");
+            true
+        };
+        if let Some(path) = &metrics_out {
+            if !write(path, run.to_json().render()) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &trace_out {
+            if !write(path, run.fabric.enriched_trace()) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &trace_jsonl {
+            if !write(
+                path,
+                export::to_jsonl_with_loss(&run.fabric.events, &run.fabric.loss),
+            ) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if !run.ok() {
+            eprintln!("trace:analyze: conservation invariants or sim/wire equivalence violated");
+            return ExitCode::FAILURE;
+        }
+        matched = true;
+    }
     if target == "trace-guard" {
         let report = trace_guard::run(scale, seed, 5, 2.0);
         println!("{}", report.table());
@@ -184,11 +223,12 @@ fn main() -> ExitCode {
     // export whatever was requested.
     if (trace_out.is_some() || trace_jsonl.is_some() || metrics_out.is_some())
         && target != "wire:chaos"
+        && target != "trace:analyze"
     {
         if !(target.starts_with("ext:lossy") || target == "ext-lossy") {
             eprintln!(
-                "--trace-out/--trace-jsonl/--metrics-out only apply to ext:lossy \
-                 and wire:chaos\n{USAGE}"
+                "--trace-out/--trace-jsonl/--metrics-out only apply to ext:lossy, \
+                 wire:chaos, and trace:analyze\n{USAGE}"
             );
             return ExitCode::FAILURE;
         }

@@ -158,6 +158,7 @@ impl LintConfig {
                     "crates/net/".into(),
                     "crates/traffic/".into(),
                     "crates/trace/".into(),
+                    "crates/analyze/".into(),
                 ],
             }),
             trace_parity: Some(TraceParityScope {

@@ -238,6 +238,10 @@ pub enum EventKind {
         retries: u32,
         /// The copy belongs to a bulk dialog.
         bulk: bool,
+        /// Wire sequence number of the retried bulk copy (`seq mod 256`);
+        /// zero for scalar retransmissions, which need no sequence — the
+        /// OPT admits at most one outstanding scalar per destination.
+        seq: u8,
     },
     /// An RTT sample fed the per-destination estimator (adaptive RTO).
     RttSample {
@@ -278,6 +282,27 @@ pub enum EventKind {
         ack: bool,
         /// Injection-to-delivery latency, cycles.
         latency: u64,
+    },
+    /// Receiver side: a scalar data packet was accepted into the arrivals
+    /// FIFO. Emitted by the protocol unit itself — identically over the
+    /// simulated fabric and the byte wire — so it is the
+    /// carrier-independent delivery point journey stitching keys on.
+    ScalarAccept {
+        /// Sending node.
+        src: NodeId,
+    },
+    /// Receiver side: an in-order bulk packet streamed from its dialog's
+    /// reorder buffer into the arrivals FIFO (the bulk delivery point,
+    /// carrier-independent like [`EventKind::ScalarAccept`]).
+    BulkAccept {
+        /// Sending node (the dialog peer).
+        src: NodeId,
+        /// Wire dialog id.
+        dialog: u8,
+        /// Wire sequence number of the accepted packet.
+        seq: u8,
+        /// The packet carried the bulk-exit flag.
+        exit: bool,
     },
     /// A transport (loopback, UDP) put an encoded frame on the wire.
     FrameSend {
@@ -357,7 +382,7 @@ impl EventKind {
     /// Number of `EventKind` variants. Kept next to the enum so a new
     /// variant cannot land without updating it; `nifdy-lint` (rule R3) and
     /// the exporter-coverage fixture both cross-check it against the enum.
-    pub const VARIANT_COUNT: usize = 26;
+    pub const VARIANT_COUNT: usize = 28;
 
     /// Stable event name (JSONL `ev` field and Perfetto slice name).
     pub const fn name(&self) -> &'static str {
@@ -379,6 +404,8 @@ impl EventKind {
             EventKind::DeliveryFail { .. } => "delivery_fail",
             EventKind::Drop { .. } => "drop",
             EventKind::Deliver { .. } => "deliver",
+            EventKind::ScalarAccept { .. } => "scalar_accept",
+            EventKind::BulkAccept { .. } => "bulk_accept",
             EventKind::FrameSend { .. } => "frame_send",
             EventKind::FrameRecv { .. } => "frame_recv",
             EventKind::FrameReject { .. } => "frame_reject",

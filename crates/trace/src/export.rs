@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 
 use crate::event::{EventKind, TraceEvent};
 use crate::json::Json;
+use crate::recorder::TraceLoss;
 
 /// Merges per-replica event snapshots into one deterministic order.
 ///
@@ -58,6 +59,37 @@ pub fn to_jsonl(events: &[TraceEvent]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Renders events as JSON Lines followed by one **loss-accounting
+/// trailer** line, schema
+/// `{"ev":"trace_loss","evicted":[…],"evicted_total":…,"sampled_out":[…],"sampled_out_total":…}`
+/// (per-node arrays indexed by node). The trailer is always present — a
+/// zero record is the proof the stream is complete, absence would be
+/// ambiguous — and uses an `ev` name no [`EventKind`] variant can collide
+/// with.
+pub fn to_jsonl_with_loss(events: &[TraceEvent], loss: &TraceLoss) -> String {
+    let mut out = to_jsonl(events);
+    out.push_str(&loss_json(loss).render());
+    out.push('\n');
+    out
+}
+
+/// The loss-accounting record shared by both exporters.
+fn loss_json(loss: &TraceLoss) -> Json {
+    Json::obj([
+        ("ev", Json::str("trace_loss")),
+        (
+            "evicted",
+            Json::Arr(loss.evicted.iter().map(|&n| Json::u64(n)).collect()),
+        ),
+        ("evicted_total", Json::u64(loss.evicted_total())),
+        (
+            "sampled_out",
+            Json::Arr(loss.sampled_out.iter().map(|&n| Json::u64(n)).collect()),
+        ),
+        ("sampled_out_total", Json::u64(loss.sampled_out_total())),
+    ])
 }
 
 /// One JSONL record.
@@ -141,11 +173,13 @@ fn kind_args(kind: &EventKind) -> Json {
             rto,
             retries,
             bulk,
+            seq,
         } => Json::obj([
             ("dst", Json::u64(dst.index() as u64)),
             ("rto", Json::u64(rto)),
             ("retries", Json::u64(retries as u64)),
             ("bulk", Json::Bool(bulk)),
+            ("wire_seq", Json::u64(seq as u64)),
         ]),
         EventKind::RttSample {
             dst,
@@ -183,6 +217,18 @@ fn kind_args(kind: &EventKind) -> Json {
             ("dst", Json::u64(dst.index() as u64)),
             ("ack", Json::Bool(ack)),
             ("latency", Json::u64(latency)),
+        ]),
+        EventKind::ScalarAccept { src } => Json::obj([("src", Json::u64(src.index() as u64))]),
+        EventKind::BulkAccept {
+            src,
+            dialog,
+            seq,
+            exit,
+        } => Json::obj([
+            ("src", Json::u64(src.index() as u64)),
+            ("dialog", Json::u64(dialog as u64)),
+            ("wire_seq", Json::u64(seq as u64)),
+            ("exit", Json::Bool(exit)),
         ]),
         EventKind::FrameSend { dst, ack, bytes } => Json::obj([
             ("dst", Json::u64(dst.index() as u64)),
@@ -402,6 +448,41 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
         ("displayTimeUnit", Json::str("ns")),
     ])
     .render()
+}
+
+/// [`to_chrome_trace`] plus per-node `trace_loss` instant events (phase
+/// `"i"`, placed at the last traced cycle on each lossy node's track) so a
+/// Perfetto view shows *where* ring eviction or sampling shed history. A
+/// top-level `"traceLoss"` object carries the totals even when no node was
+/// lossy.
+pub fn to_chrome_trace_with_loss(events: &[TraceEvent], loss: &TraceLoss) -> String {
+    let base = to_chrome_trace(events);
+    let mut doc = crate::json::parse(&base).expect("to_chrome_trace emits well-formed JSON");
+    let last_ts = events.last().map_or(0, |e| e.at.as_u64());
+    if let Json::Obj(map) = &mut doc {
+        if let Some(Json::Arr(out)) = map.get_mut("traceEvents") {
+            for (node, (&ev, &sk)) in loss.evicted.iter().zip(loss.sampled_out.iter()).enumerate() {
+                if ev == 0 && sk == 0 {
+                    continue;
+                }
+                out.push(chrome_event(
+                    "trace_loss",
+                    "i",
+                    last_ts,
+                    node as u64,
+                    [
+                        ("s", Json::str("t")),
+                        (
+                            "args",
+                            Json::obj([("evicted", Json::u64(ev)), ("sampled_out", Json::u64(sk))]),
+                        ),
+                    ],
+                ));
+            }
+        }
+        map.insert("traceLoss".to_string(), loss_json(loss));
+    }
+    doc.render()
 }
 
 #[cfg(test)]

@@ -69,7 +69,7 @@ mod recorder;
 mod registry;
 
 pub use event::{DialogEnd, DropReason, EventKind, TraceEvent, WireFaultCause};
-pub use recorder::{Recorder, TraceConfig, TraceHandle};
+pub use recorder::{Recorder, TraceConfig, TraceHandle, TraceLoss};
 pub use registry::{GaugeSeries, MetricsRegistry, PercentileRow};
 
 /// Records one protocol event if the handle is live.

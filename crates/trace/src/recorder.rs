@@ -67,6 +67,53 @@ impl TraceConfig {
     }
 }
 
+/// Per-node loss accounting for a recording session.
+///
+/// The rings are bounded, so a long run can silently shed history: the
+/// oldest events are evicted once a node's ring fills, and frequent events
+/// are skipped by the sampling stride. Both losses are counted **per node**
+/// here so consumers — the exporters and the journey analyzer — can tell
+/// exactly which nodes' histories are trustworthy instead of discovering a
+/// gap as a stitching failure. A journey touching a node with evictions is
+/// *incomplete*, never silently wrong.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceLoss {
+    /// Events evicted by the ring bound, indexed by node.
+    pub evicted: Vec<u64>,
+    /// Frequent events skipped by the sampling stride, indexed by node.
+    pub sampled_out: Vec<u64>,
+}
+
+impl TraceLoss {
+    /// Total evicted events across all nodes.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted.iter().sum()
+    }
+
+    /// Total sampled-out frequent events across all nodes.
+    pub fn sampled_out_total(&self) -> u64 {
+        self.sampled_out.iter().sum()
+    }
+
+    /// True when every recorded event was retained: nothing evicted,
+    /// nothing sampled out. Only then can event-counting invariants
+    /// (journeys = deliveries) be checked exactly.
+    pub fn is_lossless(&self) -> bool {
+        self.evicted_total() == 0 && self.sampled_out_total() == 0
+    }
+
+    /// Nodes whose rings evicted at least one event — the nodes whose
+    /// journeys must be flagged incomplete.
+    pub fn lossy_nodes(&self) -> Vec<usize> {
+        self.evicted
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
 /// Per-node ring state.
 #[derive(Debug, Default)]
 struct NodeRing {
@@ -152,6 +199,14 @@ impl Recorder {
     /// Frequent events skipped by the sampling stride, across all nodes.
     pub fn sampled_out(&self) -> u64 {
         self.nodes.iter().map(|n| n.sampled_out).sum()
+    }
+
+    /// Per-node loss accounting (evictions and sampling skips).
+    pub fn loss(&self) -> TraceLoss {
+        TraceLoss {
+            evicted: self.nodes.iter().map(|n| n.evicted).collect(),
+            sampled_out: self.nodes.iter().map(|n| n.sampled_out).collect(),
+        }
     }
 
     /// All retained events merged into one global time order (cycle, then
@@ -315,6 +370,22 @@ impl TraceHandle {
             0
         }
     }
+
+    /// Per-node loss accounting (empty when disconnected or the feature is
+    /// off — matching the empty snapshot those states produce).
+    pub fn loss(&self) -> TraceLoss {
+        #[cfg(feature = "trace")]
+        {
+            match &self.inner {
+                Some(rec) => lock(rec).loss(),
+                None => TraceLoss::default(),
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            TraceLoss::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +461,29 @@ mod tests {
             .count();
         assert_eq!(drops, 100, "rare events must bypass sampling");
         assert_eq!(sends, 10, "frequent events honor the stride");
+    }
+
+    #[test]
+    fn loss_accounting_is_per_node() {
+        let h = TraceHandle::recording(
+            TraceConfig::new()
+                .with_capacity_per_node(2)
+                .with_sample_every(2),
+        );
+        // Node 0: 6 frequent offers → ticks 0,2,4 recorded (3 sampled out),
+        // ring cap 2 → 1 evicted. Node 2: a single recorded event.
+        for c in 0..6u64 {
+            h.record(Cycle::new(c), NodeId::new(0), send(1));
+        }
+        h.record(Cycle::new(9), NodeId::new(2), send(0));
+        let loss = h.loss();
+        assert_eq!(loss.evicted, vec![1, 0, 0]);
+        assert_eq!(loss.sampled_out, vec![3, 0, 0]);
+        assert_eq!(loss.evicted_total(), 1);
+        assert_eq!(loss.sampled_out_total(), 3);
+        assert!(!loss.is_lossless());
+        assert_eq!(loss.lossy_nodes(), vec![0]);
+        assert!(TraceHandle::off().loss().is_lossless());
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! fails this test and the lint pass.
 
 use nifdy_sim::{Cycle, NodeId};
-use nifdy_trace::export::{to_chrome_trace, to_jsonl};
-use nifdy_trace::{DialogEnd, DropReason, EventKind, TraceEvent, WireFaultCause};
+use nifdy_trace::export::{
+    to_chrome_trace, to_chrome_trace_with_loss, to_jsonl, to_jsonl_with_loss,
+};
+use nifdy_trace::{DialogEnd, DropReason, EventKind, TraceEvent, TraceLoss, WireFaultCause};
 
 /// One event of every variant, in declaration order.
 fn one_of_each() -> Vec<EventKind> {
@@ -57,6 +59,7 @@ fn one_of_each() -> Vec<EventKind> {
             rto: 64,
             retries: 1,
             bulk: false,
+            seq: 0,
         },
         EventKind::RttSample {
             dst: b,
@@ -76,6 +79,13 @@ fn one_of_each() -> Vec<EventKind> {
             dst: b,
             ack: false,
             latency: 12,
+        },
+        EventKind::ScalarAccept { src: a },
+        EventKind::BulkAccept {
+            src: a,
+            dialog: 2,
+            seq: 5,
+            exit: false,
         },
         EventKind::FrameSend {
             dst: b,
@@ -183,4 +193,36 @@ fn chrome_trace_exports_every_variant() {
             kind.name()
         );
     }
+}
+
+/// Both exporters surface the per-node loss accounting: the JSONL trailer
+/// line and the Chrome `traceLoss` object plus per-node instants.
+#[test]
+fn loss_accounting_reaches_both_exporters() {
+    let events = events();
+    let loss = TraceLoss {
+        evicted: vec![3, 0, 7],
+        sampled_out: vec![0, 2, 0],
+    };
+
+    let jsonl = to_jsonl_with_loss(&events, &loss);
+    assert_eq!(jsonl.lines().count(), EventKind::VARIANT_COUNT + 1);
+    let trailer = jsonl.lines().last().unwrap();
+    assert!(trailer.contains("\"trace_loss\""), "{trailer}");
+    assert!(trailer.contains("\"evicted_total\":10"), "{trailer}");
+    assert!(trailer.contains("\"sampled_out_total\":2"), "{trailer}");
+    assert!(trailer.contains("[3,0,7]"), "{trailer}");
+
+    let chrome = to_chrome_trace_with_loss(&events, &loss);
+    assert!(chrome.contains("\"traceLoss\""), "missing totals object");
+    // Nodes 0, 1, and 2 each shed history, so each gets an instant.
+    assert_eq!(chrome.matches("\"trace_loss\"").count(), 1 + 3);
+
+    // A lossless session still gets the zero trailer (completeness proof).
+    let clean = to_jsonl_with_loss(&events, &TraceLoss::default());
+    assert!(clean
+        .lines()
+        .last()
+        .unwrap()
+        .contains("\"evicted_total\":0"));
 }

@@ -191,9 +191,30 @@ pub struct ChaosReport {
     pub fault_counts: Vec<(&'static str, u64)>,
     /// Cycles until the run quiesced.
     pub cycles: u64,
+    /// Summed sender retransmissions (`NicStats.retransmitted`) — ground
+    /// truth for the journey analyzer's conservation checks.
+    pub retransmitted: u64,
+    /// Packets the simulated fabric's fault plane dropped (zero for wire
+    /// runs, whose loss shows up in `fault_counts`).
+    pub fabric_dropped: u64,
 }
 
 impl ChaosReport {
+    /// Packets delivered across all receivers (delivery-log volume).
+    pub fn delivered(&self) -> u64 {
+        self.log.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Typed delivery failures across all pairs.
+    pub fn failure_total(&self) -> u64 {
+        self.failures.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Total wire faults the chaos plane injected.
+    pub fn wire_fault_total(&self) -> u64 {
+        self.fault_counts.iter().map(|&(_, n)| n).sum()
+    }
+
     /// Panics with a readable diff if two chaos runs disagree on delivery
     /// order or typed-failure accounting.
     pub fn assert_matches(&self, other: &ChaosReport, label: &str) {
@@ -447,6 +468,23 @@ const CHAOS_QUIESCE_GRACE: u64 = 512;
 ///
 /// Panics if the run does not quiesce within `spec.max_cycles`.
 pub fn run_fabric_chaos(spec: &WorkloadSpec, faults: FaultConfig, budget: u32) -> ChaosReport {
+    run_fabric_chaos_traced(spec, faults, budget, &TraceHandle::off())
+}
+
+/// [`run_fabric_chaos`] with a caller-supplied flight recorder attached to
+/// the fabric and every unit, so the run's full event stream (sends,
+/// accepts, retransmits, drops, dialog lifecycle) lands in one recorder
+/// for offline journey analysis.
+///
+/// # Panics
+///
+/// Panics if the run does not quiesce within `spec.max_cycles`.
+pub fn run_fabric_chaos_traced(
+    spec: &WorkloadSpec,
+    faults: FaultConfig,
+    budget: u32,
+    trace: &TraceHandle,
+) -> ChaosReport {
     assert!(spec.nodes >= 2, "the permutation needs at least 2 nodes");
     let (w, h) = mesh_dims(spec.nodes);
     let mut fab = Fabric::new(
@@ -455,9 +493,14 @@ pub fn run_fabric_chaos(spec: &WorkloadSpec, faults: FaultConfig, budget: u32) -
             .with_seed(spec.seed)
             .with_fault(faults),
     );
+    fab.attach_trace(trace.clone());
     let cfg = chaos_config(spec, budget);
     let mut units: Vec<NifdyUnit> = (0..spec.nodes)
-        .map(|i| NifdyUnit::new(NodeId::new(i), cfg.clone()))
+        .map(|i| {
+            let mut u = NifdyUnit::new(NodeId::new(i), cfg.clone());
+            u.attach_trace(trace.clone());
+            u
+        })
         .collect();
     let mut feeders: Vec<Feeder> = (0..spec.nodes).map(|i| Feeder::new(spec, i)).collect();
     let mut log = DeliveryLog::new();
@@ -503,6 +546,8 @@ pub fn run_fabric_chaos(spec: &WorkloadSpec, faults: FaultConfig, budget: u32) -
         decode_errors: 0,
         fault_counts: Vec::new(),
         cycles,
+        retransmitted: units.iter().map(|u| u.stats().retransmitted.get()).sum(),
+        fabric_dropped: fab.stats().dropped.get(),
     }
 }
 
@@ -525,14 +570,38 @@ pub fn run_loopback_chaos(
     faults: &WireFaultConfig,
     budget: u32,
 ) -> ChaosReport {
+    run_loopback_chaos_traced(spec, latency, jitter, faults, budget, &TraceHandle::off())
+}
+
+/// [`run_loopback_chaos`] with a caller-supplied flight recorder attached
+/// to every endpoint (each propagates it to its unit, port, and fault
+/// plane), mirroring [`run_fabric_chaos_traced`] on the byte carrier.
+///
+/// # Panics
+///
+/// Panics if the run does not quiesce within `spec.max_cycles`.
+pub fn run_loopback_chaos_traced(
+    spec: &WorkloadSpec,
+    latency: u64,
+    jitter: u64,
+    faults: &WireFaultConfig,
+    budget: u32,
+    trace: &TraceHandle,
+) -> ChaosReport {
     assert!(spec.nodes >= 2, "the permutation needs at least 2 nodes");
     let hub = LoopbackHub::new(spec.nodes, latency).with_jitter(spec.seed, jitter);
     let cfg = chaos_config(spec, budget);
     let mut eps: Vec<WireEndpoint<FaultyTransport<_>>> = (0..spec.nodes)
         .map(|i| {
             let node = NodeId::new(i);
-            let faulty = FaultyTransport::new(hub.endpoint(node), faults.clone(), spec.seed);
-            WireEndpoint::new(node, cfg.clone(), faulty)
+            let mut faulty = FaultyTransport::new(hub.endpoint(node), faults.clone(), spec.seed);
+            // The endpoint propagates the recorder to its unit and port,
+            // but the fault plane sits *below* the port and needs its own
+            // hookup for WireFault events.
+            faulty.attach_trace(trace.clone());
+            let mut ep = WireEndpoint::new(node, cfg.clone(), faulty);
+            ep.attach_trace(trace.clone());
+            ep
         })
         .collect();
     let mut feeders: Vec<Feeder> = (0..spec.nodes).map(|i| Feeder::new(spec, i)).collect();
@@ -592,6 +661,8 @@ pub fn run_loopback_chaos(
         decode_errors,
         fault_counts,
         cycles,
+        retransmitted: eps.iter().map(|ep| ep.stats().retransmitted.get()).sum(),
+        fabric_dropped: 0,
     }
 }
 

@@ -170,4 +170,92 @@ fn chaos_runs_are_deterministic_per_seed() {
     assert_eq!(a.decode_errors, b.decode_errors);
     assert_eq!(a.fault_counts, b.fault_counts);
     assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.retransmitted, b.retransmitted);
+}
+
+/// Journey-level sim/wire equivalence: the offline analyzer reconstructs
+/// a journey for every delivered packet on *both* carriers, the
+/// conservation invariants hold on both, and the per-flow journey
+/// populations agree — same packet counts completed on the same flows,
+/// whatever each carrier's chaos plane did along the way.
+#[cfg(feature = "trace")]
+#[test]
+fn journey_reconstruction_is_carrier_equivalent() {
+    use nifdy_analyze::{analyze, AnomalyConfig, ExternalCounts};
+    use nifdy_trace::{TraceConfig, TraceHandle};
+    use nifdy_wire::conformance::{run_fabric_chaos_traced, run_loopback_chaos_traced};
+
+    // Unsampled, amply sized: journey stitching wants the whole story.
+    let recorder = || TraceHandle::recording(TraceConfig::new().with_capacity_per_node(1 << 16));
+
+    for seed in SEEDS {
+        let spec = spec(seed);
+        let budget = 30;
+
+        let fab_trace = recorder();
+        let fabric =
+            run_fabric_chaos_traced(&spec, recoverable_fabric_faults(), budget, &fab_trace);
+        let fab_report = analyze(
+            &fab_trace.snapshot(),
+            &fab_trace.loss(),
+            &ExternalCounts {
+                delivered: Some(fabric.delivered()),
+                retransmitted: Some(fabric.retransmitted),
+                delivery_failures: Some(fabric.failure_total()),
+                fabric_drops: Some(fabric.fabric_dropped),
+                wire_faults: None,
+            },
+            &AnomalyConfig::default(),
+        );
+        assert!(
+            fab_report.ok(),
+            "seed {seed}: fabric invariants violated:\n{}",
+            fab_report.table()
+        );
+
+        let wire_trace = recorder();
+        let wire =
+            run_loopback_chaos_traced(&spec, 2, 1, &recoverable_wire_faults(), budget, &wire_trace);
+        let wire_report = analyze(
+            &wire_trace.snapshot(),
+            &wire_trace.loss(),
+            &ExternalCounts {
+                delivered: Some(wire.delivered()),
+                retransmitted: Some(wire.retransmitted),
+                delivery_failures: Some(wire.failure_total()),
+                fabric_drops: None,
+                wire_faults: Some(wire.wire_fault_total()),
+            },
+            &AnomalyConfig::default(),
+        );
+        assert!(
+            wire_report.ok(),
+            "seed {seed}: wire invariants violated:\n{}",
+            wire_report.table()
+        );
+
+        // 100% reconstruction on both carriers…
+        assert_eq!(
+            fab_report.set.accepted(),
+            fabric.delivered(),
+            "seed {seed}: fabric journeys must cover every delivery"
+        );
+        assert_eq!(
+            wire_report.set.accepted(),
+            wire.delivered(),
+            "seed {seed}: wire journeys must cover every delivery"
+        );
+
+        // …and the same per-flow completed-journey populations: the
+        // carriers retransmit differently, but what *arrives* (and on
+        // which flow) is protocol-determined.
+        let flow_counts = |report: &nifdy_analyze::AnalysisReport| -> Vec<((usize, usize), u64)> {
+            report.flows.iter().map(|f| (f.flow, f.completed)).collect()
+        };
+        assert_eq!(
+            flow_counts(&fab_report),
+            flow_counts(&wire_report),
+            "seed {seed}: per-flow completed-journey populations diverge"
+        );
+    }
 }
