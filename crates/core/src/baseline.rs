@@ -14,7 +14,7 @@
 use std::collections::VecDeque;
 
 use nifdy_net::{Lane, NetPort, Packet, Wire};
-use nifdy_sim::{Cycle, NodeId, PacketId};
+use nifdy_sim::{Cycle, NodeId, PacketId, Wakeup};
 
 use crate::nic::{Delivered, Nic, NicStats, OutboundPacket};
 
@@ -181,6 +181,17 @@ macro_rules! delegate_nic {
             }
             fn is_idle(&self) -> bool {
                 self.0.outgoing.is_empty() && self.0.arrivals.is_empty()
+            }
+            fn next_event(&self, _now: Cycle) -> Wakeup {
+                // Stateless FIFO: stepping only does work when there is
+                // something to inject. Arrivals are drained by the
+                // processor's poll, and ejection-ready fabric packets keep
+                // the *fabric* reporting `Now`, which forces a step anyway.
+                if self.0.outgoing.is_empty() {
+                    Wakeup::Quiescent
+                } else {
+                    Wakeup::Now
+                }
             }
             fn stats(&self) -> &NicStats {
                 &self.0.stats

@@ -210,32 +210,8 @@ impl NifdyConfig {
         }
     }
 
-    /// Creates a configuration with the four paper parameters and defaults
-    /// for everything else.
-    ///
-    /// Compiled only for this crate's own tests: every external caller has
-    /// migrated to [`NifdyConfig::builder`], and the tests keep this shim
-    /// solely to pin down its panic-on-invalid contract.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the parameters are inconsistent (see
-    /// [`NifdyConfig::validate`]).
-    #[cfg(test)]
-    #[deprecated(
-        since = "0.2.0",
-        note = "use NifdyConfig::builder(), which reports a typed ConfigError instead of panicking"
-    )]
-    pub fn new(opt_entries: u8, pool_entries: u8, max_dialogs: u8, window: u8) -> Self {
-        let cfg = NifdyConfig::base(opt_entries, pool_entries, max_dialogs, window);
-        if let Err(e) = cfg.validate() {
-            panic!("invalid NIFDY config: {e}");
-        }
-        cfg
-    }
-
-    /// The unvalidated parameter record behind both the builder and the
-    /// deprecated positional constructor.
+    /// The unvalidated parameter record behind the builder and the named
+    /// presets.
     fn base(opt_entries: u8, pool_entries: u8, max_dialogs: u8, window: u8) -> Self {
         NifdyConfig {
             opt_entries,
@@ -456,9 +432,8 @@ impl NifdyConfig {
 /// Validating builder for [`NifdyConfig`], created by
 /// [`NifdyConfig::builder`].
 ///
-/// Unlike the deprecated positional `NifdyConfig::new(o, b, d, w)` — four
-/// anonymous `u8`s that are easy to transpose — each parameter is set by
-/// name, and [`build`](NifdyConfigBuilder::build) reports the first
+/// Each parameter is set by name — no positional run of anonymous `u8`s to
+/// transpose — and [`build`](NifdyConfigBuilder::build) reports the first
 /// violated constraint as a typed [`ConfigError`] instead of panicking.
 ///
 /// # Examples
@@ -617,15 +592,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_shim_still_panics_on_bad_input() {
-        // The one-release compatibility shim keeps the old contract:
-        // positional parameters, panic on violation.
-        let ok = NifdyConfig::new(4, 4, 1, 2);
+    fn builder_covers_the_four_positional_parameters() {
+        // The builder is the only constructor: the paper's four headline
+        // parameters round-trip by name, and the old shim's panic contract
+        // is now a typed error.
+        let ok = NifdyConfig::builder()
+            .opt_entries(4)
+            .pool_entries(4)
+            .max_dialogs(1)
+            .window(2)
+            .build()
+            .expect("valid");
         assert_eq!(ok, NifdyConfig::mesh());
-        let panicked = std::panic::catch_unwind(|| NifdyConfig::new(4, 4, 1, 3));
-        let msg = *panicked.unwrap_err().downcast::<String>().expect("string");
-        assert!(msg.contains("window must be even"), "{msg}");
+        let err = NifdyConfig::builder()
+            .opt_entries(4)
+            .pool_entries(4)
+            .max_dialogs(1)
+            .window(3)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("window must be even"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use nifdy_net::{NetPort, UserData};
 use nifdy_sim::metrics::Counter;
-use nifdy_sim::{Cycle, NodeId};
+use nifdy_sim::{Cycle, NodeId, Wakeup};
 use nifdy_trace::TraceHandle;
 
 /// A packet the processor wants transmitted, before the NIC adds protocol
@@ -229,6 +229,25 @@ pub trait Nic: Send {
     /// drain/termination checks; in-flight fabric packets are tracked by the
     /// fabric itself).
     fn is_idle(&self) -> bool;
+
+    /// When this interface next needs a stepped cycle, under the
+    /// [`Wakeup`] contract: `Now` when stepping this cycle may do
+    /// observable work, `At(t)` when stepping is a no-op until `t`
+    /// (absent new input from the processor or the fabric), `Quiescent`
+    /// when the interface will never act again without such input.
+    ///
+    /// The default is maximally conservative — a non-idle interface
+    /// always wants stepping — which is correct for any implementation.
+    /// Interfaces with real timer state override this to let an
+    /// event-driven driver skip their quiet stretches.
+    fn next_event(&self, now: Cycle) -> Wakeup {
+        let _ = now;
+        if self.is_idle() {
+            Wakeup::Quiescent
+        } else {
+            Wakeup::Now
+        }
+    }
 
     /// Interface counters.
     fn stats(&self) -> &NicStats;

@@ -32,7 +32,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use nifdy_net::{AckInfo, BulkGrant, BulkTag, Lane, NetPort, Packet, Wire};
-use nifdy_sim::{Cycle, NodeId, PacketId, SimRng};
+use nifdy_sim::{Cycle, NodeId, PacketId, SimRng, Wakeup};
 use nifdy_trace::{trace_event, DialogEnd, EventKind, TraceHandle};
 
 use crate::config::NifdyConfig;
@@ -200,6 +200,15 @@ pub struct NifdyUnit {
     /// True while an eligibility stall episode is in progress (the stall
     /// trace event is edge-triggered on entry to this state).
     elig_stalled: bool,
+    /// Cached [`Nic::next_event`] answer, recomputed at the end of every
+    /// full [`Nic::step`].
+    next_wake: Wakeup,
+    /// Set whenever unit state changes outside `step` (a send, a poll, a
+    /// peer reset) — the cached `next_wake` may then be too late.
+    wake_stale: bool,
+    /// Disables the cached-wakeup early-out in `step` (differential
+    /// testing only; production paths always keep the cache on).
+    wake_cache_enabled: bool,
     stats: NicStats,
 }
 
@@ -222,7 +231,7 @@ impl NifdyUnit {
             opt: Vec::with_capacity(cfg.opt_entries as usize),
             out_dialog: None,
             bulk_request_pending: None,
-            retx_queue: VecDeque::new(),
+            retx_queue: VecDeque::with_capacity(cfg.retx_queue_cap as usize),
             alt_bits: BTreeMap::new(),
             bulk_poisoned: BTreeSet::new(),
             rtt: BTreeMap::new(),
@@ -232,12 +241,15 @@ impl NifdyUnit {
             dialogs: (0..d).map(|_| None).collect(),
             closed: (0..d).map(|_| None).collect(),
             peer_dialog: BTreeMap::new(),
-            ack_queue: VecDeque::new(),
-            ack_delay: VecDeque::new(),
+            ack_queue: VecDeque::with_capacity(2 * cfg.arrivals_capacity as usize),
+            ack_delay: VecDeque::with_capacity(2 * cfg.arrivals_capacity as usize),
             last_insert_bit: BTreeMap::new(),
             last_acked_bit: BTreeMap::new(),
             trace: TraceHandle::off(),
             elig_stalled: false,
+            next_wake: Wakeup::Now,
+            wake_stale: true,
+            wake_cache_enabled: true,
             stats: NicStats::default(),
             cfg,
         }
@@ -469,7 +481,7 @@ impl NifdyUnit {
                                 next_seq: 0,
                                 acked: 0,
                                 exiting: false,
-                                copies: VecDeque::new(),
+                                copies: VecDeque::with_capacity(usize::from(window)),
                             });
                             trace_event!(
                                 self.trace,
@@ -501,11 +513,13 @@ impl NifdyUnit {
                 terminate,
             } => {
                 let now = self.now;
-                let mut samples: Vec<u64> = Vec::new();
-                let Some(d) = &mut self.out_dialog else {
+                // Detach the dialog so RTT sampling below can borrow `self`
+                // freely; it goes back unless this ack closed the dialog.
+                let Some(mut d) = self.out_dialog.take() else {
                     return; // stale ack after the dialog closed
                 };
                 if d.peer != from || d.dialog != dialog {
+                    self.out_dialog = Some(d);
                     return;
                 }
                 // Reconstruct the absolute delivered count from the wire
@@ -514,24 +528,15 @@ impl NifdyUnit {
                 let delta = (target + SEQ_SPACE - (d.acked % SEQ_SPACE)) % SEQ_SPACE;
                 let count = d.acked + delta;
                 if count > d.next_seq {
-                    return; // acknowledges packets never sent: ignore
+                    self.out_dialog = Some(d); // acknowledges packets never sent: ignore
+                    return;
                 }
                 let mut advance = None;
                 if count > d.acked {
                     d.acked = count;
                     advance = Some((count, d.next_seq - count));
-                    while d.copies.front().is_some_and(|c| c.seq < count) {
-                        let Some(c) = d.copies.pop_front() else { break };
-                        // Karn's rule: retransmitted copies give no sample.
-                        if c.retries == 0 {
-                            samples.push(now.saturating_since(c.first_sent));
-                        }
-                    }
                 }
                 let closed = terminate || (d.exiting && d.acked == d.next_seq);
-                if closed {
-                    self.out_dialog = None;
-                }
                 if let Some((acked, outstanding)) = advance {
                     trace_event!(
                         self.trace,
@@ -557,8 +562,17 @@ impl NifdyUnit {
                         }
                     );
                 }
-                for s in samples {
-                    self.sample_rtt(from, s);
+                if advance.is_some() {
+                    while d.copies.front().is_some_and(|c| c.seq < count) {
+                        let Some(c) = d.copies.pop_front() else { break };
+                        // Karn's rule: retransmitted copies give no sample.
+                        if c.retries == 0 {
+                            self.sample_rtt(from, now.saturating_since(c.first_sent));
+                        }
+                    }
+                }
+                if !closed {
+                    self.out_dialog = Some(d);
                 }
             }
         }
@@ -1235,6 +1249,75 @@ impl NifdyUnit {
         self.last_acked_bit.remove(&peer);
         self.ack_queue.retain(|a| a.dst != peer);
         self.ack_delay.retain(|(_, dst, _)| *dst != peer);
+        self.wake_stale = true;
+    }
+
+    /// Derives the unit's [`Wakeup`] from its real protocol deadlines.
+    ///
+    /// `Now` conditions are states in which a step performs observable
+    /// work with no timer involved: staged retransmissions awaiting a free
+    /// lane, launchable (or newly stalled) pool packets, and in-order bulk
+    /// packets ready to stream to the arrivals FIFO. Everything else is a
+    /// stored deadline: the ack processing delay line, standalone-ack
+    /// readiness (including the §6.1 piggyback hold), §6.2 retransmission
+    /// timers, and the receiver-side dialog reclaim horizon.
+    ///
+    /// States with *no* wakeup are the reactive ones: packets outstanding
+    /// in the OPT without timers, a pending bulk request, arrivals awaiting
+    /// the processor's poll, and closed-dialog tombstones (checked lazily
+    /// on the next grant decision) — each advances only when new input
+    /// arrives through the driver, which re-queries `next_event` after
+    /// delivering it.
+    fn compute_wakeup(&self, now: Cycle) -> Wakeup {
+        if !self.retx_queue.is_empty() {
+            return Wakeup::Now;
+        }
+        // Pool work: something launchable — or a stall episode still to be
+        // latched (the edge-triggered EligStall trace event is observable).
+        if !self.pool.is_empty() && (!self.elig_stalled || self.pick_eligible().is_some()) {
+            return Wakeup::Now;
+        }
+        for d in self.dialogs.iter().flatten() {
+            if d.buf.contains_key(&d.expected) {
+                return Wakeup::Now;
+            }
+        }
+        let mut wake = Wakeup::Quiescent;
+        // The delay line is pushed in ready order (arrival cycle plus a
+        // constant), so the front is the earliest entry.
+        if let Some((ready, _, _)) = self.ack_delay.front() {
+            wake = wake.earliest(Wakeup::at_or_now(*ready, now));
+        }
+        let hold = self.cfg.piggyback_hold_cycles;
+        for a in &self.ack_queue {
+            let held = self.cfg.piggyback_acks && self.pool.iter().any(|p| p.dst == a.dst);
+            let at = if held { a.ready_at + hold } else { a.ready_at };
+            wake = wake.earliest(Wakeup::at_or_now(at, now));
+        }
+        // §6.2 timers exist only with a timeout configured (`check_retx`
+        // returns early otherwise, so zero `wait` fields never mean "due").
+        if let Some(t) = self.cfg.retx_timeout {
+            for e in &self.opt {
+                wake = wake.earliest(Wakeup::at_or_now(e.sent_at + e.wait, now));
+            }
+            if let Some(d) = &self.out_dialog {
+                for c in &d.copies {
+                    wake = wake.earliest(Wakeup::at_or_now(c.last_sent + c.wait, now));
+                }
+            }
+            if let Some(budget) = self.cfg.retx_budget {
+                let span = if self.cfg.adaptive_rto {
+                    self.cfg.rto_max
+                } else {
+                    t
+                };
+                let limit = span.saturating_mul(u64::from(budget) + 4);
+                for d in self.dialogs.iter().flatten() {
+                    wake = wake.earliest(Wakeup::at_or_now(d.last_activity + limit, now));
+                }
+            }
+        }
+        wake
     }
 }
 
@@ -1250,6 +1333,7 @@ impl Nic for NifdyUnit {
             return false;
         }
         self.pool.push_back(pkt);
+        self.wake_stale = true;
         true
     }
 
@@ -1260,6 +1344,9 @@ impl Nic for NifdyUnit {
     fn poll(&mut self, now: Cycle) -> Option<Delivered> {
         self.now = now;
         let pkt = self.arrivals.pop_front()?;
+        // Freed arrivals space (and a possibly queued ack below) can move
+        // the next wakeup earlier.
+        self.wake_stale = true;
         let is_scalar = matches!(pkt.wire, Wire::Data { bulk: None, .. });
         if is_scalar && !self.cfg.ack_on_insert {
             self.ack_scalar(&pkt);
@@ -1274,6 +1361,21 @@ impl Nic for NifdyUnit {
 
     fn step(&mut self, fab: &mut dyn NetPort) {
         self.now = fab.now();
+
+        // 0. Sparse stepping: when the cached wakeup says this cycle is a
+        //    no-op and the fabric has nothing to eject for this node, skip
+        //    the whole body. The cache is recomputed at the end of every
+        //    full step and marked stale by every out-of-step mutation
+        //    (`try_send`, `poll`, `reset_peer`), so the early-out is
+        //    behaviour-preserving — verified differentially in the tests.
+        if self.wake_cache_enabled
+            && !self.wake_stale
+            && !self.next_wake.is_due(self.now)
+            && fab.peek_eject(self.node, Lane::Reply).is_none()
+            && fab.peek_eject(self.node, Lane::Request).is_none()
+        {
+            return;
+        }
 
         // 1. Consume acknowledgments (reply lane) through the processing
         //    delay line.
@@ -1422,6 +1524,10 @@ impl Nic for NifdyUnit {
                 self.elig_stalled = false;
             }
         }
+
+        // 7. Refresh the wakeup cache from the post-step protocol state.
+        self.next_wake = self.compute_wakeup(self.now);
+        self.wake_stale = false;
     }
 
     fn is_idle(&self) -> bool {
@@ -1433,6 +1539,14 @@ impl Nic for NifdyUnit {
             && self.out_dialog.is_none()
             && self.arrivals.is_empty()
             && self.dialogs.iter().all(|d| d.is_none())
+    }
+
+    fn next_event(&self, now: Cycle) -> Wakeup {
+        if self.wake_stale {
+            self.compute_wakeup(now)
+        } else {
+            self.next_wake
+        }
     }
 
     fn stats(&self) -> &NicStats {
@@ -1950,5 +2064,130 @@ mod tests {
         assert!(!u.is_idle(), "pool occupancy must show");
         u.step(&mut fab);
         assert!(!u.is_idle(), "outstanding OPT entry must show");
+    }
+
+    #[test]
+    fn next_event_is_quiescent_only_when_nothing_can_happen() {
+        let u = unit(NifdyConfig::mesh());
+        assert_eq!(u.next_event(Cycle::ZERO), Wakeup::Quiescent);
+        // Pool work is immediate.
+        let mut u = unit(NifdyConfig::mesh());
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), Cycle::ZERO));
+        assert_eq!(u.next_event(Cycle::ZERO), Wakeup::Now);
+        // A packet outstanding in the OPT without timers is purely
+        // reactive: the unit waits on the fabric, not on a clock.
+        let mut u = unit(NifdyConfig::mesh());
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), Cycle::ZERO));
+        let mut fab = fabric();
+        u.step(&mut fab);
+        assert_eq!(u.opt_occupancy(), 1);
+        assert_eq!(u.next_event(fab.now()), Wakeup::Quiescent);
+    }
+
+    #[test]
+    fn next_event_exposes_retransmission_deadlines() {
+        let mut u = unit(NifdyConfig::mesh().with_retx_timeout(500));
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), Cycle::ZERO));
+        let _ = u.launch(u.pick_eligible().expect("eligible"));
+        assert_eq!(
+            u.next_event(Cycle::ZERO),
+            Wakeup::At(Cycle::new(500)),
+            "the OPT timer is the only pending deadline"
+        );
+        assert_eq!(
+            u.next_event(Cycle::new(500)),
+            Wakeup::Now,
+            "a due deadline collapses to Now"
+        );
+    }
+
+    #[test]
+    fn next_event_exposes_ack_processing_deadlines() {
+        let mut u = unit(NifdyConfig::mesh());
+        u.now = Cycle::new(100);
+        u.queue_ack(
+            NodeId::new(2),
+            AckInfo::Scalar {
+                grant: BulkGrant::NotRequested,
+                echo: false,
+            },
+        );
+        u.wake_stale = true;
+        let ready = Cycle::new(100 + u64::from(u.cfg.ack_proc_cycles));
+        assert_eq!(u.next_event(Cycle::new(100)), Wakeup::At(ready));
+    }
+
+    #[test]
+    fn next_event_latched_stall_waits_for_an_ack() {
+        // OPT of one, two destinations queued: after the first launch the
+        // second pool packet is blocked, and once the stall episode is
+        // latched the unit has no self-driven work left.
+        let mut u = unit(params(1, 4, 0, 2));
+        let mut fab = fabric();
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(1), 8), fab.now()));
+        assert!(u.try_send(OutboundPacket::new(NodeId::new(2), 8), fab.now()));
+        u.step(&mut fab); // launches the first packet
+        assert_eq!(
+            u.next_event(fab.now()),
+            Wakeup::Now,
+            "stall episode not latched yet: the trace event is still owed"
+        );
+        for _ in 0..100 {
+            fab.step();
+            u.step(&mut fab);
+            if u.elig_stalled {
+                break;
+            }
+        }
+        assert!(u.elig_stalled, "stall episode latches once the lane frees");
+        assert_eq!(u.next_event(fab.now()), Wakeup::Quiescent);
+    }
+
+    #[test]
+    fn wakeup_cache_early_out_is_behaviour_preserving() {
+        // Two identical 4-node replicas under a scripted random workload,
+        // one with the sparse-stepping cache disabled. Every delivery (and
+        // its cycle) plus the final counters must match exactly.
+        let run = |cache: bool| {
+            let cfg = NifdyConfig::mesh()
+                .with_retx_timeout(400)
+                .with_adaptive_rto(true)
+                .with_retx_budget(6);
+            let mut fab = fabric();
+            let mut units: Vec<NifdyUnit> = (0..4usize)
+                .map(|n| {
+                    let mut u = NifdyUnit::new(NodeId::new(n), cfg.clone());
+                    u.wake_cache_enabled = cache;
+                    u
+                })
+                .collect();
+            let mut rng = SimRng::from_seed_stream(7, 0);
+            let mut deliveries: Vec<(u64, usize, usize)> = Vec::new();
+            for t in 0..8_000u64 {
+                if t % 61 == 0 {
+                    let src = rng.gen_range_u64(0..4) as usize;
+                    let dst = (src + 1 + rng.gen_range_u64(0..3) as usize) % 4;
+                    let _ = units[src].try_send(
+                        OutboundPacket::new(NodeId::new(dst), 8).with_bulk(t % 183 == 0),
+                        fab.now(),
+                    );
+                }
+                for u in units.iter_mut() {
+                    u.step(&mut fab);
+                }
+                fab.step();
+                for (n, u) in units.iter_mut().enumerate() {
+                    if let Some(d) = u.poll(fab.now()) {
+                        deliveries.push((fab.now().as_u64(), n, d.src.index()));
+                    }
+                }
+            }
+            let fps: Vec<u64> = units
+                .iter()
+                .map(|u| u.stats().progress_fingerprint())
+                .collect();
+            (deliveries, fps)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

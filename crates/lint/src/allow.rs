@@ -25,7 +25,7 @@ use std::path::Path;
 /// One suppression entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id the entry applies to (`R1`..`R4`).
+    /// Rule id the entry applies to (`R1`..`R5`).
     pub rule: String,
     /// Exact root-relative path of the file.
     pub path: String,
@@ -54,7 +54,7 @@ impl fmt::Display for AllowError {
 }
 
 const REQUIRED_KEYS: [&str; 4] = ["rule", "path", "pattern", "justification"];
-const VALID_RULES: [&str; 4] = ["R1", "R2", "R3", "R4"];
+const VALID_RULES: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
 const MIN_JUSTIFICATION: usize = 20;
 
 /// Parses and schema-checks an allowlist file. On any error the entry

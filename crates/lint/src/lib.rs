@@ -4,7 +4,7 @@
 //! conformance, trace/stats parity — are enforced dynamically by tests
 //! that can silently lose coverage as code drifts. This crate is the
 //! static backstop: a dependency-light line/token analyzer (no rustc, no
-//! syn) that runs over every `crates/*/src/**.rs` and fails CI on four
+//! syn) that runs over every `crates/*/src/**.rs` and fails CI on five
 //! invariant classes (see [`rules`]):
 //!
 //! * **R1 panic-freedom** — no `unwrap`/`expect`/`panic!`/`unreachable!`
@@ -15,7 +15,11 @@
 //! * **R3 trace parity** — every `EventKind` variant is exported by both
 //!   the JSONL and Perfetto exporters and exercised by trace fixtures,
 //! * **R4 config coverage** — every config field is validated or
-//!   builder-settable.
+//!   builder-settable,
+//! * **R5 zero-alloc steady state** — no `Box::new`/`vec!`/fresh-container
+//!   /`format!`/`collect` allocation in the stepped hot paths (the
+//!   `NifdyUnit` datapath and the fabric step loop); buffers are
+//!   preallocated or slab-recycled.
 //!
 //! Suppressions live in `lint-allow.toml` ([`allow`]) and must each carry
 //! a written justification; entries that stop matching anything are hard
@@ -37,7 +41,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use allow::AllowEntry;
-use rules::{ConfigCoverageScope, DeterminismScope, Diagnostic, HotPath, TraceParityScope};
+use rules::{
+    ConfigCoverageScope, DeterminismScope, Diagnostic, HotPath, TraceParityScope, ZeroAllocScope,
+};
 use source::SourceFile;
 
 /// What to analyze. [`LintConfig::workspace`] builds the real repo
@@ -56,6 +62,8 @@ pub struct LintConfig {
     pub trace_parity: Option<TraceParityScope>,
     /// R4 scopes.
     pub config_coverage: Vec<ConfigCoverageScope>,
+    /// R5 scopes.
+    pub zero_alloc: Vec<ZeroAllocScope>,
     /// `lint-allow.toml` location (`None` = no suppressions).
     pub allowlist: Option<PathBuf>,
 }
@@ -70,6 +78,9 @@ impl LintConfig {
     /// per-cycle step loop. Determinism (R2): hash-ordered
     /// containers banned in `sim`/`core`/`net`/`traffic`/`trace`;
     /// wall-clock and ambient-RNG bans apply everywhere scanned.
+    /// Zero-alloc (R5): the `NifdyUnit` per-step datapath and the fabric
+    /// step loop must not construct heap allocations — flits live in the
+    /// slab arena, retransmit/OPT bookkeeping in preallocated deques.
     pub fn workspace(root: PathBuf) -> io::Result<LintConfig> {
         let crates_dir = root.join("crates");
         let mut src_dirs = Vec::new();
@@ -197,6 +208,56 @@ impl LintConfig {
                     validate_fn: "validate".into(),
                 },
             ],
+            zero_alloc: vec![
+                ZeroAllocScope {
+                    path: "crates/core/src/unit.rs".into(),
+                    functions: vec![
+                        "step".into(),
+                        "poll".into(),
+                        "try_send".into(),
+                        "has_deliverable".into(),
+                        "next_event".into(),
+                        "launch".into(),
+                        "pick_eligible".into(),
+                        "check_retx".into(),
+                        "receive_scalar".into(),
+                        "receive_bulk".into(),
+                        "drain_dialogs".into(),
+                        "handle_ack".into(),
+                        "ack_scalar".into(),
+                        "queue_ack".into(),
+                        "decide_grant".into(),
+                        "compute_wakeup".into(),
+                        "sample_rtt".into(),
+                        "next_packet_id".into(),
+                        "opt_contains".into(),
+                        "backlog_for".into(),
+                    ],
+                },
+                ZeroAllocScope {
+                    path: "crates/net/src/fabric.rs".into(),
+                    functions: vec![
+                        "step".into(),
+                        "progress_wires".into(),
+                        "start_router_transmissions".into(),
+                        "try_start_one".into(),
+                        "next_candidate".into(),
+                        "port_has_candidates".into(),
+                        "resolve_heads".into(),
+                        "resolve_slot".into(),
+                        "route_port_mask".into(),
+                        "head_allocation".into(),
+                        "mark_occupied".into(),
+                        "commit_transmission".into(),
+                        "progress_injection".into(),
+                        "try_inject_flit".into(),
+                        "advancing_lane".into(),
+                        "deliver_to_node".into(),
+                        "advance_to".into(),
+                        "next_event".into(),
+                    ],
+                },
+            ],
             allowlist,
         })
     }
@@ -280,6 +341,17 @@ pub fn run(config: &LintConfig) -> LintReport {
             _ => report.errors.push(format!(
                 "R3 needs {} and {} in the scan set",
                 scope.event_file, scope.exporter_file
+            )),
+        }
+    }
+
+    // R5 over the zero-alloc hot paths.
+    for scope in &config.zero_alloc {
+        match files.iter().find(|f| f.rel == scope.path) {
+            Some(file) => rules::r5_zero_alloc(file, scope, &mut raw),
+            None => report.errors.push(format!(
+                "R5 zero-alloc path {} not found in scan set",
+                scope.path
             )),
         }
     }
@@ -379,5 +451,6 @@ mod tests {
         assert!(cfg.src_dirs.contains(&"crates/lint/src".to_string()));
         assert!(cfg.trace_parity.is_some());
         assert_eq!(cfg.config_coverage.len(), 4);
+        assert_eq!(cfg.zero_alloc.len(), 2, "unit datapath + fabric step loop");
     }
 }

@@ -1,4 +1,4 @@
-//! The four workspace rules. Each rule consumes the [`SourceFile`] model
+//! The five workspace rules. Each rule consumes the [`SourceFile`] model
 //! and appends [`Diagnostic`]s; suppression against `lint-allow.toml`
 //! happens later in the engine so every rule stays allowlist-agnostic.
 //!
@@ -8,6 +8,7 @@
 //! | R2   | determinism hygiene (no wall clock, no ambient RNG, no hash-ordered containers in deterministic crates) |
 //! | R3   | trace parity (every `EventKind` variant exported and fixture-covered) |
 //! | R4   | config coverage (every config field validated or builder-settable) |
+//! | R5   | zero-alloc steady state (no heap-allocating constructs in stepped hot paths) |
 
 use crate::source::{contains_word, SourceFile};
 
@@ -134,6 +135,83 @@ fn index_expr_positions(line: &str) -> Vec<usize> {
         }
     }
     out
+}
+
+/// R5 scope: one file whose listed functions (or whole file when empty)
+/// form a stepped hot path that must not allocate in the steady state.
+#[derive(Debug, Clone)]
+pub struct ZeroAllocScope {
+    /// File path relative to the root.
+    pub path: String,
+    /// Function names delimiting the hot path; empty = entire file.
+    pub functions: Vec<String>,
+}
+
+/// Tokens whose presence on a hot-path line constructs a fresh heap
+/// allocation (or a growable container destined to reallocate) per call.
+/// Pushes into long-lived, high-water-mark containers are deliberately
+/// *not* banned — those amortize to zero; what R5 hunts is per-event
+/// churn: fresh boxes, fresh vectors, formatting, and `collect`.
+const ALLOC_TOKENS: [&str; 18] = [
+    "Box::new(",
+    "Rc::new(",
+    "Arc::new(",
+    "vec![",
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "VecDeque::new(",
+    "VecDeque::with_capacity(",
+    "BTreeMap::new(",
+    "BTreeSet::new(",
+    "String::new(",
+    "String::from(",
+    "format!(",
+    ".to_vec()",
+    ".to_string()",
+    ".to_owned()",
+    ".collect()",
+    ".collect::<",
+];
+
+/// R5 — zero-alloc steady state in stepped hot paths.
+pub fn r5_zero_alloc(file: &SourceFile, scope: &ZeroAllocScope, out: &mut Vec<Diagnostic>) {
+    let (mask, missing) = if scope.functions.is_empty() {
+        (vec![true; file.raw.len()], Vec::new())
+    } else {
+        file.fn_mask(&scope.functions)
+    };
+    for name in missing {
+        out.push(Diagnostic {
+            rule: "R5",
+            path: file.rel.clone(),
+            line: 0,
+            message: format!(
+                "zero-alloc function `{name}` not found; update the R5 scope in \
+                 `LintConfig::workspace` if it was renamed"
+            ),
+            snippet: String::new(),
+        });
+    }
+    for (idx, line) in file.code.iter().enumerate() {
+        let line_no = idx + 1;
+        if !mask[idx] || file.is_test_line(line_no) {
+            continue;
+        }
+        for token in ALLOC_TOKENS {
+            if line.contains(token) {
+                out.push(Diagnostic::at(
+                    "R5",
+                    file,
+                    line_no,
+                    format!(
+                        "allocating construct `{token}` in a zero-alloc stepped hot \
+                         path; reuse a preallocated buffer or slab arena, or move \
+                         the allocation to setup/teardown"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 /// R2 scope.
@@ -524,6 +602,42 @@ mod tests {
         let mut out = Vec::new();
         r2_determinism(&f, &scope, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn r5_flags_allocs_in_scoped_functions_only() {
+        let f = file(
+            "fn setup() -> Vec<u8> { Vec::with_capacity(8) }\n\
+             fn hot(&mut self) {\n    let b = Box::new(3);\n    let v = vec![1, 2];\n\
+             \n    self.ring.push_back(x);\n}\n",
+        );
+        let scope = ZeroAllocScope {
+            path: f.rel.clone(),
+            functions: vec!["hot".into()],
+        };
+        let mut out = Vec::new();
+        r5_zero_alloc(&f, &scope, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|d| d.rule == "R5"));
+        assert!(out.iter().any(|d| d.message.contains("`Box::new(`")));
+        assert!(out.iter().any(|d| d.message.contains("`vec![`")));
+    }
+
+    #[test]
+    fn r5_skips_tests_and_reports_missing_functions() {
+        let f = file(
+            "fn hot() { touch(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { let _ = Vec::new(); }\n}\n",
+        );
+        let scope = ZeroAllocScope {
+            path: f.rel.clone(),
+            functions: vec!["hot".into(), "gone".into()],
+        };
+        let mut out = Vec::new();
+        r5_zero_alloc(&f, &scope, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 0);
+        assert!(out[0].message.contains("`gone`"));
     }
 
     #[test]

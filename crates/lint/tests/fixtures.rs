@@ -6,7 +6,9 @@
 
 use std::path::{Path, PathBuf};
 
-use nifdy_lint::rules::{ConfigCoverageScope, DeterminismScope, HotPath, TraceParityScope};
+use nifdy_lint::rules::{
+    ConfigCoverageScope, DeterminismScope, HotPath, TraceParityScope, ZeroAllocScope,
+};
 use nifdy_lint::{run, LintConfig, LintReport};
 
 fn fixture_root(name: &str) -> PathBuf {
@@ -24,6 +26,7 @@ fn base_config(fixture: &str) -> LintConfig {
         determinism: None,
         trace_parity: None,
         config_coverage: Vec::new(),
+        zero_alloc: Vec::new(),
         allowlist: None,
     }
 }
@@ -139,6 +142,24 @@ fn r4_fixture_fails_on_the_orphan_field() {
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     assert_eq!(rules_fired(&report, "R4"), 1, "{:#?}", report.diagnostics);
     assert!(report.diagnostics[0].message.contains("`orphan_knob`"));
+}
+
+#[test]
+fn r5_fixture_fails_on_hot_path_allocations() {
+    let mut config = base_config("r5");
+    config.zero_alloc = vec![ZeroAllocScope {
+        path: "crates/app/src/hot.rs".to_string(),
+        functions: vec!["step".to_string()],
+    }];
+    let report = run(&config);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    // Box::new + vec![ + .collect() — the setup() Vec::with_capacity and
+    // the test-module collect are out of scope.
+    assert_eq!(rules_fired(&report, "R5"), 3, "{:#?}", report.diagnostics);
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.snippet.contains("with_capacity")));
 }
 
 #[test]

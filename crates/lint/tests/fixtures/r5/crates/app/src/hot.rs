@@ -1,0 +1,25 @@
+//! R5 fixture: a fake stepped hot path with a per-call box, a fresh
+//! vector, and a `collect`; the setup-path and test-module allocations
+//! must NOT be flagged.
+
+pub fn step(state: &mut Vec<Box<u64>>) {
+    let boxed = Box::new(7u64);
+    state.push(boxed);
+    let scratch = vec![1u8, 2, 3];
+    let doubled: Vec<u8> = scratch.iter().map(|b| b * 2).collect();
+    let _ = doubled;
+}
+
+pub fn setup() -> Vec<u8> {
+    // Outside the configured hot functions: not a violation.
+    Vec::with_capacity(64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocs_in_tests_are_fine() {
+        let v: Vec<u8> = (0..4).collect();
+        assert_eq!(v.len(), 4);
+    }
+}

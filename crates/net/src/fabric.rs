@@ -12,7 +12,8 @@
 use std::collections::VecDeque;
 
 use nifdy_sim::metrics::{Counter, LogHistogram, Stats};
-use nifdy_sim::{Cycle, NodeId, SimRng};
+
+use nifdy_sim::{Cycle, NodeId, SimRng, Slab, SlabKey, Wakeup};
 use nifdy_trace::{trace_event, DropReason, EventKind, TraceHandle};
 
 use crate::config::{FabricConfig, SwitchingPolicy};
@@ -20,7 +21,10 @@ use crate::fault::{DropCause, FaultPlane};
 use crate::packet::{Lane, Packet};
 use crate::topology::{Candidate, Endpoint, RouteState, Topology, VcSel};
 
-type WormId = u32;
+/// Worms live in a generational [`Slab`]: flits carry the key, stale keys
+/// are detected instead of aliasing a recycled slot, and the steady state
+/// recycles freed slots without allocating.
+type WormId = SlabKey;
 
 /// A packet in flight, with its routing state.
 #[derive(Debug)]
@@ -28,41 +32,6 @@ struct Worm {
     packet: Packet,
     route: RouteState,
     flits: u16,
-}
-
-/// Arena of in-flight worms; flits reference worms by index.
-#[derive(Debug, Default)]
-struct WormArena {
-    slots: Vec<Option<Worm>>,
-    free: Vec<u32>,
-    active: usize,
-}
-
-impl WormArena {
-    fn insert(&mut self, worm: Worm) -> WormId {
-        self.active += 1;
-        if let Some(id) = self.free.pop() {
-            self.slots[id as usize] = Some(worm);
-            id
-        } else {
-            self.slots.push(Some(worm));
-            (self.slots.len() - 1) as WormId
-        }
-    }
-
-    fn get(&self, id: WormId) -> &Worm {
-        self.slots[id as usize].as_ref().expect("live worm")
-    }
-
-    fn get_mut(&mut self, id: WormId) -> &mut Worm {
-        self.slots[id as usize].as_mut().expect("live worm")
-    }
-
-    fn remove(&mut self, id: WormId) -> Worm {
-        self.active -= 1;
-        self.free.push(id);
-        self.slots[id as usize].take().expect("live worm")
-    }
 }
 
 /// One flit of a worm. `idx == 0` is the head; `idx == flits - 1` the tail.
@@ -80,6 +49,13 @@ struct VcState {
     buf: VecDeque<(Flit, Cycle)>,
     /// Output (port, vc) held by the worm currently traversing this VC.
     alloc: Option<(u8, u8)>,
+    /// Cached route-candidate port mask for the unrouted head of `worm`
+    /// waiting at the front of `buf`. Routing depends only on the worm's
+    /// static route state, so the set of ports that may claim the head is
+    /// stable while it waits — it is computed once, when the head reaches
+    /// the front, and recorded here so releasing the head on commit can
+    /// clear exactly the port bitsets it was distributed into.
+    cand_ports: Option<(WormId, u64)>,
 }
 
 /// Who refills credit when this input VC pops a flit.
@@ -120,6 +96,52 @@ struct Router {
     /// Buffered flits per lane across all input VCs — lets the allocator
     /// skip empty lanes (the reply lane is idle most cycles).
     lane_flits: [u32; 2],
+    /// Per-output-port candidate bitsets over `(in_port, vc)` slots (bit
+    /// `ip * total_vcs + vc`), so each port's arbitration scans only the
+    /// slots it could actually serve. A non-empty VC buffer whose worm
+    /// holds an output allocation to port `p` sits in `cands[p]` alone;
+    /// an unrouted head is routed once (when it reaches the buffer front)
+    /// and its slot bit distributed to exactly the ports on its route.
+    cands: Vec<Vec<u64>>,
+    /// Slots whose front is an unrouted head that has not been routed and
+    /// distributed into `cands` yet; drained by `resolve_heads` at the
+    /// start of each allocation phase.
+    unresolved: Vec<u64>,
+    /// Constant mask per lane: bit set iff the slot's VC belongs to that
+    /// lane, folding the `lane_vc_range` filter into the word scan.
+    lane_mask: [Vec<u64>; 2],
+    /// Output wires currently serializing a flit (`Some` entries across
+    /// `outs × lanes`); lets the wire phase skip fully idle routers.
+    busy_wires: u32,
+}
+
+impl Router {
+    /// Marks a newly non-empty VC buffer in the bitset matching its
+    /// current allocation state (idempotent when already marked): routed
+    /// worms go straight to their allocated port's candidate set, fresh
+    /// heads queue for route resolution.
+    #[inline]
+    fn mark_occupied(&mut self, ip: usize, vc: usize, total_vcs: usize) {
+        let slot = ip * total_vcs + vc;
+        match self.ins[ip].vcs[vc].alloc {
+            Some((ap, _)) => set_bit(&mut self.cands[ap as usize], slot),
+            None => set_bit(&mut self.unresolved, slot),
+        }
+    }
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], slot: usize) {
+    if let Some(w) = bits.get_mut(slot / 64) {
+        *w |= 1u64 << (slot % 64);
+    }
+}
+
+#[inline]
+fn clear_bit(bits: &mut [u64], slot: usize) {
+    if let Some(w) = bits.get_mut(slot / 64) {
+        *w &= !(1u64 << (slot % 64));
+    }
 }
 
 /// Per-lane injection slot at a node.
@@ -246,7 +268,14 @@ pub struct Fabric {
     topo: Box<dyn Topology>,
     routers: Vec<Router>,
     nodes: Vec<NodeIface>,
-    arena: WormArena,
+    arena: Slab<Worm>,
+    /// Packets sitting in ejection queues, summed over nodes and lanes —
+    /// kept incrementally so [`Fabric::in_network`] is O(1).
+    ready_total: usize,
+    /// Injection slots currently holding a worm, summed over nodes and
+    /// lanes — lets the injection phases skip entirely when no node is
+    /// sending.
+    inj_active: u32,
     now: Cycle,
     rng: SimRng,
     faults: FaultPlane,
@@ -280,32 +309,54 @@ impl Fabric {
         let mut routers: Vec<Router> = spec
             .routers
             .iter()
-            .map(|r| Router {
-                lane_flits: [0, 0],
-                ins: (0..r.in_ports)
-                    .map(|_| InPort {
-                        vcs: (0..total_vcs).map(|_| VcState::default()).collect(),
-                        feeder: Feeder::None,
-                    })
-                    .collect(),
-                outs: r
-                    .links
-                    .iter()
-                    .map(|&dest| {
-                        let cap = match dest {
-                            Endpoint::Router { .. } => cfg.vc_buf_flits,
-                            Endpoint::Node(_) => cfg.max_packet_flits,
-                        };
-                        OutPort {
-                            dest,
-                            credits: vec![cap; total_vcs],
-                            owner: vec![None; total_vcs],
-                            in_flight: [None, None],
-                            rr: 0,
-                            mux_rr: 0,
-                        }
-                    })
-                    .collect(),
+            .map(|r| {
+                let slots = r.in_ports as usize * total_vcs;
+                let words = slots.div_ceil(64);
+                let lane_mask = [0usize, 1].map(|lane| {
+                    let per = cfg.vcs_per_lane as usize;
+                    let range = lane * per..(lane + 1) * per;
+                    let mut mask = vec![0u64; words];
+                    for s in (0..slots).filter(|s| range.contains(&(s % total_vcs))) {
+                        set_bit(&mut mask, s);
+                    }
+                    mask
+                });
+                assert!(
+                    r.links.len() <= 64,
+                    "router out-degree above 64 is unsupported by the \
+                     candidate-port bitmask"
+                );
+                Router {
+                    lane_flits: [0, 0],
+                    cands: vec![vec![0; words]; r.links.len()],
+                    unresolved: vec![0; words],
+                    lane_mask,
+                    busy_wires: 0,
+                    ins: (0..r.in_ports)
+                        .map(|_| InPort {
+                            vcs: (0..total_vcs).map(|_| VcState::default()).collect(),
+                            feeder: Feeder::None,
+                        })
+                        .collect(),
+                    outs: r
+                        .links
+                        .iter()
+                        .map(|&dest| {
+                            let cap = match dest {
+                                Endpoint::Router { .. } => cfg.vc_buf_flits,
+                                Endpoint::Node(_) => cfg.max_packet_flits,
+                            };
+                            OutPort {
+                                dest,
+                                credits: vec![cap; total_vcs],
+                                owner: vec![None; total_vcs],
+                                in_flight: [None, None],
+                                rr: 0,
+                                mux_rr: 0,
+                            }
+                        })
+                        .collect(),
+                }
             })
             .collect();
 
@@ -351,7 +402,9 @@ impl Fabric {
             topo,
             routers,
             nodes,
-            arena: WormArena::default(),
+            arena: Slab::with_capacity(num_nodes * 2),
+            ready_total: 0,
+            inj_active: 0,
             now: Cycle::ZERO,
             rng: SimRng::from_seed_stream(seed, 0xFAB),
             faults,
@@ -411,12 +464,47 @@ impl Fabric {
     /// queues not yet drained).
     #[inline]
     pub fn in_network(&self) -> usize {
-        self.arena.active
-            + self
-                .nodes
-                .iter()
-                .map(|n| n.ready[0].len() + n.ready[1].len())
-                .sum::<usize>()
+        self.arena.len() + self.ready_total
+    }
+
+    /// Packets waiting in `node`'s ejection queues, both lanes — the
+    /// "new input pending" signal a driver needs before it may skip
+    /// stepping that node's interface.
+    #[inline]
+    pub fn ready_len(&self, node: NodeId) -> usize {
+        let n = &self.nodes[node.index()];
+        n.ready[0].len() + n.ready[1].len()
+    }
+
+    /// When the fabric next needs stepping. Router arbitration rotates with
+    /// the cycle number and time-multiplexed links advance by cycle parity,
+    /// so an active fabric (any worm in flight or packet awaiting ejection)
+    /// must be stepped every cycle: `Now` whenever [`Self::in_network`] is
+    /// non-zero, `Quiescent` otherwise. An empty fabric's step is a pure
+    /// clock tick, which [`Self::advance_to`] performs in one jump.
+    #[inline]
+    pub fn next_event(&self) -> Wakeup {
+        if self.in_network() > 0 {
+            Wakeup::Now
+        } else {
+            Wakeup::Quiescent
+        }
+    }
+
+    /// Jumps the clock to `t` without stepping the cycles in between.
+    ///
+    /// Only valid while the fabric is quiescent ([`Self::in_network`] is
+    /// zero): each skipped step would have been exactly `now += 1`, so the
+    /// jump is observationally identical to stepping — same RNG stream
+    /// (the drop lottery only draws at deliveries), same arbitration state.
+    /// Calls with `t <= now` or on an active fabric are ignored (debug
+    /// builds assert).
+    pub fn advance_to(&mut self, t: Cycle) {
+        debug_assert_eq!(self.in_network(), 0, "cannot skip over an active fabric");
+        debug_assert!(t >= self.now, "clock may only move forward");
+        if self.in_network() == 0 && t > self.now {
+            self.now = t;
+        }
     }
 
     /// Packets currently bound for (or queued at) `dst` — the Figure 5
@@ -470,12 +558,17 @@ impl Fabric {
             next_flit: 0,
             vc: None,
         });
+        self.inj_active += 1;
     }
 
     /// Removes and returns the oldest fully delivered packet at `node` on
     /// `lane`, if any.
     pub fn eject(&mut self, node: NodeId, lane: Lane) -> Option<Packet> {
-        self.nodes[node.index()].ready[lane.index()].pop_front()
+        let pkt = self.nodes[node.index()].ready[lane.index()].pop_front();
+        if pkt.is_some() {
+            self.ready_total -= 1;
+        }
+        pkt
     }
 
     /// Peeks at the oldest delivered packet without removing it.
@@ -490,6 +583,47 @@ impl Fabric {
         base..base + per
     }
 
+    /// First slot in `from..limit` holding a flit that output port `p` of
+    /// router `r` may consider on `lane`: worms routed to `p` plus resolved
+    /// heads whose route includes `p`, intersected with the lane's constant
+    /// slot mask.
+    #[inline]
+    fn next_candidate(
+        &self,
+        r: usize,
+        p: usize,
+        lane: Lane,
+        from: usize,
+        limit: usize,
+    ) -> Option<usize> {
+        let rt = &self.routers[r];
+        let cands = &rt.cands[p];
+        let mask = &rt.lane_mask[lane.index()];
+        let word =
+            |w: usize| cands.get(w).copied().unwrap_or(0) & mask.get(w).copied().unwrap_or(0);
+        let mut w = from / 64;
+        let mut bits = word(w) & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                return (s < limit).then_some(s);
+            }
+            w += 1;
+            if w * 64 >= limit {
+                return None;
+            }
+            bits = word(w);
+        }
+    }
+
+    /// Total flits of the worm behind `id`. Defensive zero for a stale key
+    /// (a live datapath never produces one).
+    #[inline]
+    fn worm_flits(&self, id: WormId) -> u16 {
+        debug_assert!(self.arena.get(id).is_some(), "stale worm key");
+        self.arena.get(id).map_or(0, |w| w.flits)
+    }
+
     /// Flit slots a head must see downstream before advancing, per policy.
     #[inline]
     fn head_credit_need(&self, worm_flits: u16) -> u16 {
@@ -501,6 +635,14 @@ impl Fabric {
 
     /// Advances the fabric by one cycle.
     pub fn step(&mut self) {
+        // With no worm in flight every phase below is a no-op: no flit is
+        // buffered, serializing, or awaiting arbitration (ejection queues
+        // are drained by the NICs, not by stepping). Skip straight to the
+        // clock tick.
+        if self.arena.is_empty() {
+            self.now += 1;
+            return;
+        }
         self.progress_wires();
         self.start_router_transmissions();
         self.progress_injection();
@@ -530,7 +672,13 @@ impl Fabric {
     /// Phase A: decrement serialization counters; deliver flits whose
     /// transfer completes.
     fn progress_wires(&mut self) {
+        let total_vcs = self.cfg.total_vcs();
         for r in 0..self.routers.len() {
+            // Every wire idle: advancing_lane would return None for each
+            // port, so the whole router is a no-op this cycle.
+            if self.routers[r].busy_wires == 0 {
+                continue;
+            }
             for p in 0..self.routers[r].outs.len() {
                 let busy = [
                     self.routers[r].outs[p].in_flight[0].is_some(),
@@ -551,7 +699,8 @@ impl Fabric {
                     continue;
                 }
                 self.routers[r].outs[p].in_flight[lane.index()] = None;
-                let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
+                self.routers[r].busy_wires -= 1;
+                let is_tail = flit.idx + 1 == self.worm_flits(flit.worm);
                 if is_tail {
                     self.routers[r].outs[p].owner[dvc as usize] = None;
                 }
@@ -559,6 +708,7 @@ impl Fabric {
                     Endpoint::Router { router, in_port } => {
                         let target = &mut self.routers[router as usize];
                         target.lane_flits[dvc as usize / self.cfg.vcs_per_lane as usize] += 1;
+                        target.mark_occupied(in_port as usize, dvc as usize, total_vcs);
                         target.ins[in_port as usize].vcs[dvc as usize]
                             .buf
                             .push_back((flit, self.now));
@@ -569,8 +719,16 @@ impl Fabric {
                 }
             }
         }
-        // Injection channels.
+        // Injection channels. A flit can only be in flight on a node's
+        // link while that lane's slot holds its worm, so nodes without an
+        // active slot (and the whole phase when none is active) are no-ops.
+        if self.inj_active == 0 {
+            return;
+        }
         for n in 0..self.nodes.len() {
+            if self.nodes[n].slots[0].is_none() && self.nodes[n].slots[1].is_none() {
+                continue;
+            }
             let busy = [
                 self.nodes[n].in_flight[0].is_some(),
                 self.nodes[n].in_flight[1].is_some(),
@@ -590,14 +748,16 @@ impl Fabric {
                 continue;
             }
             self.nodes[n].in_flight[lane.index()] = None;
-            let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
+            let is_tail = flit.idx + 1 == self.worm_flits(flit.worm);
             if is_tail {
                 self.nodes[n].inj_owner[dvc as usize] = None;
                 self.nodes[n].slots[lane.index()] = None;
+                self.inj_active -= 1;
             }
             let (r, p) = (self.nodes[n].inj_router, self.nodes[n].inj_port);
             let target = &mut self.routers[r as usize];
             target.lane_flits[dvc as usize / self.cfg.vcs_per_lane as usize] += 1;
+            target.mark_occupied(p as usize, dvc as usize, total_vcs);
             target.ins[p as usize].vcs[dvc as usize]
                 .buf
                 .push_back((flit, self.now));
@@ -619,7 +779,10 @@ impl Fabric {
         if !is_tail {
             return;
         }
-        let worm = self.arena.remove(flit.worm);
+        let Some(worm) = self.arena.remove(flit.worm) else {
+            debug_assert!(false, "tail flit of a dead worm");
+            return;
+        };
         let flits = worm.flits;
         let packet = worm.packet;
         let lane = packet.lane;
@@ -677,6 +840,7 @@ impl Fabric {
         // Ready-queue capacity was reserved when the head flit was granted
         // the ejection port (`eject_has_room`), so this never overflows.
         self.nodes[node].ready[lane.index()].push_back(packet);
+        self.ready_total += 1;
     }
 
     /// Whether the node can accept the start of a new packet on this lane:
@@ -698,6 +862,7 @@ impl Fabric {
             if self.routers[r].lane_flits == [0, 0] {
                 continue;
             }
+            self.resolve_heads(r);
             let num_outs = self.routers[r].outs.len();
             // Rotate starting port so adaptive choices spread over links.
             let start = (self.now.as_u64() as usize + r) % num_outs;
@@ -706,12 +871,24 @@ impl Fabric {
                 for lane in Lane::ALL {
                     if self.routers[r].lane_flits[lane.index()] > 0
                         && self.routers[r].outs[p].in_flight[lane.index()].is_none()
+                        && self.port_has_candidates(r, p, lane)
                     {
                         self.try_start_one(r, p, lane);
                     }
                 }
             }
         }
+    }
+
+    /// Whether output port `p` has any candidate slot on `lane` — a cheap
+    /// word scan that spares the arbitration loop for idle ports.
+    #[inline]
+    fn port_has_candidates(&self, r: usize, p: usize, lane: Lane) -> bool {
+        let rt = &self.routers[r];
+        rt.cands[p]
+            .iter()
+            .zip(&rt.lane_mask[lane.index()])
+            .any(|(c, m)| c & m != 0)
     }
 
     /// Attempts to start one flit of logical network `lane` on output port
@@ -721,14 +898,30 @@ impl Fabric {
         let total_vcs = self.cfg.total_vcs();
         let slots = num_ins * total_vcs;
         let rr = self.routers[r].outs[p].rr as usize;
-        let lane_range = self.lane_vc_range(lane);
-        for k in 0..slots {
-            let s = (rr + k) % slots;
-            let (ip, vc) = (s / total_vcs, s % total_vcs);
-            if !lane_range.contains(&vc) {
+        // Round-robin over this port's *candidate* slots only — buffered
+        // worms already routed to `p` plus resolved heads whose route
+        // includes `p`, lane-masked. This visits the same eligible slots
+        // in the same order as a full `(rr + k) % slots` sweep (slots it
+        // skips would fail the original loop's empty-buffer, lane-range,
+        // allocated-elsewhere, or off-route checks), so arbitration
+        // outcomes are bit-for-bit unchanged.
+        let mut pos = rr;
+        let mut limit = slots;
+        let mut wrapped = false;
+        loop {
+            let Some(s) = self.next_candidate(r, p, lane, pos, limit) else {
+                if wrapped || rr == 0 {
+                    return;
+                }
+                wrapped = true;
+                pos = 0;
+                limit = rr;
                 continue;
-            }
+            };
+            pos = s + 1;
+            let (ip, vc) = (s / total_vcs, s % total_vcs);
             let Some(&(flit, arrived)) = self.routers[r].ins[ip].vcs[vc].buf.front() else {
+                debug_assert!(false, "occupancy bit set on an empty VC buffer");
                 continue;
             };
             if arrived >= self.now {
@@ -758,6 +951,70 @@ impl Fabric {
         }
     }
 
+    /// Drains router `r`'s unresolved-head queue: each newly fronted
+    /// unrouted head is routed once and its slot bit distributed to
+    /// exactly the output ports on its route.
+    fn resolve_heads(&mut self, r: usize) {
+        let total_vcs = self.cfg.total_vcs();
+        for w in 0..self.routers[r].unresolved.len() {
+            while self.routers[r].unresolved[w] != 0 {
+                let b = self.routers[r].unresolved[w].trailing_zeros() as usize;
+                let s = w * 64 + b;
+                self.resolve_slot(r, s / total_vcs, s % total_vcs);
+            }
+        }
+    }
+
+    /// Routes the unrouted head at the front of `(ip, vc)` and enters its
+    /// slot bit into the candidate set of every port on its route. The
+    /// mask is cached per VC keyed by worm id — the candidate set is a
+    /// pure function of the worm's static route state, so the head's
+    /// commit can later retract exactly the bits entered here.
+    fn resolve_slot(&mut self, r: usize, ip: usize, vc: usize) {
+        let slot = ip * self.cfg.total_vcs() + vc;
+        clear_bit(&mut self.routers[r].unresolved, slot);
+        let Some(&(flit, _)) = self.routers[r].ins[ip].vcs[vc].buf.front() else {
+            return; // buffer drained since the bit was queued
+        };
+        if self.routers[r].ins[ip].vcs[vc].alloc.is_some() {
+            return; // mid-worm; `cands` already tracks the allocated port
+        }
+        let mask = match self.routers[r].ins[ip].vcs[vc].cand_ports {
+            Some((worm, m)) if worm == flit.worm => m,
+            _ => {
+                let m = self.route_port_mask(r, flit);
+                self.routers[r].ins[ip].vcs[vc].cand_ports = Some((flit.worm, m));
+                m
+            }
+        };
+        let mut m = mask;
+        while m != 0 {
+            let q = m.trailing_zeros() as usize;
+            m &= m - 1;
+            set_bit(&mut self.routers[r].cands[q], slot);
+        }
+    }
+
+    /// Bitmask of output ports the topology offers for `flit`'s worm at
+    /// router `r`.
+    fn route_port_mask(&mut self, r: usize, flit: Flit) -> u64 {
+        let Some(worm) = self.arena.get(flit.worm) else {
+            debug_assert!(false, "routing a dead worm");
+            return 0;
+        };
+        let dst = worm.packet.dst;
+        let route = worm.route;
+        self.route_buf.clear();
+        let mut cands = std::mem::take(&mut self.route_buf);
+        self.topo.route(r as u32, dst, &route, &mut cands);
+        let mut mask = 0u64;
+        for cand in &cands {
+            mask |= 1u64 << (cand.port % 64);
+        }
+        self.route_buf = cands;
+        mask
+    }
+
     /// Routing + VC allocation for a head flit waiting at `(ip, vc)`;
     /// returns the downstream VC to use on port `p`, if any.
     fn head_allocation(
@@ -768,7 +1025,7 @@ impl Fabric {
         vc: usize,
         flit: Flit,
     ) -> Option<u8> {
-        let worm = self.arena.get(flit.worm);
+        let worm = self.arena.get(flit.worm)?;
         let lane = worm.packet.lane;
         let flits = worm.flits;
         let dst = worm.packet.dst;
@@ -802,15 +1059,18 @@ impl Fabric {
                 }
             }
             let range = self.lane_vc_range(lane);
-            let vcs: Vec<usize> = match cand.vc {
-                VcSel::Any => range.collect(),
+            // Candidate VC sub-range, computed without a scratch Vec: this
+            // function is on the per-cycle hot path (lint R5 keeps it
+            // allocation-free).
+            let (lo, hi) = match cand.vc {
+                VcSel::Any => (range.start, range.end),
                 VcSel::Class(k) => {
                     let idx = range.start + k as usize;
                     debug_assert!(idx < range.end, "VC class beyond lane");
-                    vec![idx]
+                    (idx, (idx + 1).min(range.end))
                 }
             };
-            for dvc in vcs {
+            for dvc in lo..hi {
                 let out = &self.routers[r].outs[p];
                 if out.owner[dvc].is_none() && out.credits[dvc] >= need {
                     found = Some(dvc as u8);
@@ -841,17 +1101,54 @@ impl Fabric {
         };
         debug_assert_eq!(popped, flit);
         self.routers[r].lane_flits[vc / self.cfg.vcs_per_lane as usize] -= 1;
-        let is_tail = flit.idx + 1 == self.arena.get(flit.worm).flits;
+        let is_tail = flit.idx + 1 == self.worm_flits(flit.worm);
 
         if is_head {
             self.routers[r].ins[ip].vcs[vc].alloc = Some((p as u8, dvc));
             self.routers[r].outs[p].owner[dvc as usize] = Some(flit.worm);
-            let route = &mut self.arena.get_mut(flit.worm).route;
             let topo = &self.topo;
-            topo.on_hop(r as u32, p as u8, route);
+            if let Some(worm) = self.arena.get_mut(flit.worm) {
+                topo.on_hop(r as u32, p as u8, &mut worm.route);
+            }
         }
         if is_tail {
             self.routers[r].ins[ip].vcs[vc].alloc = None;
+        }
+
+        // Re-home the slot in the arbitration bitsets: it leaves its old
+        // set(s) and, if flits remain buffered, re-enters under the updated
+        // allocation state. A committed head was distributed to every port
+        // on its cached route mask, so retract exactly those bits (plus the
+        // unresolved bit, in case a push re-queued it); a body or tail was
+        // visible to port `p` alone.
+        let slot = ip * self.cfg.total_vcs() + vc;
+        if is_head {
+            let mask = match self.routers[r].ins[ip].vcs[vc].cand_ports {
+                Some((w, m)) if w == flit.worm => m,
+                _ => !0u64, // unknown mask: sweep every port (defensive)
+            };
+            let nout = self.routers[r].outs.len();
+            let mut m = mask;
+            while m != 0 {
+                let q = m.trailing_zeros() as usize;
+                if q >= nout {
+                    break;
+                }
+                m &= m - 1;
+                clear_bit(&mut self.routers[r].cands[q], slot);
+            }
+            clear_bit(&mut self.routers[r].unresolved, slot);
+        } else {
+            clear_bit(&mut self.routers[r].cands[p], slot);
+        }
+        if !self.routers[r].ins[ip].vcs[vc].buf.is_empty() {
+            self.routers[r].mark_occupied(ip, vc, self.cfg.total_vcs());
+            // A tail commit fronts the next worm's unrouted head; resolve
+            // it now so output ports later in this cycle's rotation can
+            // still claim it (matching the exhaustive-scan behavior).
+            if self.routers[r].ins[ip].vcs[vc].alloc.is_none() {
+                self.resolve_slot(r, ip, vc);
+            }
         }
 
         // Credit return to whoever feeds this input port.
@@ -867,12 +1164,22 @@ impl Fabric {
 
         self.routers[r].outs[p].credits[dvc as usize] -= 1;
         let lane = dvc as usize / self.cfg.vcs_per_lane as usize;
+        debug_assert!(self.routers[r].outs[p].in_flight[lane].is_none());
         self.routers[r].outs[p].in_flight[lane] = Some((flit, dvc, self.cfg.flit_cycles));
+        self.routers[r].busy_wires += 1;
     }
 
     /// Phase C: nodes serialize queued packets onto their injection links.
+    /// [`Fabric::try_inject_flit`] is a no-op without a populated slot, so
+    /// slot-free nodes (and the whole phase when no slot is active) skip.
     fn progress_injection(&mut self) {
+        if self.inj_active == 0 {
+            return;
+        }
         for n in 0..self.nodes.len() {
+            if self.nodes[n].slots[0].is_none() && self.nodes[n].slots[1].is_none() {
+                continue;
+            }
             for lane in Lane::ALL {
                 if self.nodes[n].in_flight[lane.index()].is_none() {
                     let _ = self.try_inject_flit(n, lane);
@@ -888,7 +1195,10 @@ impl Fabric {
         };
         let worm_id = slot.worm;
         let next = slot.next_flit;
-        let worm = self.arena.get(worm_id);
+        let Some(worm) = self.arena.get(worm_id) else {
+            debug_assert!(false, "injection slot holds a dead worm");
+            return false;
+        };
         let flits = worm.flits;
 
         let dvc = match slot.vc {

@@ -14,7 +14,12 @@
 //!   used to produce the paper's tables and figures,
 //! * [`StallWatchdog`] — cycle-driven detection of units that stay busy
 //!   without making progress (livelock and lost-wakeup tripwire for lossy
-//!   fabrics).
+//!   fabrics),
+//! * [`Wakeup`] — the stepping contract that lets an event-driven driver
+//!   skip quiescent cycles while staying byte-identical to explicit
+//!   cycle-by-cycle stepping,
+//! * [`Slab`] — a generational free-list arena so steady-state packet and
+//!   flit churn never allocates.
 //!
 //! # Examples
 //!
@@ -35,9 +40,13 @@ mod cycle;
 mod id;
 pub mod metrics;
 mod rng;
+mod slab;
+mod wakeup;
 mod watchdog;
 
 pub use cycle::Cycle;
 pub use id::{NodeId, PacketId};
 pub use rng::SimRng;
+pub use slab::{Slab, SlabKey};
+pub use wakeup::Wakeup;
 pub use watchdog::{StallReport, StallWatchdog};

@@ -83,6 +83,22 @@ impl StallWatchdog {
         self.limit
     }
 
+    /// The earliest cycle at which any tracked unit could trip, given no
+    /// further progress: `last_change + limit` minimized over armed units.
+    ///
+    /// An event-driven driver must treat this as a hard [`crate::Wakeup`]
+    /// deadline — observations between now and the deadline are no-ops for
+    /// a frozen unit (same fingerprint, still busy), so skipping them is
+    /// safe, but skipping *past* the deadline would let a wedged node
+    /// escape detection.
+    pub fn next_deadline(&self) -> Option<Cycle> {
+        self.units
+            .iter()
+            .flatten()
+            .map(|s| s.last_change + self.limit)
+            .min()
+    }
+
     /// Feeds one observation of `unit` at cycle `now`.
     ///
     /// Returns a [`StallReport`] when the unit has been continuously busy
@@ -205,5 +221,21 @@ mod tests {
     #[should_panic(expected = "zero stall limit")]
     fn zero_limit_is_rejected() {
         let _ = StallWatchdog::new(0, 1);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_armed_unit() {
+        let mut dog = StallWatchdog::new(10, 3);
+        assert_eq!(dog.next_deadline(), None, "nothing armed");
+        let _ = dog.observe(0, Cycle::new(5), 1, true);
+        let _ = dog.observe(1, Cycle::new(2), 9, true);
+        assert_eq!(dog.next_deadline(), Some(Cycle::new(12)));
+        // Progress on unit 1 pushes its deadline out.
+        let _ = dog.observe(1, Cycle::new(8), 10, true);
+        assert_eq!(dog.next_deadline(), Some(Cycle::new(15)));
+        // Going idle disarms.
+        let _ = dog.observe(0, Cycle::new(9), 1, false);
+        let _ = dog.observe(1, Cycle::new(9), 10, false);
+        assert_eq!(dog.next_deadline(), None);
     }
 }

@@ -3,11 +3,48 @@
 
 use nifdy::{BufferedNic, DeliveryFailure, Nic, NifdyConfig, NifdyUnit, PlainNic};
 use nifdy_net::Fabric;
-use nifdy_sim::{NodeId, StallWatchdog};
+use nifdy_sim::{Cycle, NodeId, StallWatchdog, Wakeup};
 use nifdy_trace::{trace_event, EventKind, MetricsRegistry, TraceHandle};
 
-use crate::processor::{NodeWorkload, ProcEvent, Processor};
+use crate::processor::{NodeWorkload, ProcEvent, ProcWake, Processor};
 use crate::SoftwareModel;
+
+/// How the driver advances simulated time.
+///
+/// Both engines produce **identical** observable behaviour — delivery
+/// orders, statistics, traces, gauges, final clocks. The event engine is
+/// purely a performance feature: it skips stretches where every component
+/// has declared (via [`Wakeup`]) that stepping would be a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Step every component every cycle (the reference semantics).
+    #[default]
+    Cycle,
+    /// Event-driven skip-ahead: compute the earliest wakeup across NICs,
+    /// processors, workloads, the fabric, and the stall watchdog; when
+    /// nothing is due, jump the clock to it (batching the empty polls and
+    /// gauge samples the skipped cycles would have produced).
+    Event,
+}
+
+impl Engine {
+    /// Parses a CLI-facing engine name (`cycle` / `event`).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "cycle" => Some(Engine::Cycle),
+            "event" => Some(Engine::Event),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name (`cycle` / `event`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Cycle => "cycle",
+            Engine::Event => "event",
+        }
+    }
+}
 
 /// Which network interface model to attach to every node — the three
 /// configurations the paper compares.
@@ -101,6 +138,14 @@ pub struct Driver {
     trace: TraceHandle,
     metrics: Option<MetricsRegistry>,
     gauge_period: u64,
+    engine: Engine,
+    cycles_stepped: u64,
+    /// Per-node gate: strictly before this cycle, stepping node `i`'s
+    /// processor and NIC is a proven no-op (absent packets waiting for it
+    /// in the fabric), so [`step_cycle`](Self::step_cycle) skips them.
+    /// Recomputed every time the node actually steps; conservative values
+    /// (too early) only cost extra no-op steps.
+    node_due: Vec<Cycle>,
 }
 
 impl Driver {
@@ -136,7 +181,29 @@ impl Driver {
             trace: TraceHandle::off(),
             metrics: None,
             gauge_period: 1_000,
+            engine: Engine::default(),
+            cycles_stepped: 0,
+            node_due: vec![Cycle::ZERO; n],
         })
+    }
+
+    /// Selects the stepping engine (default [`Engine::Cycle`]). The event
+    /// engine produces byte-identical results; see [`Engine`].
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The stepping engine in use.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Cycles that were stepped for real (as opposed to skipped by the
+    /// event engine). Under [`Engine::Cycle`] this equals elapsed time;
+    /// the gap between the two is the event engine's work saved.
+    pub fn cycles_stepped(&self) -> u64 {
+        self.cycles_stepped
     }
 
     /// Overrides the cost charged to every node when a barrier releases
@@ -240,39 +307,111 @@ impl Driver {
     }
 
     /// Advances the simulation by one cycle.
+    ///
+    /// A thin wrapper over [`advance`](Self::advance): both engines go
+    /// through the same machinery, the cycle engine simply never skips.
     pub fn step(&mut self) {
-        let now = self.fab.now();
-        if let Some(reg) = &mut self.metrics {
-            if now.as_u64().is_multiple_of(self.gauge_period) {
-                let mut occ = nifdy::NicOccupancy::default();
-                for nic in &self.nics {
-                    let o = nic.occupancy();
-                    occ.pool = occ.pool.max(o.pool);
-                    occ.opt = occ.opt.max(o.opt);
-                    occ.retx_queue = occ.retx_queue.max(o.retx_queue);
-                    occ.window_outstanding = occ.window_outstanding.max(o.window_outstanding);
-                }
-                reg.gauge("occupancy.pool.max", now, f64::from(occ.pool));
-                reg.gauge("occupancy.opt.max", now, f64::from(occ.opt));
-                reg.gauge("occupancy.retx_queue.max", now, f64::from(occ.retx_queue));
-                reg.gauge("occupancy.window.max", now, occ.window_outstanding as f64);
-                reg.gauge("fabric.in_flight", now, self.fab.in_network() as f64);
+        let next = self.fab.now() + 1;
+        self.advance(next);
+    }
+
+    /// Advances simulated time to exactly `until` (no-op when already
+    /// there). Under [`Engine::Cycle`] this steps every cycle; under
+    /// [`Engine::Event`] quiet stretches are jumped in one burst.
+    pub fn advance(&mut self, until: Cycle) {
+        while self.fab.now() < until {
+            match self.engine {
+                Engine::Cycle => self.step_cycle(),
+                Engine::Event => self.event_burst(until),
             }
         }
+    }
+
+    /// One burst of progress toward `until`: a single stepped cycle, or —
+    /// for the event engine — possibly a multi-cycle skip. Always moves
+    /// time forward. Used by [`advance`](Self::advance) and by
+    /// [`run_until_quiet`](Self::run_until_quiet), which must observe the
+    /// simulation between bursts.
+    fn advance_burst(&mut self, until: Cycle) {
+        match self.engine {
+            Engine::Cycle => self.step_cycle(),
+            Engine::Event => self.event_burst(until),
+        }
+    }
+
+    /// Emits one sample of every occupancy gauge, timestamped `at`.
+    fn emit_gauges(&mut self, at: Cycle) {
+        let Some(reg) = &mut self.metrics else {
+            return;
+        };
+        let mut occ = nifdy::NicOccupancy::default();
+        for nic in &self.nics {
+            let o = nic.occupancy();
+            occ.pool = occ.pool.max(o.pool);
+            occ.opt = occ.opt.max(o.opt);
+            occ.retx_queue = occ.retx_queue.max(o.retx_queue);
+            occ.window_outstanding = occ.window_outstanding.max(o.window_outstanding);
+        }
+        reg.gauge("occupancy.pool.max", at, f64::from(occ.pool));
+        reg.gauge("occupancy.opt.max", at, f64::from(occ.opt));
+        reg.gauge("occupancy.retx_queue.max", at, f64::from(occ.retx_queue));
+        reg.gauge("occupancy.window.max", at, occ.window_outstanding as f64);
+        reg.gauge("fabric.in_flight", at, self.fab.in_network() as f64);
+    }
+
+    /// Whether node `i` can be skipped this cycle: its processor is inside
+    /// a charged delay, its NIC promised no work before a future wakeup,
+    /// and the fabric holds no packets for it. The predicate is stable for
+    /// the whole cycle (`node_due` and the ejection queues only change on a
+    /// node's own step or the fabric step at the end), so the processor and
+    /// NIC loops agree on it.
+    #[inline]
+    fn node_gated(&self, i: usize, now: Cycle) -> bool {
+        self.node_due[i] > now && self.fab.ready_len(NodeId::new(i)) == 0
+    }
+
+    /// The reference semantics: step every component through one cycle.
+    /// Nodes provably idle this cycle ([`node_gated`](Self::node_gated))
+    /// are skipped — their step would be a no-op, so results are
+    /// bit-for-bit those of stepping everyone.
+    fn step_cycle(&mut self) {
+        self.cycles_stepped += 1;
+        let now = self.fab.now();
+        if self.metrics.is_some() && now.as_u64().is_multiple_of(self.gauge_period) {
+            self.emit_gauges(now);
+        }
+        // A due stall deadline disables gating for the cycle: the watchdog
+        // only accrues observations on stepped nodes, so the firing cycle
+        // must step (and thus observe) everyone, exactly like the ungated
+        // engine would.
+        let dog_due = self
+            .watchdog
+            .as_ref()
+            .and_then(StallWatchdog::next_deadline)
+            .is_some_and(|t| t <= now);
         for i in 0..self.procs.len() {
+            if !dog_due && self.node_gated(i, now) {
+                continue;
+            }
             let ev = self.procs[i].step(self.nics[i].as_mut(), self.wls[i].as_mut(), now);
             debug_assert!(matches!(ev, ProcEvent::None | ProcEvent::EnteredBarrier));
         }
         // Barrier release: every node is blocked in the barrier or done.
         let any_waiting = self.procs.iter().any(|p| p.in_barrier());
         if any_waiting && self.procs.iter().all(|p| p.in_barrier() || p.is_done()) {
-            for p in &mut self.procs {
+            for (i, p) in self.procs.iter_mut().enumerate() {
                 if p.in_barrier() {
                     p.release_barrier(now, self.barrier_cost);
+                    // The release rewrote the processor's delay out from
+                    // under the gate; re-arm it conservatively.
+                    self.node_due[i] = now;
                 }
             }
         }
         for (i, nic) in self.nics.iter_mut().enumerate() {
+            if !dog_due && self.node_due[i] > now && self.fab.ready_len(NodeId::new(i)) == 0 {
+                continue;
+            }
             nic.step(&mut self.fab);
             self.failures.extend(nic.take_failures());
             if let Some(dog) = &mut self.watchdog {
@@ -293,37 +432,137 @@ impl Driver {
                     panic!("stall watchdog tripped: {report}{dump}");
                 }
             }
+            // Both layers just ran; their own wakeups say when the node can
+            // next matter. `Now` and past deadlines mean "again next cycle".
+            let nic_due = match nic.next_event(now) {
+                Wakeup::Now => now + 1,
+                Wakeup::At(t) => t.max(now + 1),
+                Wakeup::Quiescent => Cycle::MAX,
+            };
+            self.node_due[i] = self.procs[i].next_due().min(nic_due);
         }
         self.fab.step();
     }
 
+    /// One event-engine burst toward `until` (which must be in the
+    /// future): steps the next cycle for real when anything could do
+    /// observable work, otherwise jumps the clock to the earliest wakeup.
+    ///
+    /// The skip is sound because every component's [`Wakeup`] answer is a
+    /// promise that stepping it before the wakeup is a no-op absent new
+    /// input — and inside the window there is no new input: the fabric is
+    /// empty (else it reports `Now`), no NIC acts, and the only processor
+    /// activity is empty polling, which is replayed in batch.
+    fn event_burst(&mut self, until: Cycle) {
+        let now = self.fab.now();
+        debug_assert!(now < until);
+        // An active fabric (worms in flight or packets awaiting ejection)
+        // can make progress every cycle.
+        if self.fab.next_event().is_due(now) {
+            self.step_cycle();
+            return;
+        }
+        // Barrier release is a driver-level event: it fires the first
+        // cycle every participant is blocked or done.
+        let any_waiting = self.procs.iter().any(|p| p.in_barrier());
+        if any_waiting && self.procs.iter().all(|p| p.in_barrier() || p.is_done()) {
+            self.step_cycle();
+            return;
+        }
+        let mut wake = Wakeup::Quiescent;
+        for nic in &self.nics {
+            wake = wake.earliest(nic.next_event(now));
+        }
+        let mut any_polling = false;
+        for (i, p) in self.procs.iter().enumerate() {
+            match p.classify(self.nics[i].as_ref(), self.wls[i].as_ref(), now) {
+                ProcWake::Step => {
+                    self.step_cycle();
+                    return;
+                }
+                ProcWake::Busy(t) => wake = wake.earliest(Wakeup::At(t)),
+                ProcWake::Polling(deadline) => {
+                    any_polling = true;
+                    if let Some(t) = deadline {
+                        wake = wake.earliest(Wakeup::At(t));
+                    }
+                }
+            }
+        }
+        // Stall-detection deadlines are explicit wakeups: a wedged node is
+        // caught at the same cycle the per-cycle engine would catch it.
+        if let Some(dog) = &self.watchdog {
+            if let Some(t) = dog.next_deadline() {
+                wake = wake.earliest(Wakeup::at_or_now(t, now));
+            }
+        }
+        if wake.is_due(now) {
+            self.step_cycle();
+            return;
+        }
+        // Nothing observable happens in [now, t): replay the empty polls,
+        // emit the gauges the skipped cycles would have sampled (their
+        // inputs are frozen across the window), and jump.
+        let t = wake.deadline_or(now, until);
+        debug_assert!(t > now);
+        if any_polling {
+            for p in &mut self.procs {
+                p.batch_idle_polls(now, t);
+            }
+        }
+        if self.metrics.is_some() {
+            let period = self.gauge_period;
+            let mut m = now.as_u64().next_multiple_of(period);
+            while m < t.as_u64() {
+                self.emit_gauges(Cycle::new(m));
+                m += period;
+            }
+        }
+        self.fab.advance_to(t);
+    }
+
+    /// Whether every workload has finished and the network has drained.
+    fn is_quiet(&self) -> bool {
+        self.procs.iter().all(|p| p.is_done())
+            && self.nics.iter().all(|n| n.is_idle())
+            && self.fab.in_network() == 0
+    }
+
     /// Runs for exactly `cycles` cycles.
     pub fn run_cycles(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
-        }
+        let until = self.fab.now() + cycles;
+        self.advance(until);
     }
 
     /// Runs, invoking `sample` every `period` cycles, for `cycles` total.
     pub fn run_sampled<F: FnMut(&Driver)>(&mut self, cycles: u64, period: u64, mut sample: F) {
         assert!(period > 0, "sampling period must be positive");
-        for c in 0..cycles {
-            if c % period == 0 {
-                sample(self);
-            }
-            self.step();
+        let start = self.fab.now();
+        let mut c = 0;
+        while c < cycles {
+            self.advance(start + c);
+            sample(self);
+            c += period;
         }
+        self.advance(start + cycles);
     }
 
     /// Runs until every workload has finished and the network has drained,
     /// or `limit` cycles elapse. Returns `true` on completion.
+    ///
+    /// Both engines return with the same final clock: quiescence is
+    /// observed after a stepped cycle, and event-engine bursts only skip
+    /// windows in which the quiet predicate cannot change.
     pub fn run_until_quiet(&mut self, limit: u64) -> bool {
-        while self.fab.now().as_u64() < limit {
+        if self.fab.now().as_u64() < limit && self.is_quiet() {
+            // Already quiet on entry: the cycle engine still steps once
+            // before observing it, so match that clock.
             self.step();
-            if self.procs.iter().all(|p| p.is_done())
-                && self.nics.iter().all(|n| n.is_idle())
-                && self.fab.in_network() == 0
-            {
+            return true;
+        }
+        while self.fab.now().as_u64() < limit {
+            self.advance_burst(Cycle::new(limit));
+            if self.is_quiet() {
                 return true;
             }
         }

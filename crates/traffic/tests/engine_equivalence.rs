@@ -1,0 +1,519 @@
+//! Differential tests of the two stepping engines.
+//!
+//! The event-driven skip-ahead engine must be *observationally identical*
+//! to cycle stepping: same delivery orders and timestamps, same processor
+//! / interface / fabric statistics, same typed failures, same gauge
+//! samples, same trace streams, same final clock — across workloads,
+//! topologies, interface choices, seeds, and fault configurations. Every
+//! test here builds the same simulation twice, runs one copy per engine,
+//! and compares full observation records.
+
+use std::sync::{Arc, Mutex};
+
+use nifdy::{Delivered, DeliveryFailure, Nic, NifdyConfig, OutboundPacket};
+use nifdy_net::topology::Mesh;
+use nifdy_net::{Fabric, FabricConfig, FaultConfig, GilbertElliott, LinkWindow, UserData};
+use nifdy_sim::{Cycle, NodeId, Wakeup};
+use nifdy_traffic::{
+    Action, CoalesceConfig, Driver, Engine, NetworkKind, NicChoice, NodeWorkload, ScanConfig,
+    Scenario, SoftwareModel, SyntheticConfig,
+};
+
+/// One received packet: (cycle, receiver, sender, msg_id, pkt_index).
+type Delivery = (u64, usize, usize, u64, u32);
+
+/// Wraps a workload so every reception is appended to a shared log,
+/// preserving the inner workload's wakeup contract.
+struct Recording {
+    inner: Box<dyn NodeWorkload>,
+    node: usize,
+    log: Arc<Mutex<Vec<Delivery>>>,
+}
+
+impl NodeWorkload for Recording {
+    fn next_action(&mut self, now: Cycle) -> Action {
+        self.inner.next_action(now)
+    }
+    fn on_receive(&mut self, pkt: &Delivered, now: Cycle) {
+        self.log.lock().unwrap().push((
+            now.as_u64(),
+            self.node,
+            pkt.src.index(),
+            pkt.user.msg_id,
+            pkt.user.pkt_index,
+        ));
+        self.inner.on_receive(pkt, now);
+    }
+    fn next_event(&self, now: Cycle) -> Wakeup {
+        self.inner.next_event(now)
+    }
+}
+
+fn record_all(
+    wls: Vec<Box<dyn NodeWorkload>>,
+    log: &Arc<Mutex<Vec<Delivery>>>,
+) -> Vec<Box<dyn NodeWorkload>> {
+    wls.into_iter()
+        .enumerate()
+        .map(|(node, inner)| -> Box<dyn NodeWorkload> {
+            Box::new(Recording {
+                inner,
+                node,
+                log: Arc::clone(log),
+            })
+        })
+        .collect()
+}
+
+/// Everything observable about one finished run.
+#[derive(Debug, PartialEq)]
+struct RunRecord {
+    final_now: u64,
+    completed: Option<bool>,
+    deliveries: Vec<Delivery>,
+    proc_stats: Vec<[u64; 5]>,
+    nic_stats: Vec<[u64; 16]>,
+    fabric_stats: Vec<u64>,
+    failures: Vec<DeliveryFailure>,
+    gauges: Vec<(String, Vec<(u64, f64)>)>,
+}
+
+fn nic_counters(nic: &dyn Nic) -> [u64; 16] {
+    let s = nic.stats();
+    [
+        s.sent.get(),
+        s.sent_bulk.get(),
+        s.acks_sent.get(),
+        s.acks_received.get(),
+        s.delivered.get(),
+        s.send_rejected.get(),
+        s.retransmitted.get(),
+        s.duplicates_dropped.get(),
+        s.dialogs_granted.get(),
+        s.acks_piggybacked.get(),
+        s.bulk_out_of_order.get(),
+        s.dialogs_rejected.get(),
+        s.delivery_failures.get(),
+        s.retx_queue_overflow.get(),
+        s.dialogs_torn_down.get(),
+        s.dialogs_reclaimed.get(),
+    ]
+}
+
+fn observe(d: &Driver, completed: Option<bool>, log: &Arc<Mutex<Vec<Delivery>>>) -> RunRecord {
+    let fs = d.fabric().stats();
+    let fabric_stats = vec![
+        fs.injected[0].get(),
+        fs.injected[1].get(),
+        fs.delivered[0].get(),
+        fs.delivered[1].get(),
+        fs.dropped.get(),
+        fs.dropped_uniform.get(),
+        fs.dropped_data.get(),
+        fs.dropped_ack.get(),
+        fs.dropped_burst.get(),
+        fs.dropped_link_down.get(),
+        fs.dropped_targeted.get(),
+        d.fabric().in_network() as u64,
+    ];
+    let gauges = d
+        .metrics()
+        .map(|reg| {
+            [
+                "occupancy.pool.max",
+                "occupancy.opt.max",
+                "occupancy.retx_queue.max",
+                "occupancy.window.max",
+                "fabric.in_flight",
+            ]
+            .iter()
+            .filter_map(|name| {
+                reg.gauge_series(name)
+                    .map(|s| (name.to_string(), s.points().to_vec()))
+            })
+            .collect()
+        })
+        .unwrap_or_default();
+    RunRecord {
+        final_now: d.fabric().now().as_u64(),
+        completed,
+        deliveries: log.lock().unwrap().clone(),
+        proc_stats: d
+            .processors()
+            .iter()
+            .map(|p| {
+                let s = p.stats();
+                [
+                    s.sent.get(),
+                    s.received.get(),
+                    s.empty_polls.get(),
+                    s.user_words.get(),
+                    s.barriers.get(),
+                ]
+            })
+            .collect(),
+        nic_stats: (0..d.processors().len())
+            .map(|i| nic_counters(d.nic(i)))
+            .collect(),
+        fabric_stats,
+        failures: d.delivery_failures().to_vec(),
+        gauges,
+    }
+}
+
+/// Runs the simulation described by `build` under both engines and
+/// asserts the full observation records match. `run` drives the finished
+/// driver and reports an optional completion flag.
+fn assert_engines_agree<B, R>(label: &str, build: B, run: R)
+where
+    B: Fn(&Arc<Mutex<Vec<Delivery>>>) -> Driver,
+    R: Fn(&mut Driver) -> Option<bool>,
+{
+    let run_one = |engine: Engine| {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut d = build(&log).with_engine(engine);
+        let completed = run(&mut d);
+        (observe(&d, completed, &log), d.cycles_stepped())
+    };
+    let (cycle, cycle_stepped) = run_one(Engine::Cycle);
+    let (event, event_stepped) = run_one(Engine::Event);
+    assert_eq!(cycle, event, "engines diverged on {label}");
+    assert!(
+        event_stepped <= cycle_stepped,
+        "{label}: event engine stepped more cycles ({event_stepped}) than the \
+         cycle engine ({cycle_stepped})"
+    );
+}
+
+#[test]
+fn synthetic_patterns_match_across_engines() {
+    // RNG-driven workloads: their `next_action` draws randomness, so they
+    // keep the conservative `Now` wakeup — the event engine may only skip
+    // compute/barrier gaps, and must stay byte-identical doing so.
+    for (kind, nodes, heavy) in [
+        (NetworkKind::Mesh2D, 16, true),
+        (NetworkKind::Cm5, 32, false),
+        (NetworkKind::Torus2D, 16, false),
+    ] {
+        let label = format!("synthetic on {kind:?}");
+        assert_engines_agree(
+            &label,
+            |log| {
+                Scenario::new(kind)
+                    .nodes(nodes)
+                    .seed(41)
+                    .nic(NicChoice::Nifdy(kind.nifdy_preset()))
+                    .metrics(500)
+                    .build_with(|sc| {
+                        let cfg = if heavy {
+                            SyntheticConfig::heavy(sc.seed())
+                        } else {
+                            SyntheticConfig::light(sc.seed())
+                        };
+                        record_all(cfg.build(sc.nodes()), log)
+                    })
+                    .expect("valid scenario")
+            },
+            |d| {
+                d.run_cycles(25_000);
+                None
+            },
+        );
+    }
+}
+
+#[test]
+fn scan_pipeline_matches_and_actually_skips() {
+    // The serialized scan pipeline is the skip-friendly workload: most
+    // nodes idle reactively (Quiescent) while the token crawls the ring.
+    // The event engine must produce identical results *and* step far
+    // fewer cycles.
+    for choice in [
+        NicChoice::Plain,
+        NicChoice::BuffersOnly(NifdyConfig::mesh()),
+        NicChoice::Nifdy(NifdyConfig::mesh()),
+    ] {
+        let label = format!("scan with {}", choice.label());
+        let run_one = |engine: Engine| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut d = Scenario::new(NetworkKind::Mesh2D)
+                .nodes(4)
+                .seed(5)
+                .nic(choice.clone())
+                .metrics(1_000)
+                .build_with(|sc| {
+                    record_all(
+                        ScanConfig::radix8(sc.sw())
+                            .with_delay(400)
+                            .build(sc.nodes()),
+                        &log,
+                    )
+                })
+                .expect("valid scenario")
+                .with_engine(engine);
+            let done = d.run_until_quiet(5_000_000);
+            assert!(done, "{label}: scan never finished");
+            (observe(&d, Some(done), &log), d.cycles_stepped())
+        };
+        let (cycle, cycle_stepped) = run_one(Engine::Cycle);
+        let (event, event_stepped) = run_one(Engine::Event);
+        assert_eq!(cycle, event, "engines diverged on {label}");
+        assert!(
+            event_stepped * 2 < cycle_stepped,
+            "{label}: expected a real skip win, got {event_stepped} stepped \
+             of {cycle_stepped} cycles"
+        );
+    }
+}
+
+#[test]
+fn coalesce_and_random_sweep_match() {
+    // Breadth: random destinations over several seeds, topologies, and
+    // interfaces, run to completion.
+    for seed in [3u64, 17, 92] {
+        for kind in [NetworkKind::Mesh2D, NetworkKind::FatTree] {
+            for nifdy in [false, true] {
+                let choice = if nifdy {
+                    NicChoice::Nifdy(kind.nifdy_preset())
+                } else {
+                    NicChoice::Plain
+                };
+                let label = format!("coalesce seed {seed} on {kind:?} with {}", choice.label());
+                assert_engines_agree(
+                    &label,
+                    |log| {
+                        Scenario::new(kind)
+                            .nodes(16)
+                            .seed(seed)
+                            .nic(choice.clone())
+                            .build_with(|sc| {
+                                let cfg = CoalesceConfig {
+                                    keys_per_node: 24,
+                                    seed: sc.seed(),
+                                    sw: sc.sw(),
+                                };
+                                record_all(cfg.build(sc.nodes()), log)
+                            })
+                            .expect("valid scenario")
+                    },
+                    |d| Some(d.run_until_quiet(5_000_000)),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_faults_and_typed_failures_match() {
+    // The §6.2 chaos path: uniform drops, bursty loss, a permanently dead
+    // link, a retry budget. Retransmission timers, failure surfacing, and
+    // the drop lottery's RNG stream must all line up across engines.
+    let dead = NodeId::new(3);
+    let build_fabric = || {
+        Fabric::new(
+            Box::new(Mesh::d2(2, 2)),
+            FabricConfig::default().with_drop_prob(0.02).with_fault(
+                FaultConfig::default()
+                    .with_ack_drop_prob(0.01)
+                    .with_burst(GilbertElliott::with_mean_loss(0.03))
+                    .with_link_window(LinkWindow::edge(dead, 0, u64::MAX)),
+            ),
+        )
+    };
+    let send = |dst: usize, idx: u32| {
+        Action::Send(
+            OutboundPacket::new(NodeId::new(dst), 8).with_user(UserData {
+                msg_id: 0,
+                pkt_index: idx,
+                msg_packets: 1,
+                user_words: 6,
+            }),
+        )
+    };
+    assert_engines_agree(
+        "chaos faults",
+        |log| {
+            let wls: Vec<Box<dyn NodeWorkload>> = (0..4usize)
+                .map(|i| -> Box<dyn NodeWorkload> {
+                    if i == 0 {
+                        Box::new(Script::new(vec![
+                            send(3, 0),
+                            send(1, 0),
+                            send(2, 0),
+                            send(1, 1),
+                        ]))
+                    } else {
+                        Box::new(Script::new(vec![]))
+                    }
+                })
+                .collect();
+            let cfg = NifdyConfig::mesh()
+                .with_retx_timeout(500)
+                .with_retx_budget(3);
+            Driver::new(
+                build_fabric(),
+                &NicChoice::Nifdy(cfg),
+                SoftwareModel::synthetic(),
+                record_all(wls, log),
+            )
+            .expect("driver builds")
+            .with_stall_watchdog(200_000)
+        },
+        |d| Some(d.run_until_quiet(2_000_000)),
+    );
+}
+
+#[test]
+fn run_sampled_observes_identical_intermediate_states() {
+    let sample_one = |engine: Engine| {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut d = Scenario::new(NetworkKind::Mesh2D)
+            .nodes(16)
+            .seed(9)
+            .nic(NicChoice::Nifdy(NetworkKind::Mesh2D.nifdy_preset()))
+            .build_with(|sc| {
+                record_all(
+                    ScanConfig::radix8(sc.sw()).with_delay(40).build(sc.nodes()),
+                    &log,
+                )
+            })
+            .expect("valid scenario")
+            .with_engine(engine);
+        let mut samples = Vec::new();
+        d.run_sampled(120_000, 10_000, |d| {
+            samples.push((
+                d.fabric().now().as_u64(),
+                d.packets_received(),
+                d.user_words_received(),
+            ));
+        });
+        (samples, observe(&d, None, &log))
+    };
+    let cycle = sample_one(Engine::Cycle);
+    let event = sample_one(Engine::Event);
+    assert_eq!(cycle, event, "sampled states diverged");
+}
+
+#[test]
+fn watchdog_trips_at_the_same_cycle_in_both_engines() {
+    // Total loss with no retransmission wedges the sender; the stall
+    // watchdog must catch it at the same cycle even when the event engine
+    // is skipping — its deadline is an explicit wakeup.
+    let trip_message = |engine: Engine| -> String {
+        let result = std::panic::catch_unwind(move || {
+            let fab = Fabric::new(
+                Box::new(Mesh::d2(2, 2)),
+                FabricConfig::default().with_drop_prob(1.0),
+            );
+            let wls: Vec<Box<dyn NodeWorkload>> = (0..4usize)
+                .map(|i| -> Box<dyn NodeWorkload> {
+                    if i == 0 {
+                        Box::new(Script::new(vec![Action::Send(OutboundPacket::new(
+                            NodeId::new(1),
+                            8,
+                        ))]))
+                    } else {
+                        Box::new(Script::new(vec![]))
+                    }
+                })
+                .collect();
+            let mut d = Driver::new(
+                fab,
+                &NicChoice::Nifdy(NifdyConfig::mesh()),
+                SoftwareModel::synthetic(),
+                wls,
+            )
+            .expect("driver builds")
+            .with_stall_watchdog(5_000)
+            .with_engine(engine);
+            let _ = d.run_until_quiet(1_000_000);
+        });
+        let err = result.expect_err("watchdog must trip");
+        err.downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".to_string())
+    };
+    let cycle_msg = trip_message(Engine::Cycle);
+    let event_msg = trip_message(Engine::Event);
+    assert!(cycle_msg.contains("stall watchdog tripped"), "{cycle_msg}");
+    assert_eq!(
+        cycle_msg, event_msg,
+        "watchdog reports differ between engines"
+    );
+}
+
+/// A scripted workload driven from a vector of actions.
+struct Script {
+    actions: std::vec::IntoIter<Action>,
+}
+
+impl Script {
+    fn new(actions: Vec<Action>) -> Self {
+        Script {
+            actions: actions.into_iter(),
+        }
+    }
+}
+
+impl NodeWorkload for Script {
+    fn next_action(&mut self, _now: Cycle) -> Action {
+        self.actions.next().unwrap_or(Action::Done)
+    }
+    fn on_receive(&mut self, _pkt: &Delivered, _now: Cycle) {}
+}
+
+#[cfg(feature = "trace")]
+mod trace_parity {
+    use super::*;
+    use nifdy_trace::{TraceConfig, TraceHandle};
+
+    /// Trace streams and journey-analysis reports must be byte-identical.
+    #[test]
+    fn trace_streams_and_journey_reports_match() {
+        let run_one = |engine: Engine| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let trace = TraceHandle::recording(TraceConfig::new().with_capacity_per_node(1 << 14));
+            let mut d = Scenario::new(NetworkKind::Mesh2D)
+                .nodes(16)
+                .seed(13)
+                .nic(NicChoice::Nifdy(
+                    NifdyConfig::mesh()
+                        .with_retx_timeout(500)
+                        .with_retx_budget(4),
+                ))
+                .trace(trace.clone())
+                .build_with(|sc| {
+                    record_all(
+                        ScanConfig::radix8(sc.sw()).with_delay(30).build(sc.nodes()),
+                        &log,
+                    )
+                })
+                .expect("valid scenario")
+                .with_engine(engine);
+            let done = d.run_until_quiet(5_000_000);
+            assert!(done, "scan never finished");
+            let events = trace.snapshot();
+            let report = nifdy_analyze::analyze(
+                &events,
+                &trace.loss(),
+                &nifdy_analyze::ExternalCounts::default(),
+                &nifdy_analyze::AnomalyConfig::default(),
+            );
+            (
+                events,
+                report.to_json().render(),
+                observe(&d, Some(done), &log),
+            )
+        };
+        let (cycle_events, cycle_json, cycle_rec) = run_one(Engine::Cycle);
+        let (event_events, event_json, event_rec) = run_one(Engine::Event);
+        assert_eq!(
+            cycle_events.len(),
+            event_events.len(),
+            "trace stream lengths differ"
+        );
+        assert_eq!(cycle_events, event_events, "trace streams differ");
+        assert_eq!(cycle_json, event_json, "journey analysis JSON differs");
+        assert_eq!(cycle_rec, event_rec, "observation records differ");
+    }
+}

@@ -6,7 +6,7 @@
 //! whatever [`Transport`] the endpoint was built on.
 
 use nifdy::{Delivered, DeliveryFailure, Nic, NicStats, NifdyConfig, NifdyUnit, OutboundPacket};
-use nifdy_sim::{Cycle, NodeId};
+use nifdy_sim::{Cycle, NodeId, Wakeup};
 use nifdy_trace::TraceHandle;
 
 use crate::port::TransportPort;
@@ -107,6 +107,18 @@ impl<T: Transport> WireEndpoint<T> {
     /// [`LoopbackHub::in_flight`]: crate::LoopbackHub::in_flight
     pub fn is_idle(&self) -> bool {
         self.unit.is_idle() && self.port.pending() == 0
+    }
+
+    /// When this endpoint next needs a [`step`](Self::step), under the
+    /// [`Wakeup`] contract: the protocol unit's own wakeup (retransmission
+    /// timers, ack delays), collapsed to `Now` while decoded frames await
+    /// ejection. Frames still inside the transport are invisible here — a
+    /// skip-ahead supervisor must also consult the transport's clock.
+    pub fn next_event(&self) -> Wakeup {
+        if self.port.pending() > 0 {
+            return Wakeup::Now;
+        }
+        self.unit.next_event(self.now())
     }
 
     /// Interface counters.
