@@ -1,15 +1,19 @@
 //! Clean vs. chaos transport throughput for the byte-level wire stack: the
 //! same two-node bulk stream over a bare loopback transport and over a
-//! [`FaultyTransport`] running the recoverable chaos mix. Besides the
-//! criterion smoke timings, the run writes a machine-readable snapshot to
-//! `BENCH_wire.json` (override the path with the `BENCH_WIRE_JSON` env
-//! var) so throughput regressions are diffable across commits.
+//! [`FaultyTransport`] running the recoverable chaos mix, plus the
+//! `nifdy-node` daemon driving a full rotation across 64/256/1024 hosted
+//! endpoints. Besides the criterion smoke timings, the run writes a
+//! machine-readable snapshot to `BENCH_wire.json` (override the path with
+//! the `BENCH_WIRE_JSON` env var) so throughput regressions are diffable
+//! across commits.
 
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, Criterion};
 use nifdy::{NifdyConfig, OutboundPacket};
 use nifdy_net::{GilbertElliott, UserData};
+use nifdy_node::workload::{run_local, SwarmPlan};
+use nifdy_node::NodeConfig;
 use nifdy_sim::NodeId;
 use nifdy_trace::json::Json;
 use nifdy_trace::WireFaultCause;
@@ -139,6 +143,67 @@ fn bench_chaos(c: &mut Criterion) {
     });
 }
 
+/// The seeded rotation a daemon bench cell runs: every endpoint streams
+/// two 4-packet bulk messages to its partner.
+fn daemon_plan(endpoints: usize) -> SwarmPlan {
+    SwarmPlan::rotation(endpoints, 2, 4, SIZE_WORDS, true, SEED)
+}
+
+fn daemon_config() -> NodeConfig {
+    NodeConfig::default()
+        .with_shards(8)
+        .with_batch(64)
+        .with_seed(SEED)
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    c.bench_function("node-daemon-256ep-rotation", |b| {
+        b.iter(|| {
+            let run = run_local(&daemon_plan(256), daemon_config(), 1_000_000);
+            assert!(
+                run.stats.shards.iter().all(|s| s.failures == 0),
+                "daemon bench lost packets"
+            );
+            run.rounds
+        })
+    });
+}
+
+/// One daemon cell of the snapshot: a full in-order rotation across
+/// `endpoints` hosted endpoints, reported as wire frames per second.
+fn daemon_cell(endpoints: usize) -> (&'static str, Json) {
+    let plan = daemon_plan(endpoints);
+    let start = Instant::now();
+    let run = run_local(&plan, daemon_config(), 1_000_000);
+    let wall = start.elapsed();
+    assert_eq!(
+        run.log,
+        plan.expected_log(),
+        "daemon bench diverged from send order at {endpoints} endpoints"
+    );
+    let secs = wall.as_secs_f64().max(1e-9);
+    let packets = plan.total_packets();
+    let key = match endpoints {
+        64 => "ep64",
+        256 => "ep256",
+        _ => "ep1024",
+    };
+    (
+        key,
+        Json::obj([
+            ("endpoints", Json::u64(endpoints as u64)),
+            ("packets", Json::u64(packets)),
+            ("rounds", Json::u64(run.rounds)),
+            ("wall_ms", Json::Num(secs * 1e3)),
+            (
+                "frames_per_sec",
+                Json::Num(run.stats.frames_in as f64 / secs),
+            ),
+            ("packets_per_sec", Json::Num(packets as f64 / secs)),
+        ]),
+    )
+}
+
 /// One timed cell of the snapshot: wall time and simulated cycles for a
 /// fixed-size stream.
 fn timed_cell(chaos: bool, packets: u32) -> (u64, Duration, u64, Vec<(&'static str, u64)>) {
@@ -212,6 +277,10 @@ fn emit_snapshot() {
             "chaos_cycle_overhead",
             Json::Num(chaos_cycles as f64 / clean_cycles.max(1) as f64),
         ),
+        (
+            "daemon",
+            Json::obj([daemon_cell(64), daemon_cell(256), daemon_cell(1024)]),
+        ),
     ]);
     let path = std::env::var("BENCH_WIRE_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json").into());
@@ -224,7 +293,7 @@ fn emit_snapshot() {
 criterion_group! {
     name = wire;
     config = Criterion::default().sample_size(10);
-    targets = bench_clean, bench_chaos
+    targets = bench_clean, bench_chaos, bench_daemon
 }
 
 fn main() {

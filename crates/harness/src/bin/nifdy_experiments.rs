@@ -7,23 +7,30 @@
 use std::process::ExitCode;
 
 use nifdy_harness::{
-    analyze_cmd, ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, percentile_table, sweep,
-    table3, trace_guard, wire_cmd, Engine, Jobs, Scale,
+    analyze_cmd, ext, ext_lossy, fig23, fig4, fig5, fig6, fig78, fig9, node_cmd, percentile_table,
+    sweep, table3, trace_guard, wire_cmd, Engine, Jobs, Scale,
 };
 use nifdy_trace::export;
 
 const USAGE: &str = "usage: nifdy-experiments \
     <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table3|all|sweep:<network>\
     |ext:adaptive|ext:loadsweep|ext:lossy|trace-guard|wire:loopback|wire:udp|wire:chaos\
-    |trace:analyze> \
+    |trace:analyze|node:serve|node:swarm> \
     [--full|--quick|--smoke] [--seed N] [--jobs N] [--engine cycle|event] \
     [--trace-out FILE.json] [--trace-jsonl FILE.jsonl] [--metrics-out FILE.json]\n\
     --engine event runs the skip-ahead kernel (byte-identical output, \
     fewer stepped cycles)\n\
     wire:chaos --metrics-out writes the per-cause fault-counter JSON report\n\
+    wire:udp exits with code 3 when the localhost sockets cannot bind\n\
     trace:analyze --metrics-out writes the journey-analysis JSON report, \
     --trace-out the journey-enriched Perfetto trace (fabric carrier), \
-    --trace-jsonl the raw event stream; exits nonzero on invariant violation";
+    --trace-jsonl the raw event stream; exits nonzero on invariant violation\n\
+    node:serve hosts a many-endpoint daemon \
+    [--nodes=N --shards=S --batch=B --workload=rotation|em3d \
+    --messages=M --packets=P --scalar --parity]\n\
+    node:swarm runs an M-process localhost swarm with a sim parity gate \
+    [--procs=M --per-proc=K --kill ...serve flags]; \
+    --metrics-out writes the aggregated swarm JSON report";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +41,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut trace_jsonl: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut extra: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(s) = Scale::from_flag(a) {
@@ -72,6 +80,10 @@ fn main() -> ExitCode {
                 "--trace-jsonl" => trace_jsonl = Some(path.clone()),
                 _ => metrics_out = Some(path.clone()),
             }
+        } else if a.starts_with("--") {
+            // Command-specific flags (node:* uses --key=value form); the
+            // dispatch below validates them against the chosen target.
+            extra.push(a.clone());
         } else if target.is_none() {
             target = Some(a.clone());
         } else {
@@ -83,6 +95,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if !extra.is_empty() && !target.starts_with("node:") {
+        eprintln!("unexpected argument '{}'\n{USAGE}", extra[0]);
+        return ExitCode::FAILURE;
+    }
 
     let all = target == "all";
     let mut matched = false;
@@ -169,12 +185,64 @@ fn main() -> ExitCode {
             Ok(report) => {
                 println!(
                     "nifdy-wire: UDP localhost exchange: {} packets delivered in order, \
-                     {} retransmits, {} ms",
-                    report.delivered, report.retransmits, report.millis
+                     {} retransmits, {} ms \
+                     (refused {}, oversize {}, unknown peer {}, transport errors {} \
+                     [{} dropped])",
+                    report.delivered,
+                    report.retransmits,
+                    report.millis,
+                    report.refused,
+                    report.oversize,
+                    report.unknown_peer,
+                    report.transport_errors,
+                    report.dropped_errors,
                 );
             }
             Err(e) => {
+                // Distinct exit code: CI distinguishes "no loopback socket
+                // available in this sandbox" from a protocol failure.
                 eprintln!("wire:udp cannot bind localhost sockets: {e}");
+                return ExitCode::from(3);
+            }
+        }
+        matched = true;
+    }
+    if target == "node:serve" {
+        match node_cmd::run_serve(scale, seed, &extra) {
+            Ok(node_cmd::ServeOutcome::Child) => {}
+            Ok(node_cmd::ServeOutcome::Report(report)) => {
+                println!("{}", report.summary);
+                println!("{}", report.shards);
+                if !report.ok() {
+                    eprintln!("node:serve: delivery order diverged from the plan");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("node:serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        matched = true;
+    }
+    if target == "node:swarm" {
+        match node_cmd::run_swarm(scale, seed, &extra) {
+            Ok(report) => {
+                println!("{}", report.table);
+                println!("{}", report.verdict);
+                if let Some(path) = &metrics_out {
+                    if let Err(e) = std::fs::write(path, report.json.render()) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+                if !report.ok {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("node:swarm: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -234,11 +302,12 @@ fn main() -> ExitCode {
     if (trace_out.is_some() || trace_jsonl.is_some() || metrics_out.is_some())
         && target != "wire:chaos"
         && target != "trace:analyze"
+        && !target.starts_with("node:")
     {
         if !(target.starts_with("ext:lossy") || target == "ext-lossy") {
             eprintln!(
                 "--trace-out/--trace-jsonl/--metrics-out only apply to ext:lossy, \
-                 wire:chaos, and trace:analyze\n{USAGE}"
+                 wire:chaos, trace:analyze, and node:swarm\n{USAGE}"
             );
             return ExitCode::FAILURE;
         }

@@ -46,6 +46,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig78;
 pub mod fig9;
+pub mod node_cmd;
 mod report;
 mod scale;
 pub mod sweep;

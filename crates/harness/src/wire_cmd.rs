@@ -407,7 +407,8 @@ pub fn chaos_json(seed: u64, points: &[ChaosPoint]) -> Json {
     ])
 }
 
-/// Result of the two-node UDP exchange.
+/// Result of the two-node UDP exchange, including the carrier-level
+/// counters summed over both sockets.
 #[derive(Debug, Clone, Copy)]
 pub struct UdpReport {
     /// Packets delivered in order at the receiver.
@@ -416,6 +417,16 @@ pub struct UdpReport {
     pub retransmits: u64,
     /// Wall-clock milliseconds for the exchange.
     pub millis: u128,
+    /// `ECONNREFUSED` events (ICMP bounce from a dead peer; weather).
+    pub refused: u64,
+    /// Datagrams rejected for exceeding the socket's maximum size.
+    pub oversize: u64,
+    /// Frames addressed to nodes with no registered socket address.
+    pub unknown_peer: u64,
+    /// Unclassified socket failures (see [`nifdy_wire::TransportError`]).
+    pub transport_errors: u64,
+    /// Unclassified failures shed because an earlier one was unread.
+    pub dropped_errors: u64,
 }
 
 /// Streams a bulk message between two localhost UDP sockets driven from one
@@ -464,10 +475,16 @@ pub fn run_udp(scale: Scale, seed: u64) -> std::io::Result<UdpReport> {
             got += 1;
         }
     }
+    let (t0, t1) = (tx.port().transport(), rx.port().transport());
     Ok(UdpReport {
         delivered: rx.stats().delivered.get(),
         retransmits: tx.stats().retransmitted.get(),
         millis: start.elapsed().as_millis(),
+        refused: t0.refused() + t1.refused(),
+        oversize: t0.oversize() + t1.oversize(),
+        unknown_peer: t0.unknown_peer() + t1.unknown_peer(),
+        transport_errors: t0.transport_errors() + t1.transport_errors(),
+        dropped_errors: t0.dropped_errors() + t1.dropped_errors(),
     })
 }
 
@@ -543,5 +560,12 @@ mod tests {
     fn udp_exchange_delivers_everything() {
         let report = run_udp(Scale::Smoke, 3).expect("sockets bind on localhost");
         assert_eq!(report.delivered, Scale::Smoke.count(500));
+        assert_eq!(
+            report.transport_errors, 0,
+            "no unclassified socket failures"
+        );
+        assert_eq!(report.dropped_errors, 0);
+        assert_eq!(report.unknown_peer, 0, "both peers were registered");
+        assert_eq!(report.oversize, 0);
     }
 }

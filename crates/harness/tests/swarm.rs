@@ -1,0 +1,95 @@
+//! End-to-end swarm tests: drive the `nifdy-experiments` binary's `node:*`
+//! targets as real subprocesses, exactly the way CI and a user would. The
+//! swarm parent in turn re-executes the same binary as `--swarm-child`
+//! workers, so each test here exercises the full stdio control protocol,
+//! real UDP datagrams between processes, and the parity/recovery gates.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nifdy-experiments"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = experiments().args(args).output().expect("spawn binary");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "{args:?} failed (status {:?})\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status
+    );
+    stdout
+}
+
+#[test]
+fn serve_single_daemon_reports_in_order_delivery() {
+    let stdout = run_ok(&[
+        "node:serve",
+        "--smoke",
+        "--seed",
+        "7",
+        "--nodes=12",
+        "--shards=4",
+        "--messages=1",
+        "--packets=2",
+        "--parity",
+    ]);
+    // The order column reports "plan+sim" when both the send-order gate and
+    // the --parity flit-level comparison pass.
+    assert!(
+        stdout.contains("plan+sim"),
+        "serve summary missing order verdict:\n{stdout}"
+    );
+}
+
+#[test]
+fn swarm_clean_run_matches_sim_delivery_order() {
+    let stdout = run_ok(&[
+        "node:swarm",
+        "--smoke",
+        "--seed",
+        "5",
+        "--procs=2",
+        "--per-proc=4",
+        "--messages=1",
+        "--packets=2",
+    ]);
+    assert!(
+        stdout.contains("parity OK"),
+        "swarm did not report parity:\n{stdout}"
+    );
+}
+
+#[test]
+fn swarm_survives_killing_one_process() {
+    let stdout = run_ok(&[
+        "node:swarm",
+        "--smoke",
+        "--seed",
+        "11",
+        "--procs=2",
+        "--per-proc=4",
+        "--messages=1",
+        "--packets=2",
+        "--kill",
+    ]);
+    assert!(
+        stdout.contains("recovery OK"),
+        "swarm did not report recovery:\n{stdout}"
+    );
+}
+
+#[test]
+fn bad_node_flags_are_rejected() {
+    let out = experiments()
+        .args(["node:swarm", "--smoke", "--procs=1"])
+        .output()
+        .expect("spawn binary");
+    assert!(!out.status.success(), "--procs=1 should be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--procs"),
+        "error should name the flag:\n{stderr}"
+    );
+}

@@ -117,6 +117,7 @@ impl LintConfig {
                         "verify_checksum".into(),
                         "body_len".into(),
                         "read_node".into(),
+                        "peek_route".into(),
                         "byte_at".into(),
                         "arr_at".into(),
                         "tail_from".into(),
@@ -142,6 +143,7 @@ impl LintConfig {
                         "consume_heartbeats".into(),
                         "broadcast".into(),
                         "check_silence".into(),
+                        "next_event".into(),
                         "kill".into(),
                         "incarnate".into(),
                     ],

@@ -1,0 +1,164 @@
+//! Endpoint multiplexing: the in-memory per-endpoint transport the daemon
+//! demultiplexes into, and the flow-affine shard hash.
+
+use std::collections::VecDeque;
+
+use nifdy_net::Lane;
+use nifdy_sim::{Cycle, NodeId};
+use nifdy_wire::Transport;
+
+/// The shard that owns `dst`'s endpoint — and therefore every flow whose
+/// frames terminate at `dst`.
+///
+/// The hash is FNV-1a over the destination id alone. Keying on the
+/// destination (rather than the full `(src, dst)` pair) is what makes the
+/// sharding *flow-affine*: a bulk dialog's state — the OPT entry, the
+/// window, the duplicate bits — lives in the receiving endpoint, so every
+/// frame of the dialog must reach the shard holding that endpoint. Hashing
+/// the source into the key would scatter one endpoint's inbound flows
+/// across shards and force cross-shard access to a single dialog table.
+pub fn shard_of(dst: NodeId, shards: usize) -> usize {
+    assert!(shards > 0, "at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in (dst.index() as u64).to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The shard a `(src, dst)` flow is pinned to. Provably independent of
+/// `src` — see [`shard_of`] for why — so a dialog's frames never cross
+/// shards no matter which peers participate.
+pub fn flow_shard(src: NodeId, dst: NodeId, shards: usize) -> usize {
+    let _ = src;
+    shard_of(dst, shards)
+}
+
+/// One hosted endpoint's in-memory transport attachment.
+///
+/// The daemon owns the real sockets; each logical endpoint sees only this
+/// port. Inbound frames are pushed by the daemon's demultiplexer
+/// ([`push_inbound`](MuxPort::push_inbound)); outbound frames accumulate
+/// locally and are drained by the daemon's flush pass
+/// ([`take_outbound_into`](MuxPort::take_outbound_into)) into a per-carrier
+/// batch. The clock free-runs one cycle per daemon poll round, mirroring
+/// [`UdpTransport`](nifdy_wire::UdpTransport)'s per-node clock domain.
+#[derive(Debug)]
+pub struct MuxPort {
+    node: NodeId,
+    now: Cycle,
+    inbound: [VecDeque<Vec<u8>>; 2],
+    outbound: Vec<(NodeId, Lane, Vec<u8>)>,
+}
+
+impl MuxPort {
+    /// Creates the port for `node` at cycle zero.
+    pub fn new(node: NodeId) -> Self {
+        MuxPort {
+            node,
+            now: Cycle::ZERO,
+            inbound: [VecDeque::new(), VecDeque::new()],
+            outbound: Vec::new(),
+        }
+    }
+
+    /// Queues a demultiplexed inbound frame for the endpoint's next tick.
+    pub fn push_inbound(&mut self, lane: Lane, frame: Vec<u8>) {
+        self.inbound[lane.index()].push_back(frame);
+    }
+
+    /// Moves every queued outbound frame into `out`, preserving order and
+    /// reusing this port's allocation for the next round.
+    pub fn take_outbound_into(&mut self, out: &mut Vec<(NodeId, Lane, Vec<u8>)>) {
+        out.append(&mut self.outbound);
+    }
+
+    /// Frames queued inbound and not yet consumed by the endpoint.
+    pub fn inbound_len(&self) -> usize {
+        self.inbound[0].len() + self.inbound[1].len()
+    }
+}
+
+impl Transport for MuxPort {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    fn send(&mut self, dst: NodeId, lane: Lane, frame: Vec<u8>) {
+        self.outbound.push((dst, lane, frame));
+    }
+
+    fn recv(&mut self, lane: Lane) -> Option<Vec<u8>> {
+        self.inbound[lane.index()].pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_shard_is_source_independent_and_stable() {
+        for shards in [1usize, 2, 4, 7, 16] {
+            for dst in 0..256 {
+                let d = NodeId::new(dst);
+                let owner = shard_of(d, shards);
+                assert!(owner < shards);
+                for src in [0usize, 1, 17, 255, 4000] {
+                    assert_eq!(
+                        flow_shard(NodeId::new(src), d, shards),
+                        owner,
+                        "flow ({src},{dst}) must land in dst's shard"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_hash_spreads_contiguous_ids() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for dst in 0..1024 {
+            counts[shard_of(NodeId::new(dst), shards)] += 1;
+        }
+        for (s, &n) in counts.iter().enumerate() {
+            assert!(n > 0, "shard {s} owns no endpoints out of 1024");
+        }
+    }
+
+    #[test]
+    fn mux_port_round_trips_frames_per_lane() {
+        let mut port = MuxPort::new(NodeId::new(3));
+        port.push_inbound(Lane::Request, vec![1]);
+        port.push_inbound(Lane::Reply, vec![2]);
+        assert_eq!(port.inbound_len(), 2);
+        assert_eq!(port.recv(Lane::Request), Some(vec![1]));
+        assert_eq!(port.recv(Lane::Request), None);
+        assert_eq!(port.recv(Lane::Reply), Some(vec![2]));
+
+        port.send(NodeId::new(9), Lane::Request, vec![7]);
+        port.send(NodeId::new(8), Lane::Reply, vec![8]);
+        let mut out = Vec::new();
+        port.take_outbound_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, NodeId::new(9));
+        assert_eq!(out[1].2, vec![8]);
+        let mut again = Vec::new();
+        port.take_outbound_into(&mut again);
+        assert!(again.is_empty(), "drain empties the queue");
+
+        assert_eq!(port.now(), Cycle::ZERO);
+        port.tick();
+        assert_eq!(port.now().as_u64(), 1);
+    }
+}

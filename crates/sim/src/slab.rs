@@ -30,8 +30,8 @@ enum Entry<T> {
     Occupied { generation: u32, value: T },
 }
 
-/// A free-list arena with generation-checked handles. See the [module
-/// docs](self).
+/// A free-list arena with generation-checked handles. See the module
+/// docs for the full contract.
 ///
 /// # Examples
 ///

@@ -26,8 +26,8 @@
 
 use crate::Cycle;
 
-/// When a component next needs to be stepped. See the [module
-/// docs](self) for the full contract.
+/// When a component next needs to be stepped. See the module docs for
+/// the full contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Wakeup {
     /// Stepping this cycle may perform observable work.

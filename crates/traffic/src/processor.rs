@@ -64,6 +64,7 @@ pub trait NodeWorkload: Send {
     /// randomness) must keep the default `Now`.
     ///
     /// [`next_action`]: NodeWorkload::next_action
+    /// [`on_receive`]: NodeWorkload::on_receive
     fn next_event(&self, now: Cycle) -> Wakeup {
         let _ = now;
         Wakeup::Now

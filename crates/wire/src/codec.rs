@@ -504,6 +504,29 @@ pub fn decode_frame(bytes: &[u8]) -> Result<WireFrame, WireError> {
     decode_body(body).map(WireFrame::Packet)
 }
 
+/// Reads just the routing fields — destination node and lane — from an
+/// encoded frame, without decoding or checksum-verifying it. Total over
+/// arbitrary input: anything too short to carry the flag byte, the
+/// destination id, and the checksum trailer returns `None`.
+///
+/// This is the demultiplexer's fast path: a daemon hosting many endpoints
+/// behind one socket must pick the owning endpoint before it is worth
+/// paying for a full [`decode_frame`] — which the endpoint's own port
+/// still performs, so a frame with a corrupted destination merely lands at
+/// (and is rejected by) the wrong endpoint's decoder, exactly as a
+/// misrouted datagram would.
+pub fn peek_route(frame: &[u8]) -> Option<(NodeId, Lane)> {
+    if frame.len() < 3 + CHECKSUM_LEN {
+        return None;
+    }
+    let lane = if byte_at(frame, 0) & FLAG_LANE != 0 {
+        Lane::Reply
+    } else {
+        Lane::Request
+    };
+    Some((read_node(frame, 1), lane))
+}
+
 /// CRC-16/CCITT-FALSE over `bytes` (init `0xFFFF`, polynomial `0x1021`,
 /// no reflection, no final xor).
 fn crc16(bytes: &[u8]) -> u16 {
@@ -718,6 +741,24 @@ fn tail_from(bytes: &[u8], at: usize) -> &[u8] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peek_route_agrees_with_full_decode_on_every_frame_kind() {
+        let hb = Heartbeat {
+            src: NodeId::new(3),
+            dst: NodeId::new(1_000),
+            epoch: 9,
+        };
+        let frame = encode_heartbeat(&hb);
+        assert_eq!(peek_route(&frame), Some((NodeId::new(1_000), Lane::Reply)));
+
+        let pkt = Packet::data(PacketId::new(1), NodeId::new(2), NodeId::new(513), 6);
+        let frame = encode(&WirePacket::from_packet(&pkt));
+        assert_eq!(peek_route(&frame), Some((NodeId::new(513), pkt.lane)));
+
+        assert_eq!(peek_route(&[]), None, "total on empty input");
+        assert_eq!(peek_route(&[0xFF; 4]), None, "total on short input");
+    }
 
     fn round_trip(wp: WirePacket) {
         let bytes = encode(&wp);

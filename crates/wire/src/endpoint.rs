@@ -141,6 +141,12 @@ impl<T: Transport> WireEndpoint<T> {
         &self.port
     }
 
+    /// The underlying transport, mutably (multiplexing hosts feed and
+    /// drain it; UDP callers drain [`take_error`](crate::UdpTransport::take_error)).
+    pub fn transport_mut(&mut self) -> &mut T {
+        self.port.transport_mut()
+    }
+
     /// Mutable unit access for the supervision layer (peer resets).
     pub(crate) fn unit_mut(&mut self) -> &mut NifdyUnit {
         &mut self.unit

@@ -34,12 +34,12 @@ mod transport;
 mod udp;
 
 pub use codec::{
-    decode, decode_frame, encode, encode_heartbeat, Heartbeat, WireError, WireFrame, WirePacket,
-    WireSource,
+    decode, decode_frame, encode, encode_heartbeat, peek_route, Heartbeat, WireError, WireFrame,
+    WirePacket, WireSource,
 };
 pub use endpoint::WireEndpoint;
 pub use fault::{FaultyTransport, WireFaultConfig, WireFaultStats};
 pub use port::TransportPort;
 pub use supervisor::{PeerEvent, SupervisedEndpoint, Supervisor, SupervisorConfig};
-pub use transport::{LoopbackHub, LoopbackTransport, Transport};
+pub use transport::{BatchTransport, LoopbackHub, LoopbackTransport, Transport};
 pub use udp::{TransportError, UdpTransport};

@@ -82,6 +82,14 @@ impl<T: Transport> TransportPort<T> {
         &self.transport
     }
 
+    /// The underlying transport, mutably. A multiplexing host (the
+    /// `nifdy-node` daemon) uses this to push demultiplexed frames into,
+    /// and drain sends out of, an in-memory transport it owns on the
+    /// endpoint's behalf.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
     /// Drains the liveness beacons decoded since the last call. The
     /// supervisor layer consumes these to track peer epochs and silence.
     pub fn take_heartbeats(&mut self) -> Vec<Heartbeat> {

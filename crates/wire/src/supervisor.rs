@@ -26,7 +26,7 @@
 
 use std::collections::BTreeMap;
 
-use nifdy_sim::{Cycle, NodeId, SimRng};
+use nifdy_sim::{Cycle, NodeId, SimRng, Wakeup};
 use nifdy_trace::{trace_event, EventKind, TraceHandle};
 
 use crate::endpoint::WireEndpoint;
@@ -248,6 +248,31 @@ impl<T: Transport> SupervisedEndpoint<T> {
         self.check_silence(now, me);
     }
 
+    /// When this supervised endpoint next needs a [`step`](Self::step),
+    /// under the [`Wakeup`] contract: the earliest of the protocol unit's
+    /// own wakeup, the next heartbeat-broadcast deadline, and the earliest
+    /// watched peer's silence deadline. Frames still inside the transport
+    /// are invisible here, exactly as for [`WireEndpoint::next_event`] — an
+    /// event-driven driver must also consult the transport's clock.
+    pub fn next_event(&self) -> Wakeup {
+        let now = self.ep.now();
+        let mut wake = self.ep.next_event();
+        wake = wake.earliest(match self.last_beat {
+            // Never beaten: the next step broadcasts immediately.
+            None => Wakeup::Now,
+            Some(at) => Wakeup::at_or_now(at + self.cfg.heartbeat_every, now),
+        });
+        for state in self.peers.values() {
+            if !state.down {
+                wake = wake.earliest(Wakeup::at_or_now(
+                    state.last_heard + self.cfg.peer_timeout,
+                    now,
+                ));
+            }
+        }
+        wake
+    }
+
     /// Applies every heartbeat the port decoded this cycle.
     fn consume_heartbeats(&mut self, now: Cycle, me: NodeId) {
         for hb in self.ep.port_mut().take_heartbeats() {
@@ -386,15 +411,35 @@ impl<T: Transport, F: FnMut() -> WireEndpoint<T>> Supervisor<T, F> {
     /// # Panics
     ///
     /// Panics if `cfg` fails [`SupervisorConfig::validate`].
-    pub fn new(cfg: SupervisorConfig, watched: Vec<NodeId>, mut factory: F, seed: u64) -> Self {
-        let ep = Self::incarnate(&mut factory, cfg, &watched, 0, TraceHandle::off());
+    pub fn new(cfg: SupervisorConfig, watched: Vec<NodeId>, factory: F, seed: u64) -> Self {
+        Self::with_starting_epoch(cfg, watched, factory, seed, 0)
+    }
+
+    /// [`Supervisor::new`], but the first incarnation announces `epoch`
+    /// instead of 0. A daemon process restarted *from outside* (its whole
+    /// OS process died) passes the next epoch here so surviving peers see
+    /// the epoch increase and reset their entangled protocol state — the
+    /// in-process restart path bumps the epoch automatically, but a fresh
+    /// process has no memory of the old incarnation's count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SupervisorConfig::validate`].
+    pub fn with_starting_epoch(
+        cfg: SupervisorConfig,
+        watched: Vec<NodeId>,
+        mut factory: F,
+        seed: u64,
+        epoch: u32,
+    ) -> Self {
+        let ep = Self::incarnate(&mut factory, cfg, &watched, epoch, TraceHandle::off());
         let node = ep.endpoint().node().index() as u64;
         Supervisor {
             factory,
             cfg,
             watched,
             ep: Some(ep),
-            epoch: 0,
+            epoch,
             restarts: 0,
             restart_at: None,
             rng: SimRng::from_seed_stream(seed, SUPERVISOR_STREAM | node),
@@ -464,6 +509,20 @@ impl<T: Transport, F: FnMut() -> WireEndpoint<T>> Supervisor<T, F> {
             backoff += self.rng.next_u64() % (self.cfg.backoff_jitter + 1);
         }
         self.restart_at = Some((now + backoff, backoff));
+    }
+
+    /// When this supervisor next needs a [`step`](Self::step): the running
+    /// incarnation's wakeup while up, the restart deadline while down, and
+    /// [`Wakeup::Quiescent`] when down with no restart scheduled (nothing
+    /// short of external input — a [`kill`](Self::kill) — changes that).
+    pub fn next_event(&self, now: Cycle) -> Wakeup {
+        match &self.ep {
+            Some(ep) => ep.next_event(),
+            None => match self.restart_at {
+                Some((at, _)) => Wakeup::at_or_now(at, now),
+                None => Wakeup::Quiescent,
+            },
+        }
     }
 
     /// One cycle: step the running incarnation, or — while down — restart

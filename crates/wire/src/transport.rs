@@ -41,6 +41,43 @@ pub trait Transport: Send {
     fn recv(&mut self, lane: Lane) -> Option<Vec<u8>>;
 }
 
+/// Batched frame I/O for carriers that serve many logical endpoints at
+/// once (the `nifdy-node` daemon's poll loop).
+///
+/// The default methods are plain loops over [`Transport::recv`] and
+/// [`Transport::send`], so every transport gets the batched interface for
+/// free and tests share one code path with production carriers. Backends
+/// override them when a real economy exists: the loopback hub takes its
+/// lock once per batch instead of once per frame, and the UDP transport
+/// coalesces the peer-address lookup across consecutive frames to the same
+/// destination.
+pub trait BatchTransport: Transport {
+    /// Drains up to `max` frames delivered to this node on `lane` into
+    /// `out`, returning how many were appended. A bounded batch keeps one
+    /// busy socket from starving the rest of a daemon's poll round.
+    fn recv_batch(&mut self, lane: Lane, max: usize, out: &mut Vec<Vec<u8>>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.recv(lane) {
+                Some(frame) => {
+                    out.push(frame);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Sends every queued `(dst, lane, frame)` in order, draining the
+    /// vector (so callers can reuse its allocation round after round).
+    fn send_batch(&mut self, frames: &mut Vec<(NodeId, Lane, Vec<u8>)>) {
+        for (dst, lane, frame) in frames.drain(..) {
+            self.send(dst, lane, frame);
+        }
+    }
+}
+
 /// In-flight frames for one destination: ordered by (delivery cycle, global
 /// send sequence), so iteration order is deterministic even under jitter.
 type DeliveryQueue = BTreeMap<(u64, u64), Vec<u8>>;
@@ -125,6 +162,20 @@ impl LoopbackHub {
         self.lock().now
     }
 
+    /// The earliest cycle at which any in-flight frame becomes deliverable,
+    /// if one exists. An event-driven driver folds this into its wakeup
+    /// computation: [`WireEndpoint::next_event`](crate::WireEndpoint::next_event)
+    /// cannot see frames still inside the transport, so the hub must be
+    /// consulted for them.
+    pub fn next_delivery(&self) -> Option<u64> {
+        self.lock()
+            .queues
+            .iter()
+            .flat_map(|lanes| lanes.iter())
+            .filter_map(|q| q.first_key_value().map(|(&(at, _), _)| at))
+            .min()
+    }
+
     /// Frames currently in flight or awaiting [`Transport::recv`], across
     /// all nodes (drain/termination checks).
     pub fn in_flight(&self) -> usize {
@@ -205,6 +256,43 @@ impl Transport for LoopbackTransport {
     }
 }
 
+impl BatchTransport for LoopbackTransport {
+    /// Lock-once batch drain: one hub-mutex acquisition per batch instead
+    /// of one per frame.
+    fn recv_batch(&mut self, lane: Lane, max: usize, out: &mut Vec<Vec<u8>>) -> usize {
+        let mut inner = self.lock();
+        let now = inner.now.as_u64();
+        let queue = &mut inner.queues[self.node.index()][lane.index()];
+        let mut n = 0;
+        while n < max {
+            match queue.first_key_value() {
+                Some((&key, _)) if key.0 <= now => {
+                    if let Some(frame) = queue.remove(&key) {
+                        out.push(frame);
+                        n += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        n
+    }
+
+    /// Lock-once coalesced flush of a whole send batch.
+    fn send_batch(&mut self, frames: &mut Vec<(NodeId, Lane, Vec<u8>)>) {
+        let mut inner = self.lock();
+        for (dst, lane, frame) in frames.drain(..) {
+            let mut deliver_at = inner.now.as_u64() + inner.latency;
+            if let Some((rng, max_extra)) = &mut inner.jitter {
+                deliver_at += rng.next_u64() % (*max_extra + 1);
+            }
+            let seq = inner.seq;
+            inner.seq += 1;
+            inner.queues[dst.index()][lane.index()].insert((deliver_at, seq), frame);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +321,41 @@ mod tests {
         hub.tick();
         assert!(b.recv(Lane::Request).is_none());
         assert_eq!(b.recv(Lane::Reply), Some(vec![1]));
+    }
+
+    #[test]
+    fn batch_recv_is_bounded_and_batch_send_delivers() {
+        let hub = LoopbackHub::new(2, 1);
+        let mut a = hub.endpoint(NodeId::new(0));
+        let mut b = hub.endpoint(NodeId::new(1));
+        let mut batch: Vec<(NodeId, Lane, Vec<u8>)> = (0..5u8)
+            .map(|i| (NodeId::new(1), Lane::Request, vec![i]))
+            .collect();
+        a.send_batch(&mut batch);
+        assert!(batch.is_empty(), "send_batch drains the queue");
+        hub.tick();
+        let mut out = Vec::new();
+        assert_eq!(b.recv_batch(Lane::Request, 3, &mut out), 3, "bounded");
+        assert_eq!(b.recv_batch(Lane::Request, 8, &mut out), 2, "remainder");
+        let got: Vec<u8> = out.iter().map(|f| f[0]).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4], "send order preserved");
+    }
+
+    #[test]
+    fn next_delivery_reports_the_earliest_in_flight_frame() {
+        let hub = LoopbackHub::new(2, 5);
+        let mut a = hub.endpoint(NodeId::new(0));
+        assert_eq!(hub.next_delivery(), None, "empty hub has no deadline");
+        a.send(NodeId::new(1), Lane::Request, vec![1]);
+        hub.tick();
+        a.send(NodeId::new(1), Lane::Reply, vec![2]);
+        assert_eq!(hub.next_delivery(), Some(5), "earliest across lanes");
+        let mut b = hub.endpoint(NodeId::new(1));
+        for _ in 0..5 {
+            hub.tick();
+        }
+        assert!(b.recv(Lane::Request).is_some());
+        assert_eq!(hub.next_delivery(), Some(6), "remaining frame's deadline");
     }
 
     #[test]

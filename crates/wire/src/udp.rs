@@ -14,7 +14,7 @@ use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use nifdy_net::Lane;
 use nifdy_sim::{Cycle, NodeId};
 
-use crate::transport::Transport;
+use crate::transport::{BatchTransport, Transport};
 
 /// Largest datagram the receive path accepts. Comfortably above the largest
 /// encodable frame for the packet sizes any experiment uses.
@@ -84,7 +84,12 @@ pub struct UdpTransport {
     unknown_peer: u64,
     refused: u64,
     oversize: u64,
+    /// Datagrams [`pump`](Self::pump) reads per tick, bounding how long one
+    /// busy socket can monopolize a poll round. `usize::MAX` = unbounded.
+    pump_limit: usize,
     last_error: Option<TransportError>,
+    transport_errors: u64,
+    dropped_errors: u64,
 }
 
 impl UdpTransport {
@@ -103,8 +108,20 @@ impl UdpTransport {
             unknown_peer: 0,
             refused: 0,
             oversize: 0,
+            pump_limit: usize::MAX,
             last_error: None,
+            transport_errors: 0,
+            dropped_errors: 0,
         })
+    }
+
+    /// Caps how many datagrams one [`Transport::tick`] reads off the
+    /// socket. A daemon multiplexing many endpoints over few sockets sets
+    /// this so a flooded socket cannot starve the rest of its poll round;
+    /// undrained datagrams stay in the OS buffer for the next tick.
+    pub fn with_pump_limit(mut self, limit: usize) -> Self {
+        self.pump_limit = limit.max(1);
+        self
     }
 
     /// The socket's bound address.
@@ -140,13 +157,36 @@ impl UdpTransport {
         self.oversize
     }
 
-    /// Takes the most recent *unclassified* socket failure, if any. Expected
-    /// conditions (quiescence, refused, oversize) never appear here.
+    /// Takes the *first* unclassified socket failure observed since the
+    /// last call, if any. Expected conditions (quiescence, refused,
+    /// oversize) never appear here. Later failures arriving while one is
+    /// already stashed are counted in [`dropped_errors`](Self::dropped_errors)
+    /// rather than overwriting the original — the first error is almost
+    /// always the root cause, and silently replacing it would hide it.
     pub fn take_error(&mut self) -> Option<TransportError> {
         self.last_error.take()
     }
 
+    /// Total unclassified socket failures observed, whether or not they
+    /// were ever drained via [`take_error`](Self::take_error).
+    pub fn transport_errors(&self) -> u64 {
+        self.transport_errors
+    }
+
+    /// Unclassified failures discarded because an earlier one was still
+    /// waiting in the [`take_error`](Self::take_error) slot.
+    pub fn dropped_errors(&self) -> u64 {
+        self.dropped_errors
+    }
+
     fn stash_error(&mut self, op: &'static str, e: &std::io::Error) {
+        self.transport_errors += 1;
+        if self.last_error.is_some() {
+            // Keep the first error: it is the root cause, and the caller
+            // has not read it yet. Count the loss instead of hiding it.
+            self.dropped_errors += 1;
+            return;
+        }
         self.last_error = Some(TransportError {
             op,
             kind: e.kind(),
@@ -154,9 +194,28 @@ impl UdpTransport {
         });
     }
 
+    /// Fires one datagram at a resolved address, classifying any failure
+    /// (refused and oversize are network weather; the rest surface).
+    fn send_to_addr(&mut self, addr: SocketAddr, frame: &[u8]) {
+        match self.socket.send_to(frame, addr) {
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
+                self.refused += 1;
+            }
+            Err(e) if e.raw_os_error() == Some(EMSGSIZE) => {
+                self.oversize += 1;
+            }
+            Err(e) => {
+                self.send_errors += 1;
+                self.stash_error("send", &e);
+            }
+        }
+    }
+
     fn pump(&mut self) {
         let mut buf = [0u8; MAX_DATAGRAM];
-        loop {
+        let mut read = 0usize;
+        while read < self.pump_limit {
             match self.socket.recv_from(&mut buf) {
                 Ok((len, _from)) => {
                     if len == 0 {
@@ -167,6 +226,7 @@ impl UdpTransport {
                     // queue for a frame that will then fail to decode.
                     let lane = usize::from(buf[0] & 0b10 != 0);
                     self.queues[lane].push_back(buf[..len].to_vec());
+                    read += 1;
                 }
                 // Quiescence: nothing more to read this tick.
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -204,27 +264,41 @@ impl Transport for UdpTransport {
         // The lane is already encoded in the frame's flag byte; UDP needs
         // only the peer address.
         let _ = lane;
-        let Some(addr) = self.peers.get(&dst.index()) else {
+        let Some(&addr) = self.peers.get(&dst.index()) else {
             self.unknown_peer += 1;
             return;
         };
-        match self.socket.send_to(&frame, addr) {
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
-                self.refused += 1;
-            }
-            Err(e) if e.raw_os_error() == Some(EMSGSIZE) => {
-                self.oversize += 1;
-            }
-            Err(e) => {
-                self.send_errors += 1;
-                self.stash_error("send", &e);
-            }
-        }
+        self.send_to_addr(addr, &frame);
     }
 
     fn recv(&mut self, lane: Lane) -> Option<Vec<u8>> {
         self.queues[lane.index()].pop_front()
+    }
+}
+
+impl BatchTransport for UdpTransport {
+    /// Coalesced flush: consecutive frames to the same destination reuse
+    /// one peer-address lookup (a daemon's per-carrier outbox groups
+    /// naturally by destination process).
+    fn send_batch(&mut self, frames: &mut Vec<(NodeId, Lane, Vec<u8>)>) {
+        let mut cached: Option<(usize, SocketAddr)> = None;
+        for (dst, _lane, frame) in frames.drain(..) {
+            let idx = dst.index();
+            let addr = match cached {
+                Some((i, a)) if i == idx => a,
+                _ => match self.peers.get(&idx) {
+                    Some(&a) => {
+                        cached = Some((idx, a));
+                        a
+                    }
+                    None => {
+                        self.unknown_peer += 1;
+                        continue;
+                    }
+                },
+            };
+            self.send_to_addr(addr, &frame);
+        }
     }
 }
 
@@ -264,6 +338,87 @@ mod tests {
             );
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn first_error_wins_and_later_ones_are_counted() {
+        let mut a = UdpTransport::bind(NodeId::new(0), "127.0.0.1:0").expect("bind");
+        let first = std::io::Error::new(ErrorKind::PermissionDenied, "first failure");
+        let second = std::io::Error::new(ErrorKind::NotConnected, "second failure");
+        a.stash_error("send", &first);
+        a.stash_error("recv", &second);
+        assert_eq!(a.transport_errors(), 2);
+        assert_eq!(a.dropped_errors(), 1, "the second error was shed");
+        let err = a.take_error().expect("first error preserved");
+        assert_eq!(err.kind, ErrorKind::PermissionDenied, "first error wins");
+        assert_eq!(err.op, "send");
+        assert_eq!(a.take_error(), None, "slot drained");
+        // With the slot empty, the next failure is stashed again.
+        a.stash_error(
+            "recv",
+            &std::io::Error::new(ErrorKind::NotConnected, "third"),
+        );
+        assert_eq!(a.take_error().expect("restashed").op, "recv");
+        assert_eq!(a.dropped_errors(), 1, "no further drops");
+    }
+
+    #[test]
+    fn pump_limit_bounds_one_tick_and_preserves_order() {
+        let mut a = UdpTransport::bind(NodeId::new(0), "127.0.0.1:0").expect("bind a");
+        let mut b = UdpTransport::bind(NodeId::new(1), "127.0.0.1:0")
+            .expect("bind b")
+            .with_pump_limit(2);
+        a.add_peer(NodeId::new(1), b.local_addr().expect("addr b"));
+        for i in 0..6u8 {
+            a.send(NodeId::new(1), Lane::Request, vec![0b00, i, i]);
+        }
+        // Datagram delivery is asynchronous: tick until all six arrive,
+        // checking that no single tick ever exceeded the bound.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < 6 {
+            let before = b.queues[0].len();
+            b.tick();
+            assert!(b.queues[0].len() - before <= 2, "pump respects the bound");
+            while let Some(f) = b.recv(Lane::Request) {
+                got.push(f[1]);
+            }
+            assert!(std::time::Instant::now() < deadline, "datagrams lost");
+            std::thread::yield_now();
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5], "bounded pump keeps order");
+    }
+
+    #[test]
+    fn send_batch_coalesces_and_counts_unknown_peers() {
+        let mut a = UdpTransport::bind(NodeId::new(0), "127.0.0.1:0").expect("bind a");
+        let mut b = UdpTransport::bind(NodeId::new(1), "127.0.0.1:0").expect("bind b");
+        a.add_peer(NodeId::new(1), b.local_addr().expect("addr b"));
+        let mut batch = vec![
+            (NodeId::new(1), Lane::Request, vec![0b00, 1, 1]),
+            (NodeId::new(1), Lane::Request, vec![0b00, 2, 2]),
+            (NodeId::new(9), Lane::Request, vec![0b00, 3, 3]),
+            (NodeId::new(1), Lane::Reply, vec![0b10, 4, 4]),
+        ];
+        a.send_batch(&mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(a.unknown_peer(), 1, "unroutable frame counted");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut req = Vec::new();
+        let mut rep = Vec::new();
+        while req.len() < 2 || rep.is_empty() {
+            b.tick();
+            while let Some(f) = b.recv(Lane::Request) {
+                req.push(f[1]);
+            }
+            while let Some(f) = b.recv(Lane::Reply) {
+                rep.push(f[1]);
+            }
+            assert!(std::time::Instant::now() < deadline, "datagrams lost");
+            std::thread::yield_now();
+        }
+        assert_eq!(req, vec![1, 2]);
+        assert_eq!(rep, vec![4]);
     }
 
     #[test]

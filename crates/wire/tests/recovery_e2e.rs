@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 
 use nifdy::{NifdyConfig, OutboundPacket};
 use nifdy_net::UserData;
-use nifdy_sim::NodeId;
+use nifdy_sim::{Cycle, NodeId, Wakeup};
 use nifdy_trace::{TraceConfig, TraceHandle};
 use nifdy_wire::{LoopbackHub, SupervisedEndpoint, Supervisor, SupervisorConfig, WireEndpoint};
 
@@ -193,6 +193,171 @@ fn killed_endpoint_recovers_and_the_rotation_completes() {
             "peer_restart",
             "dialog_close",
         ] {
+            assert!(
+                names.contains(required),
+                "recovery left no {required:?} event in the trace; saw {names:?}"
+            );
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    let _ = trace;
+}
+
+/// The same crash-and-recover rotation, driven event-style: instead of
+/// stepping every hub cycle, the driver asks each component when it next
+/// needs work ([`SupervisedEndpoint::next_event`], [`Supervisor::next_event`],
+/// [`LoopbackHub::next_delivery`]) and jumps the clock to the earliest
+/// deadline. Under the [`Wakeup`] contract the skipped cycles are no-ops,
+/// so the run must still complete — through a kill, a backoff window, and
+/// a restart — while stepping far fewer rounds than cycles elapse.
+#[test]
+fn event_driven_driver_recovers_with_fewer_stepped_rounds() {
+    let hub = LoopbackHub::new(2, 1);
+    let sup_cfg = SupervisorConfig::default()
+        .with_heartbeat_every(16)
+        .with_peer_timeout(100)
+        .with_backoff(200, 512, 8);
+    let trace = TraceHandle::recording(TraceConfig::new().with_capacity_per_node(1 << 16));
+
+    let mut n0 = SupervisedEndpoint::new(
+        WireEndpoint::new(node(0), protocol_config(), hub.endpoint(node(0))),
+        sup_cfg,
+        0,
+    );
+    n0.watch(node(1));
+    n0.attach_trace(trace.clone());
+
+    let hub_for_factory = hub.clone();
+    let mut sup = Supervisor::new(
+        sup_cfg,
+        vec![node(0)],
+        move || {
+            WireEndpoint::new(
+                node(1),
+                protocol_config(),
+                hub_for_factory.endpoint(node(1)),
+            )
+        },
+        42,
+    );
+    sup.attach_trace(trace.clone());
+
+    let all0 = workload(0);
+    let all1 = workload(1);
+    let mut remaining0: Vec<UserData> = all0.iter().rev().copied().collect();
+    let mut remaining1: Vec<UserData> = all1.iter().rev().copied().collect();
+    let mut delivered_at_1 = BTreeSet::new();
+    let mut delivered_at_0 = BTreeSet::new();
+    let mut killed = false;
+    let mut last_epoch = 0;
+    let mut stepped = 0u64;
+
+    let total = all0.len();
+    let bound = Cycle::new(120_000);
+    let mut done = false;
+    while hub.now() < bound {
+        stepped += 1;
+        // `active` records whether this round performed external input the
+        // components cannot predict (a fed packet, a consumed delivery, a
+        // failure-driven re-offer); only then must the very next cycle be
+        // stepped too. Otherwise the components' own wakeups are trusted.
+        let mut active = false;
+        if !killed && delivered_at_1.len() >= 4 && delivered_at_0.len() >= 4 {
+            sup.kill(hub.now());
+            killed = true;
+            active = true;
+        }
+
+        if let Some(user) = remaining0.last().copied() {
+            let pkt = OutboundPacket::new(node(1), SIZE_WORDS)
+                .with_bulk(true)
+                .with_user(user);
+            if n0.endpoint_mut().try_send(pkt) {
+                remaining0.pop();
+                active = true;
+            }
+        }
+        n0.step();
+        while let Some(d) = n0.endpoint_mut().poll() {
+            delivered_at_0.insert((d.user.msg_id, d.user.pkt_index));
+            active = true;
+        }
+        if !n0.endpoint_mut().take_failures().is_empty() {
+            refill(&mut remaining0, &all0, &delivered_at_1);
+            active = true;
+        }
+
+        sup.step(hub.now());
+        if sup.epoch() > last_epoch {
+            last_epoch = sup.epoch();
+            refill(&mut remaining1, &all1, &delivered_at_0);
+            refill(&mut remaining0, &all0, &delivered_at_1);
+            active = true;
+        }
+        if let Some(ep) = sup.endpoint_mut() {
+            if let Some(user) = remaining1.last().copied() {
+                let pkt = OutboundPacket::new(node(0), SIZE_WORDS)
+                    .with_bulk(true)
+                    .with_user(user);
+                if ep.endpoint_mut().try_send(pkt) {
+                    remaining1.pop();
+                    active = true;
+                }
+            }
+            while let Some(d) = ep.endpoint_mut().poll() {
+                delivered_at_1.insert((d.user.msg_id, d.user.pkt_index));
+                active = true;
+            }
+            let _ = ep.endpoint_mut().take_failures();
+        }
+
+        hub.tick();
+        if delivered_at_1.len() == total && delivered_at_0.len() == total && killed {
+            done = true;
+            break;
+        }
+
+        // Skip ahead: the earliest of both components' wakeups and the
+        // hub's next frame delivery. `WireEndpoint::next_event` cannot see
+        // frames still inside the transport, so the hub's clock is folded
+        // in explicitly, exactly as its docs demand.
+        let now = hub.now();
+        let mut wake = n0.next_event().earliest(sup.next_event(now));
+        // A deadline already in the past is a frame addressed to the down
+        // node: every live endpoint is stepped at each deliverable cycle,
+        // so only a dead destination can leave one behind. It stays
+        // undeliverable until the restart, whose deadline the supervisor's
+        // wakeup above already carries.
+        if let Some(at) = hub.next_delivery() {
+            if at >= now.as_u64() {
+                wake = wake.earliest(Wakeup::at_or_now(Cycle::new(at), now));
+            }
+        }
+        if active {
+            wake = Wakeup::Now;
+        }
+        let target = wake.deadline_or(now, bound);
+        while hub.now() < target {
+            hub.tick();
+        }
+    }
+
+    let elapsed = hub.now().as_u64();
+    assert!(done, "rotation did not complete by cycle {elapsed}");
+    assert!(killed, "the crash was never triggered");
+    assert_eq!(sup.restarts(), 1, "exactly one restart");
+    assert_eq!(sup.epoch(), 1);
+    assert!(
+        stepped * 2 < elapsed,
+        "skip-ahead stepped {stepped} rounds over {elapsed} cycles — \
+         the backoff and retransmission windows were not skipped"
+    );
+
+    #[cfg(feature = "trace")]
+    {
+        let names: BTreeSet<&'static str> =
+            trace.snapshot().iter().map(|ev| ev.kind.name()).collect();
+        for required in ["endpoint_restart", "peer_restart"] {
             assert!(
                 names.contains(required),
                 "recovery left no {required:?} event in the trace; saw {names:?}"
