@@ -880,6 +880,10 @@ impl NifdyUnit {
                     d.exiting = true;
                 }
                 if let Some(wait) = wait {
+                    // The window admitted this send, and acked copies are
+                    // pruned on ack receipt, so outstanding copies stay
+                    // strictly under the window.
+                    debug_assert!(d.copies.len() < usize::from(d.window));
                     d.copies.push_back(BulkCopy {
                         seq: d.next_seq - 1,
                         pkt: pkt.clone(),

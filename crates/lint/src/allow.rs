@@ -25,7 +25,7 @@ use std::path::Path;
 /// One suppression entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id the entry applies to (`R1`..`R5`).
+    /// Rule id the entry applies to (`R1`..`R9`).
     pub rule: String,
     /// Exact root-relative path of the file.
     pub path: String,
@@ -54,7 +54,7 @@ impl fmt::Display for AllowError {
 }
 
 const REQUIRED_KEYS: [&str; 4] = ["rule", "path", "pattern", "justification"];
-const VALID_RULES: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+const VALID_RULES: [&str; 9] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"];
 const MIN_JUSTIFICATION: usize = 20;
 
 /// Parses and schema-checks an allowlist file. On any error the entry
@@ -299,9 +299,11 @@ mod tests {
 
     #[test]
     fn unknown_rule_and_tables_rejected() {
-        let errs = parse("[[allow]]\nrule = \"R9\"\npath = \"a\"\npattern = \"p\"\njustification = \"some long enough reason\"\n")
+        let errs = parse("[[allow]]\nrule = \"R12\"\npath = \"a\"\npattern = \"p\"\njustification = \"some long enough reason\"\n")
             .unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("unknown rule `R9`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("unknown rule `R12`")));
         let errs = parse("[settings]\nx = \"y\"\n").unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("unknown table")));
     }

@@ -1,0 +1,588 @@
+//! Per-crate symbol tables, a conservative name-resolution call graph, and
+//! the transitive hot-path closure.
+//!
+//! The closure replaces the old hand-enumerated R1/R5 scopes: instead of
+//! listing hot files and function names (which went stale twice), the
+//! engine seeds a worklist from protocol **entry points** (`NifdyUnit::step`,
+//! `Fabric::step`, the wire codec, the endpoint poll paths,
+//! `NifdyNode::poll_round`) and walks every function conservatively
+//! reachable from them. Each entry point carries a set of **demands** —
+//! panic-freedom, index-freedom, alloc-freedom — and a demand applies to
+//! every function in that entry's closure.
+//!
+//! # Soundness model
+//!
+//! Resolution is name-based and deliberately over-approximates:
+//!
+//! * `self.f(…)` resolves to every method `f` on the caller's impl type
+//!   (any impl block, any file), falling back to every workspace method
+//!   named `f` when the type declares none (trait default methods).
+//! * `x.f(…)` resolves to **every** workspace method named `f` — trait
+//!   dispatch, future `Nic` implementations, and shadowed inherent
+//!   methods are all covered without type inference.
+//! * `Type::f(…)` and `Trait::f(…)` resolve through impl blocks of that
+//!   type and impl blocks of that trait; `Self::f(…)` uses the caller's
+//!   impl type.
+//! * `f(…)` resolves to every free function named `f`; module-qualified
+//!   calls (`codec::decode(…)`) drop the module path and resolve the
+//!   same way.
+//!
+//! False edges are possible (a common method name pulls in unrelated
+//! impls); missing edges are limited to function pointers/closures passed
+//! as values and macro-generated calls. The closure is therefore a sound
+//! *scope* for lexical rules — it may scan too much, not too little —
+//! except for calls hidden behind `fn`-pointer indirection, which the
+//! workspace style avoids on datapaths.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use nifdy_trace::json::Json;
+
+use crate::source::SourceFile;
+
+/// Stable schema version of the closure JSON artifact.
+pub const CLOSURE_SCHEMA: u64 = 1;
+
+/// Which lexical bans apply to a function in the closure. Demands
+/// propagate unchanged along call edges from the entry that seeded them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Demands {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/… (R1).
+    pub panic: bool,
+    /// No `x[i]` index expressions (R1, byte-facing decode paths).
+    pub index: bool,
+    /// No fresh heap allocation (R5, stepped steady-state paths).
+    pub alloc: bool,
+}
+
+impl Demands {
+    /// Union in `other`; returns whether any new bit appeared.
+    fn absorb(&mut self, other: Demands) -> bool {
+        let before = *self;
+        self.panic |= other.panic;
+        self.index |= other.index;
+        self.alloc |= other.alloc;
+        *self != before
+    }
+
+    /// Short display form, e.g. `panic+index`.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.panic {
+            parts.push("panic");
+        }
+        if self.index {
+            parts.push("index");
+        }
+        if self.alloc {
+            parts.push("alloc");
+        }
+        parts.join("+")
+    }
+}
+
+/// One closure seed: a function the protocol surface exposes, plus the
+/// demands its callees inherit.
+#[derive(Debug, Clone)]
+pub struct EntryPoint {
+    /// Impl type owning the fn (`None` for a free function).
+    pub type_name: Option<String>,
+    /// Function name.
+    pub fn_name: String,
+    /// Demands seeded into this entry's closure.
+    pub demands: Demands,
+}
+
+impl EntryPoint {
+    /// `Type::fn` or `fn` for display.
+    pub fn label(&self) -> String {
+        match &self.type_name {
+            Some(t) => format!("{t}::{}", self.fn_name),
+            None => self.fn_name.clone(),
+        }
+    }
+}
+
+/// One function in the symbol table.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Index into the analyzed file slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub fn_idx: usize,
+    /// Crate the file belongs to (`crates/<name>/src/…`).
+    pub crate_name: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl block's type, if any.
+    pub impl_type: Option<String>,
+    /// Enclosing impl block's trait, if any (`impl Trait for Type`).
+    pub impl_trait: Option<String>,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+}
+
+/// One function reached by the closure.
+#[derive(Debug, Clone)]
+pub struct ClosureFn {
+    /// Index into [`Graph::symbols`].
+    pub symbol: usize,
+    /// Union of demands over every path that reaches this fn.
+    pub demands: Demands,
+    /// BFS depth of first discovery (0 = entry point).
+    pub depth: usize,
+    /// Symbol that first reached this fn (`None` for entry points).
+    pub via: Option<usize>,
+}
+
+/// The symbol table, call edges, and computed closure.
+#[derive(Debug)]
+pub struct Graph {
+    /// Every non-test function in the included crates.
+    pub symbols: Vec<Symbol>,
+    /// Call edges: `edges[s]` lists callee symbol indices, deduplicated.
+    pub edges: Vec<Vec<usize>>,
+    /// The hot-path closure, sorted by `(file, fn start line)`.
+    pub closure: Vec<ClosureFn>,
+    /// Entry points that matched no symbol — config drift, fatal.
+    pub unmatched_entries: Vec<String>,
+    /// Crates contributing at least one closure fn.
+    pub crates_in_closure: BTreeSet<String>,
+}
+
+/// Call-site classes extracted from one line of code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CallSite {
+    /// `f(…)` or `module::f(…)`.
+    Free(String),
+    /// `x.f(…)` for a non-`self` receiver.
+    Method(String),
+    /// `self.f(…)`.
+    SelfMethod(String),
+    /// `Type::f(…)`, `Trait::f(…)`, or `Self::f(…)`.
+    Qualified(String, String),
+}
+
+/// The crate name of a `crates/<name>/src/…` path.
+pub fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+impl Graph {
+    /// Builds the symbol table and call edges over every file whose crate
+    /// `include` accepts, then runs the closure from `entries`.
+    pub fn build(
+        files: &[SourceFile],
+        include: &dyn Fn(&str) -> bool,
+        entries: &[EntryPoint],
+    ) -> Graph {
+        let mut symbols = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            let Some(crate_name) = crate_of(&file.rel) else {
+                continue;
+            };
+            if !include(crate_name) {
+                continue;
+            }
+            for (fn_idx, span) in file.fns.iter().enumerate() {
+                if file.is_test_line(span.start) {
+                    continue;
+                }
+                let enclosing = file.impl_at(span.start);
+                symbols.push(Symbol {
+                    file: file_idx,
+                    fn_idx,
+                    crate_name: crate_name.to_string(),
+                    name: span.name.clone(),
+                    impl_type: enclosing.map(|i| i.type_name.clone()),
+                    impl_trait: enclosing.and_then(|i| i.trait_name.clone()),
+                    has_self: span.has_self(),
+                });
+            }
+        }
+
+        // Resolution indices.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_fns: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_trait: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (idx, sym) in symbols.iter().enumerate() {
+            if sym.has_self {
+                methods.entry(&sym.name).or_default().push(idx);
+            }
+            if sym.impl_type.is_none() {
+                free_fns.entry(&sym.name).or_default().push(idx);
+            }
+            if let Some(ty) = &sym.impl_type {
+                by_type
+                    .entry((ty.as_str(), &sym.name))
+                    .or_default()
+                    .push(idx);
+            }
+            if let Some(tr) = &sym.impl_trait {
+                by_trait
+                    .entry((tr.as_str(), &sym.name))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+
+        // Call edges per symbol. Lines claimed by a nested fn belong to
+        // the nested symbol, not the enclosing one.
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); symbols.len()];
+        for (idx, sym) in symbols.iter().enumerate() {
+            let file = &files[sym.file];
+            let span = &file.fns[sym.fn_idx];
+            let mut targets = BTreeSet::new();
+            for line_no in span.start..=span.end.min(file.code.len()) {
+                if let Some(inner) = file.innermost_fn(line_no) {
+                    if (inner.start, inner.end) != (span.start, span.end) {
+                        continue;
+                    }
+                }
+                for site in call_sites(&file.code[line_no - 1]) {
+                    let resolved: &[usize] = match &site {
+                        CallSite::Free(name) => {
+                            free_fns.get(name.as_str()).map_or(&[], Vec::as_slice)
+                        }
+                        CallSite::Method(name) => {
+                            methods.get(name.as_str()).map_or(&[], Vec::as_slice)
+                        }
+                        CallSite::SelfMethod(name) => {
+                            let own = sym.impl_type.as_deref().and_then(|ty| {
+                                by_type.get(&(ty, name.as_str())).map(Vec::as_slice)
+                            });
+                            match own {
+                                Some(list) if !list.is_empty() => list,
+                                // Trait default methods live outside the
+                                // type's impls; fall back to any method.
+                                _ => methods.get(name.as_str()).map_or(&[], Vec::as_slice),
+                            }
+                        }
+                        CallSite::Qualified(ty, name) => {
+                            let ty = if ty == "Self" {
+                                sym.impl_type.as_deref().unwrap_or("Self")
+                            } else {
+                                ty.as_str()
+                            };
+                            match by_type.get(&(ty, name.as_str())) {
+                                Some(list) => list,
+                                None => by_trait
+                                    .get(&(ty, name.as_str()))
+                                    .map_or(&[], Vec::as_slice),
+                            }
+                        }
+                    };
+                    targets.extend(resolved.iter().copied());
+                }
+            }
+            targets.remove(&idx);
+            edges[idx] = targets.into_iter().collect();
+        }
+
+        // Seed the worklist from the entry points.
+        let mut unmatched = Vec::new();
+        let mut state: BTreeMap<usize, ClosureFn> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for entry in entries {
+            let mut found = false;
+            for (idx, sym) in symbols.iter().enumerate() {
+                let type_ok = match &entry.type_name {
+                    Some(t) => sym.impl_type.as_deref() == Some(t.as_str()),
+                    None => sym.impl_type.is_none(),
+                };
+                if type_ok && sym.name == entry.fn_name {
+                    found = true;
+                    let slot = state.entry(idx).or_insert(ClosureFn {
+                        symbol: idx,
+                        demands: Demands::default(),
+                        depth: 0,
+                        via: None,
+                    });
+                    slot.depth = 0;
+                    slot.via = None;
+                    if slot.demands.absorb(entry.demands) || !queue.contains(&idx) {
+                        queue.push_back(idx);
+                    }
+                }
+            }
+            if !found {
+                unmatched.push(entry.label());
+            }
+        }
+
+        // Demand-propagating BFS.
+        while let Some(idx) = queue.pop_front() {
+            let (demands, depth) = {
+                let cur = &state[&idx];
+                (cur.demands, cur.depth)
+            };
+            for &callee in &edges[idx] {
+                match state.get_mut(&callee) {
+                    Some(slot) => {
+                        if slot.demands.absorb(demands) {
+                            queue.push_back(callee);
+                        }
+                    }
+                    None => {
+                        state.insert(
+                            callee,
+                            ClosureFn {
+                                symbol: callee,
+                                demands,
+                                depth: depth + 1,
+                                via: Some(idx),
+                            },
+                        );
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+
+        let mut closure: Vec<ClosureFn> = state.into_values().collect();
+        closure.sort_by_key(|c| {
+            let sym = &symbols[c.symbol];
+            (
+                files[sym.file].rel.clone(),
+                files[sym.file].fns[sym.fn_idx].start,
+            )
+        });
+        let crates_in_closure = closure
+            .iter()
+            .map(|c| symbols[c.symbol].crate_name.clone())
+            .collect();
+        Graph {
+            symbols,
+            edges,
+            closure,
+            unmatched_entries: unmatched,
+            crates_in_closure,
+        }
+    }
+
+    /// `Type::name` or `name` for a symbol.
+    pub fn symbol_label(&self, idx: usize) -> String {
+        let sym = &self.symbols[idx];
+        match &sym.impl_type {
+            Some(t) => format!("{t}::{}", sym.name),
+            None => sym.name.clone(),
+        }
+    }
+
+    /// Whether any closure member covers `file_rel` line `line` (i.e. the
+    /// innermost fn at that location is in the closure).
+    pub fn closure_member_at(
+        &self,
+        files: &[SourceFile],
+        file_idx: usize,
+        line: usize,
+    ) -> Option<&ClosureFn> {
+        self.closure.iter().find(|c| {
+            let sym = &self.symbols[c.symbol];
+            if sym.file != file_idx {
+                return false;
+            }
+            let span = &files[sym.file].fns[sym.fn_idx];
+            span.start <= line
+                && line <= span.end
+                && files[file_idx]
+                    .innermost_fn(line)
+                    .is_some_and(|inner| (inner.start, inner.end) == (span.start, span.end))
+        })
+    }
+
+    /// The closure JSON artifact archived by CI.
+    pub fn closure_json(&self, files: &[SourceFile], entries: &[EntryPoint]) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("schema".to_string(), Json::u64(CLOSURE_SCHEMA));
+        map.insert(
+            "entry_points".to_string(),
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("entry", Json::str(e.label())),
+                            ("demands", Json::str(e.demands.label())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        map.insert(
+            "functions".to_string(),
+            Json::Arr(
+                self.closure
+                    .iter()
+                    .map(|c| {
+                        let sym = &self.symbols[c.symbol];
+                        let span = &files[sym.file].fns[sym.fn_idx];
+                        Json::obj([
+                            ("crate", Json::str(sym.crate_name.clone())),
+                            ("file", Json::str(files[sym.file].rel.clone())),
+                            ("fn", Json::str(self.symbol_label(c.symbol))),
+                            ("start", Json::u64(span.start as u64)),
+                            ("end", Json::u64(span.end as u64)),
+                            ("demands", Json::str(c.demands.label())),
+                            ("depth", Json::u64(c.depth as u64)),
+                            (
+                                "via",
+                                match c.via {
+                                    Some(v) => Json::str(self.symbol_label(v)),
+                                    None => Json::str("entry"),
+                                },
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        map.insert(
+            "crates".to_string(),
+            Json::Arr(
+                self.crates_in_closure
+                    .iter()
+                    .map(|c| Json::str(c.clone()))
+                    .collect(),
+            ),
+        );
+        map.insert("fn_count".to_string(), Json::u64(self.closure.len() as u64));
+        Json::Obj(map).render()
+    }
+}
+
+/// Rust keywords and binding forms that look like `name(` but are not
+/// calls.
+const NON_CALL_WORDS: [&str; 22] = [
+    "if", "while", "for", "match", "loop", "return", "in", "else", "fn", "let", "mut", "ref",
+    "move", "async", "await", "box", "unsafe", "where", "impl", "dyn", "as", "self",
+];
+
+/// Extracts call sites from one blanked code line.
+fn call_sites(line: &str) -> Vec<CallSite> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c != b'(' || i == 0 {
+            continue;
+        }
+        // Macro invocation `name!(…)` — not a fn call.
+        if b[i - 1] == b'!' {
+            continue;
+        }
+        let (name, name_start) = ident_before(b, i);
+        if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if NON_CALL_WORDS.contains(&name.as_str()) {
+            continue;
+        }
+        // Uppercase initial = tuple-struct / enum-variant constructor.
+        if name.chars().next().is_some_and(char::is_uppercase) {
+            continue;
+        }
+        // `fn name(` is a definition.
+        let before = line[..name_start].trim_end();
+        if before.ends_with("fn") {
+            continue;
+        }
+        let site = match b[..name_start].last() {
+            Some(b'.') => {
+                let (recv, _) = ident_before(b, name_start - 1);
+                if recv == "self" {
+                    CallSite::SelfMethod(name)
+                } else {
+                    CallSite::Method(name)
+                }
+            }
+            Some(b':') if name_start >= 2 && b[name_start - 2] == b':' => {
+                let (qual, _) = ident_before(b, name_start - 2);
+                if qual.is_empty() {
+                    // `>::name(` (turbofish/UFCS) — resolve as free.
+                    CallSite::Free(name)
+                } else if qual.chars().next().is_some_and(char::is_uppercase) {
+                    CallSite::Qualified(qual, name)
+                } else {
+                    // Module path `codec::decode(` — drop the module.
+                    CallSite::Free(name)
+                }
+            }
+            _ => CallSite::Free(name),
+        };
+        out.push(site);
+    }
+    out
+}
+
+/// The identifier ending right before byte `end`, and its start offset.
+fn ident_before(b: &[u8], end: usize) -> (String, usize) {
+    let mut start = end;
+    while start > 0 {
+        let p = b[start - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    (String::from_utf8_lossy(&b[start..end]).into_owned(), start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(line: &str) -> Vec<CallSite> {
+        call_sites(line)
+    }
+
+    #[test]
+    fn call_site_classes() {
+        assert_eq!(
+            sites("let x = decode(buf);"),
+            vec![CallSite::Free("decode".into())]
+        );
+        assert_eq!(
+            sites("self.queue_ack(d, now);"),
+            vec![CallSite::SelfMethod("queue_ack".into())]
+        );
+        assert_eq!(sites("port.tick();"), vec![CallSite::Method("tick".into())]);
+        assert_eq!(
+            sites("NifdyUnit::helper(x)"),
+            vec![CallSite::Qualified("NifdyUnit".into(), "helper".into())]
+        );
+        assert_eq!(
+            sites("codec::decode(buf)"),
+            vec![CallSite::Free("decode".into())]
+        );
+        assert_eq!(
+            sites("Self::shard_of(node)"),
+            vec![CallSite::Qualified("Self".into(), "shard_of".into())]
+        );
+    }
+
+    #[test]
+    fn non_calls_are_skipped() {
+        assert!(sites("if (a + b) > c {").is_empty());
+        assert!(sites("panic!(\"boom\")").is_empty());
+        assert!(sites("fn decode(buf: &[u8]) {").is_empty());
+        assert!(sites("let v = Some(3);").is_empty());
+        assert!(sites("matches!(x, Wire::Data { .. })").is_empty());
+        assert!(sites("for (i, x) in list {").is_empty());
+    }
+
+    #[test]
+    fn chained_methods_yield_each_call() {
+        assert_eq!(
+            sites("self.pool.iter().find(|p| free(p))"),
+            vec![
+                CallSite::Method("iter".into()),
+                CallSite::Method("find".into()),
+                CallSite::Free("free".into()),
+            ]
+        );
+    }
+}

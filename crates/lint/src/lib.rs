@@ -3,23 +3,39 @@
 //! The repo's headline guarantees — byte-identical parallel runs, sim/wire
 //! conformance, trace/stats parity — are enforced dynamically by tests
 //! that can silently lose coverage as code drifts. This crate is the
-//! static backstop: a dependency-light line/token analyzer (no rustc, no
-//! syn) that runs over every `crates/*/src/**.rs` and fails CI on five
-//! invariant classes (see [`rules`]):
+//! static backstop: a dependency-light item-level analyzer (no rustc, no
+//! syn) that models every `crates/*/src/**.rs` as symbol tables plus a
+//! conservative call graph ([`graph`]) and fails CI on nine invariant
+//! classes (see [`rules`]):
 //!
 //! * **R1 panic-freedom** — no `unwrap`/`expect`/`panic!`/`unreachable!`
-//!   (and, on the wire decode path, no index expressions) in designated
-//!   protocol hot paths,
+//!   (and, on byte-facing decode paths, no index expressions) anywhere in
+//!   the transitive hot-path closure computed from the protocol entry
+//!   points,
 //! * **R2 determinism hygiene** — no wall clock, no ambient RNG, no
 //!   hash-ordered containers in the deterministic crates,
 //! * **R3 trace parity** — every `EventKind` variant is exported by both
 //!   the JSONL and Perfetto exporters and exercised by trace fixtures,
 //! * **R4 config coverage** — every config field is validated or
 //!   builder-settable,
-//! * **R5 zero-alloc steady state** — no `Box::new`/`vec!`/fresh-container
-//!   /`format!`/`collect` allocation in the stepped hot paths (the
-//!   `NifdyUnit` datapath and the fabric step loop); buffers are
-//!   preallocated or slab-recycled.
+//! * **R5 zero-alloc steady state** — no fresh heap allocation in the
+//!   closure of the stepped entry points (`NifdyUnit::step`,
+//!   `Fabric::step` and friends),
+//! * **R6 bounded capacity** — pushes into fixed-capacity structures are
+//!   dominated by a capacity guard in the same fn,
+//! * **R7 seq/epoch hygiene** — wire sequence/epoch fields use
+//!   `wrapping_*`/`%` arithmetic, never bare `+`/`-`,
+//! * **R8 no wildcard matches** — protocol-enum `match`es stay exhaustive
+//!   so new variants fail loudly,
+//! * **R9 lock discipline** — no `Mutex` guard held across
+//!   `step`/`advance`/`poll_round`; trace locks acquire before registry
+//!   locks.
+//!
+//! R1/R5 scope is *computed*, not enumerated: the engine seeds a closure
+//! from entry points and walks every conservatively-reachable function,
+//! so new datapaths (future `Nic` implementations included) are covered
+//! the moment they become reachable. The closure is exported as a JSON
+//! artifact (`--closure-json`) that CI archives and diffs run-over-run.
 //!
 //! Suppressions live in `lint-allow.toml` ([`allow`]) and must each carry
 //! a written justification; entries that stop matching anything are hard
@@ -32,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod graph;
 pub mod report;
 pub mod rules;
 pub mod source;
@@ -41,8 +58,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use allow::AllowEntry;
+use graph::{crate_of, Demands, EntryPoint, Graph};
 use rules::{
-    ConfigCoverageScope, DeterminismScope, Diagnostic, HotPath, TraceParityScope, ZeroAllocScope,
+    ConfigCoverageScope, DeterminismScope, Diagnostic, SeqHygieneScope, TraceParityScope,
+    WildcardScope,
 };
 use source::SourceFile;
 
@@ -52,35 +71,74 @@ use source::SourceFile;
 pub struct LintConfig {
     /// Analysis root; all configured paths are relative to it.
     pub root: PathBuf,
-    /// Directories walked recursively for `.rs` files (R1/R2 inputs).
+    /// Directories walked recursively for `.rs` files.
     pub src_dirs: Vec<String>,
-    /// R1 scopes.
-    pub hot_paths: Vec<HotPath>,
+    /// Crate names excluded from the call graph (tooling/harness crates
+    /// that never sit on a protocol datapath). Everything else is in, so
+    /// new protocol crates are covered by default.
+    pub graph_exclude: Vec<String>,
+    /// Hot-path closure seeds (R1/R5/R6 scope).
+    pub entry_points: Vec<EntryPoint>,
     /// R2 scope (`None` disables the rule).
     pub determinism: Option<DeterminismScope>,
     /// R3 scope (`None` disables the rule).
     pub trace_parity: Option<TraceParityScope>,
     /// R4 scopes.
     pub config_coverage: Vec<ConfigCoverageScope>,
-    /// R5 scopes.
-    pub zero_alloc: Vec<ZeroAllocScope>,
+    /// R7 scope (`None` disables the rule).
+    pub seq_hygiene: Option<SeqHygieneScope>,
+    /// R8 scope (`None` disables the rule).
+    pub wildcard: Option<WildcardScope>,
+    /// Crate names R9 lock discipline applies in.
+    pub lock_crates: Vec<String>,
     /// `lint-allow.toml` location (`None` = no suppressions).
     pub allowlist: Option<PathBuf>,
+}
+
+const PANIC: Demands = Demands {
+    panic: true,
+    index: false,
+    alloc: false,
+};
+const PANIC_INDEX: Demands = Demands {
+    panic: true,
+    index: true,
+    alloc: false,
+};
+const PANIC_ALLOC: Demands = Demands {
+    panic: true,
+    index: false,
+    alloc: true,
+};
+
+fn entry(type_name: Option<&str>, fn_name: &str, demands: Demands) -> EntryPoint {
+    EntryPoint {
+        type_name: type_name.map(str::to_string),
+        fn_name: fn_name.to_string(),
+        demands,
+    }
 }
 
 impl LintConfig {
     /// The NIFDY workspace rule set, rooted at the repo checkout.
     ///
-    /// Hot paths (R1): the `NifdyUnit` datapath, the wire codec path
-    /// (with index expressions also banned — decode must be total), the
-    /// chaos-plane fault loop and supervised endpoint poll path (also
-    /// indexing-free: they handle arbitrary wire bytes), and the fabric
-    /// per-cycle step loop. Determinism (R2): hash-ordered
-    /// containers banned in `sim`/`core`/`net`/`traffic`/`trace`;
-    /// wall-clock and ambient-RNG bans apply everywhere scanned.
-    /// Zero-alloc (R5): the `NifdyUnit` per-step datapath and the fabric
-    /// step loop must not construct heap allocations — flits live in the
-    /// slab arena, retransmit/OPT bookkeeping in preallocated deques.
+    /// Entry points seed the hot-path closure with per-entry demands:
+    ///
+    /// * the stepped datapaths — `NifdyUnit` (`step`/`poll`/`try_send`/
+    ///   `next_event`/`has_deliverable`) and the fabric per-cycle loop
+    ///   (`Fabric::step`/`advance_to`/`next_event`) — demand panic- and
+    ///   alloc-freedom (flits live in the slab arena, bookkeeping in
+    ///   preallocated deques);
+    /// * the byte-facing wire surface — the codec free functions and the
+    ///   chaos-plane `FaultyTransport` — demands panic- and
+    ///   index-freedom (decode must be total over arbitrary bytes);
+    /// * the endpoint poll paths (`WireEndpoint`, `SupervisedEndpoint`,
+    ///   `Supervisor`) and the node daemon round (`NifdyNode::poll_round`)
+    ///   demand panic-freedom.
+    ///
+    /// The graph covers every crate except the tooling set
+    /// (`graph_exclude`), so a future `Nic` implementation is scanned the
+    /// moment an entry point reaches it.
     pub fn workspace(root: PathBuf) -> io::Result<LintConfig> {
         let crates_dir = root.join("crates");
         let mut src_dirs = Vec::new();
@@ -94,75 +152,40 @@ impl LintConfig {
             src_dirs.push(format!("crates/{name}/src"));
         }
         let allowlist = Some(root.join("lint-allow.toml"));
+        let protocol_crates: Vec<String> = ["core", "net", "wire", "node", "sim", "trace"]
+            .map(String::from)
+            .to_vec();
         Ok(LintConfig {
             root,
             src_dirs,
-            hot_paths: vec![
-                HotPath {
-                    path: "crates/core/src/unit.rs".into(),
-                    functions: Vec::new(),
-                    deny_indexing: false,
-                },
-                HotPath {
-                    path: "crates/wire/src/codec.rs".into(),
-                    functions: vec![
-                        "decode".into(),
-                        "decode_frame".into(),
-                        "decode_body".into(),
-                        "decode_ack_body".into(),
-                        "decode_heartbeat_body".into(),
-                        "encode_heartbeat".into(),
-                        "crc16".into(),
-                        "append_checksum".into(),
-                        "verify_checksum".into(),
-                        "body_len".into(),
-                        "read_node".into(),
-                        "peek_route".into(),
-                        "byte_at".into(),
-                        "arr_at".into(),
-                        "tail_from".into(),
-                    ],
-                    deny_indexing: true,
-                },
-                HotPath {
-                    path: "crates/wire/src/fault.rs".into(),
-                    functions: vec![
-                        "send".into(),
-                        "recv".into(),
-                        "tick".into(),
-                        "flush_held".into(),
-                        "hold_until".into(),
-                        "record".into(),
-                    ],
-                    deny_indexing: true,
-                },
-                HotPath {
-                    path: "crates/wire/src/supervisor.rs".into(),
-                    functions: vec![
-                        "step".into(),
-                        "consume_heartbeats".into(),
-                        "broadcast".into(),
-                        "check_silence".into(),
-                        "next_event".into(),
-                        "kill".into(),
-                        "incarnate".into(),
-                    ],
-                    deny_indexing: true,
-                },
-                HotPath {
-                    path: "crates/net/src/fabric.rs".into(),
-                    functions: vec![
-                        "step".into(),
-                        "progress_wires".into(),
-                        "start_router_transmissions".into(),
-                        "commit_transmission".into(),
-                        "progress_injection".into(),
-                        "try_inject_flit".into(),
-                        "advancing_lane".into(),
-                        "deliver_to_node".into(),
-                    ],
-                    deny_indexing: false,
-                },
+            graph_exclude: ["analyze", "bench", "harness", "lint", "traffic"]
+                .map(String::from)
+                .to_vec(),
+            entry_points: vec![
+                entry(Some("NifdyUnit"), "step", PANIC_ALLOC),
+                entry(Some("NifdyUnit"), "poll", PANIC_ALLOC),
+                entry(Some("NifdyUnit"), "try_send", PANIC_ALLOC),
+                entry(Some("NifdyUnit"), "next_event", PANIC_ALLOC),
+                entry(Some("NifdyUnit"), "has_deliverable", PANIC_ALLOC),
+                entry(Some("Fabric"), "step", PANIC_ALLOC),
+                entry(Some("Fabric"), "advance_to", PANIC_ALLOC),
+                entry(Some("Fabric"), "next_event", PANIC_ALLOC),
+                entry(None, "decode", PANIC_INDEX),
+                entry(None, "decode_frame", PANIC_INDEX),
+                entry(None, "peek_route", PANIC_INDEX),
+                entry(None, "encode", PANIC),
+                entry(None, "encode_heartbeat", PANIC),
+                entry(Some("FaultyTransport"), "send", PANIC_INDEX),
+                entry(Some("FaultyTransport"), "recv", PANIC_INDEX),
+                entry(Some("FaultyTransport"), "tick", PANIC_INDEX),
+                entry(Some("WireEndpoint"), "step", PANIC),
+                entry(Some("WireEndpoint"), "poll", PANIC),
+                entry(Some("WireEndpoint"), "try_send", PANIC),
+                entry(Some("WireEndpoint"), "next_event", PANIC),
+                entry(Some("SupervisedEndpoint"), "step", PANIC),
+                entry(Some("SupervisedEndpoint"), "next_event", PANIC),
+                entry(Some("Supervisor"), "step", PANIC),
+                entry(Some("NifdyNode"), "poll_round", PANIC),
             ],
             determinism: Some(DeterminismScope {
                 hash_dir_prefixes: vec![
@@ -210,56 +233,25 @@ impl LintConfig {
                     validate_fn: "validate".into(),
                 },
             ],
-            zero_alloc: vec![
-                ZeroAllocScope {
-                    path: "crates/core/src/unit.rs".into(),
-                    functions: vec![
-                        "step".into(),
-                        "poll".into(),
-                        "try_send".into(),
-                        "has_deliverable".into(),
-                        "next_event".into(),
-                        "launch".into(),
-                        "pick_eligible".into(),
-                        "check_retx".into(),
-                        "receive_scalar".into(),
-                        "receive_bulk".into(),
-                        "drain_dialogs".into(),
-                        "handle_ack".into(),
-                        "ack_scalar".into(),
-                        "queue_ack".into(),
-                        "decide_grant".into(),
-                        "compute_wakeup".into(),
-                        "sample_rtt".into(),
-                        "next_packet_id".into(),
-                        "opt_contains".into(),
-                        "backlog_for".into(),
-                    ],
-                },
-                ZeroAllocScope {
-                    path: "crates/net/src/fabric.rs".into(),
-                    functions: vec![
-                        "step".into(),
-                        "progress_wires".into(),
-                        "start_router_transmissions".into(),
-                        "try_start_one".into(),
-                        "next_candidate".into(),
-                        "port_has_candidates".into(),
-                        "resolve_heads".into(),
-                        "resolve_slot".into(),
-                        "route_port_mask".into(),
-                        "head_allocation".into(),
-                        "mark_occupied".into(),
-                        "commit_transmission".into(),
-                        "progress_injection".into(),
-                        "try_inject_flit".into(),
-                        "advancing_lane".into(),
-                        "deliver_to_node".into(),
-                        "advance_to".into(),
-                        "next_event".into(),
-                    ],
-                },
-            ],
+            seq_hygiene: Some(SeqHygieneScope {
+                crates: protocol_crates.clone(),
+            }),
+            wildcard: Some(WildcardScope {
+                crates: protocol_crates.clone(),
+                enums: vec![
+                    "WireFrame".into(),
+                    "Wire".into(),
+                    "EventKind".into(),
+                    "WireError".into(),
+                    "DeliveryFailure".into(),
+                    "Wakeup".into(),
+                ],
+            }),
+            lock_crates: {
+                let mut crates = protocol_crates;
+                crates.push("traffic".into());
+                crates
+            },
             allowlist,
         })
     }
@@ -277,6 +269,12 @@ pub struct LintReport {
     pub errors: Vec<String>,
     /// How many files the scan covered.
     pub files_scanned: usize,
+    /// The hot-path-closure artifact (JSON), for `--closure-json`.
+    pub closure_json: String,
+    /// Functions in the closure.
+    pub closure_fn_count: usize,
+    /// Crates contributing at least one closure fn.
+    pub closure_crates: Vec<String>,
 }
 
 impl LintReport {
@@ -306,15 +304,24 @@ pub fn run(config: &LintConfig) -> LintReport {
     }
     report.files_scanned = files.len();
 
-    // R1 over the designated hot paths.
-    for hot in &config.hot_paths {
-        match files.iter().find(|f| f.rel == hot.path) {
-            Some(file) => rules::r1_panic_freedom(file, hot, &mut raw),
-            None => report
-                .errors
-                .push(format!("R1 hot path {} not found in scan set", hot.path)),
-        }
+    // Build the call graph and the hot-path closure (R1/R5/R6 scope). An
+    // entry point that matches no symbol means the protocol surface moved
+    // under the config — fatal, exactly like the old missing-fn errors.
+    let include = |c: &str| !config.graph_exclude.iter().any(|e| e == c);
+    let graph = Graph::build(&files, &include, &config.entry_points);
+    for missing in &graph.unmatched_entries {
+        report.errors.push(format!(
+            "entry point `{missing}` matched no function in the call graph; \
+             the protocol surface moved — update LintConfig::workspace"
+        ));
     }
+    report.closure_json = graph.closure_json(&files, &config.entry_points);
+    report.closure_fn_count = graph.closure.len();
+    report.closure_crates = graph.crates_in_closure.iter().cloned().collect();
+
+    // R1 + R5 over the closure, R6 over the closure's container pushes.
+    rules::closure_rules(&files, &graph, &mut raw);
+    rules::r6_bounded_capacity(&files, &graph, &mut raw);
 
     // R2 over every scanned file.
     if let Some(scope) = &config.determinism {
@@ -347,17 +354,6 @@ pub fn run(config: &LintConfig) -> LintReport {
         }
     }
 
-    // R5 over the zero-alloc hot paths.
-    for scope in &config.zero_alloc {
-        match files.iter().find(|f| f.rel == scope.path) {
-            Some(file) => rules::r5_zero_alloc(file, scope, &mut raw),
-            None => report.errors.push(format!(
-                "R5 zero-alloc path {} not found in scan set",
-                scope.path
-            )),
-        }
-    }
-
     // R4 per configured struct.
     for scope in &config.config_coverage {
         match files.iter().find(|f| f.rel == scope.path) {
@@ -366,6 +362,33 @@ pub fn run(config: &LintConfig) -> LintReport {
                 "R4 config file {} not found in scan set",
                 scope.path
             )),
+        }
+    }
+
+    // R7 over the protocol crates' wire-seq vocabulary.
+    if let Some(scope) = &config.seq_hygiene {
+        let scope_files: Vec<usize> = files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| crate_of(&f.rel).is_some_and(|c| scope.crates.iter().any(|s| s == c)))
+            .map(|(i, _)| i)
+            .collect();
+        rules::r7_seq_hygiene(&files, &scope_files, &mut raw);
+    }
+
+    // R8 per protocol-crate file.
+    if let Some(scope) = &config.wildcard {
+        for file in &files {
+            if crate_of(&file.rel).is_some_and(|c| scope.crates.iter().any(|s| s == c)) {
+                rules::r8_no_wildcard(file, scope, &mut raw);
+            }
+        }
+    }
+
+    // R9 per lock-scope file.
+    for file in &files {
+        if crate_of(&file.rel).is_some_and(|c| config.lock_crates.iter().any(|s| s == c)) {
+            rules::r9_lock_discipline(file, &mut raw);
         }
     }
 
@@ -444,6 +467,7 @@ fn collect_rs(root: &Path, dir: &str, out: &mut Vec<String>, errors: &mut Vec<St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn workspace_config_lists_every_crate_src() {
@@ -453,6 +477,40 @@ mod tests {
         assert!(cfg.src_dirs.contains(&"crates/lint/src".to_string()));
         assert!(cfg.trace_parity.is_some());
         assert_eq!(cfg.config_coverage.len(), 4);
-        assert_eq!(cfg.zero_alloc.len(), 2, "unit datapath + fabric step loop");
+    }
+
+    #[test]
+    fn workspace_config_has_no_enumerated_fn_scopes() {
+        // The closure replaces the old hand-listed file+fn scopes: the only
+        // names in the config are entry points (type + fn), and the graph
+        // exclusion is by crate, not by file.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let cfg = LintConfig::workspace(root).unwrap();
+        assert!(cfg.entry_points.len() >= 20);
+        assert!(cfg
+            .entry_points
+            .iter()
+            .any(|e| e.type_name.as_deref() == Some("NifdyUnit") && e.fn_name == "step"));
+        assert!(cfg
+            .entry_points
+            .iter()
+            .any(|e| e.type_name.is_none() && e.fn_name == "decode"));
+        assert!(cfg.graph_exclude.contains(&"lint".to_string()));
+        assert!(!cfg.graph_exclude.contains(&"core".to_string()));
+    }
+
+    #[test]
+    fn graph_exclusion_keeps_protocol_crates_in() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let cfg = LintConfig::workspace(root).unwrap();
+        let covered: BTreeSet<&str> = ["core", "net", "wire", "node", "sim", "trace"]
+            .into_iter()
+            .collect();
+        for c in &covered {
+            assert!(
+                !cfg.graph_exclude.iter().any(|e| e == c),
+                "protocol crate {c} must stay in the graph"
+            );
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! CLI for the workspace analyzer.
 //!
 //! ```text
-//! cargo run -p nifdy-lint [-- --root <dir>] [--json <path>] [--quiet]
+//! cargo run -p nifdy-lint [-- --root <dir>] [--json <path>] [--closure-json <path>] [--quiet]
 //! ```
 //!
 //! Exit status: 0 clean, 1 violations, 2 broken allowlist / I/O errors.
@@ -16,18 +16,21 @@ use nifdy_lint::{report, run, LintConfig};
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut closure_out: Option<PathBuf> = None;
     let mut quiet = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_out = args.next().map(PathBuf::from),
+            "--closure-json" => closure_out = args.next().map(PathBuf::from),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
                     "nifdy-lint: workspace static analysis (R1 panic-freedom, R2 determinism,\n\
-                     R3 trace parity, R4 config coverage)\n\n\
-                     USAGE: nifdy-lint [--root <dir>] [--json <path>] [--quiet]\n\n\
+                     R3 trace parity, R4 config coverage, R5 zero-alloc, R6 bounded capacity,\n\
+                     R7 seq hygiene, R8 no-wildcard matches, R9 lock discipline)\n\n\
+                     USAGE: nifdy-lint [--root <dir>] [--json <path>] [--closure-json <path>] [--quiet]\n\n\
                      Exit 0 = clean, 1 = violations, 2 = allowlist/I-O errors."
                 );
                 return ExitCode::SUCCESS;
@@ -62,6 +65,12 @@ fn main() -> ExitCode {
 
     if let Some(path) = json_out {
         if let Err(e) = fs::write(&path, report::to_json(&result)) {
+            eprintln!("nifdy-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = closure_out {
+        if let Err(e) = fs::write(&path, &result.closure_json) {
             eprintln!("nifdy-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

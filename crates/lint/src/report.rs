@@ -29,10 +29,13 @@ pub fn human(report: &LintReport) -> String {
         out.push_str(&format!("error: {e}\n"));
     }
     out.push_str(&format!(
-        "nifdy-lint: {} violation(s), {} suppressed by lint-allow.toml, {} error(s)\n",
+        "nifdy-lint: {} violation(s), {} suppressed by lint-allow.toml, {} error(s); \
+         hot-path closure: {} fn(s) across {} crate(s)\n",
         report.diagnostics.len(),
         report.suppressed.len(),
-        report.errors.len()
+        report.errors.len(),
+        report.closure_fn_count,
+        report.closure_crates.len()
     ));
     out
 }
@@ -90,6 +93,20 @@ pub fn to_json(report: &LintReport) -> String {
     map.insert(
         "files_scanned".to_string(),
         Json::u64(report.files_scanned as u64),
+    );
+    map.insert(
+        "closure_fn_count".to_string(),
+        Json::u64(report.closure_fn_count as u64),
+    );
+    map.insert(
+        "closure_crates".to_string(),
+        Json::Arr(
+            report
+                .closure_crates
+                .iter()
+                .map(|c| Json::str(c.clone()))
+                .collect(),
+        ),
     );
     Json::Obj(map).render()
 }

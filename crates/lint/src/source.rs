@@ -30,6 +30,54 @@ pub struct FnSpan {
     pub start: usize,
     /// Line of the closing brace (equal to `start` for bodyless items).
     pub end: usize,
+    /// Signature text from the `fn` keyword to the body brace (or `;`),
+    /// with line breaks collapsed to spaces.
+    pub sig: String,
+}
+
+impl FnSpan {
+    /// Whether the first parameter is a `self` receiver (`self`, `&self`,
+    /// `&mut self`, `self: Box<Self>`, …).
+    pub fn has_self(&self) -> bool {
+        let Some(open) = self.sig.find('(') else {
+            return false;
+        };
+        let params = &self.sig[open + 1..];
+        let mut depth = 1usize;
+        let mut first_end = params.len();
+        for (at, ch) in params.char_indices() {
+            match ch {
+                '(' | '[' | '<' => depth += 1,
+                ')' | ']' | '>' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        first_end = at;
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    first_end = at;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        contains_word(&params[..first_end], "self")
+    }
+}
+
+/// The line range (1-based, inclusive) of one `impl` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplSpan {
+    /// The implementing type's last path segment, generics stripped
+    /// (`FaultyTransport<T>` → `FaultyTransport`).
+    pub type_name: String,
+    /// For `impl Trait for Type`, the trait's last path segment.
+    pub trait_name: Option<String>,
+    /// First line of the `impl` keyword.
+    pub start: usize,
+    /// Line of the closing brace.
+    pub end: usize,
 }
 
 /// One loaded source file with its derived views.
@@ -45,6 +93,10 @@ pub struct SourceFile {
     pub test: Vec<bool>,
     /// Every `fn` item span found in the file.
     pub fns: Vec<FnSpan>,
+    /// Every `impl` block span found in the file.
+    pub impls: Vec<ImplSpan>,
+    /// Brace depth at the start of each line (code view).
+    pub depths: Vec<usize>,
 }
 
 impl SourceFile {
@@ -62,13 +114,94 @@ impl SourceFile {
         code.resize(raw.len(), String::new());
         let test = test_mask(&code);
         let fns = fn_spans(&code);
+        let impls = impl_spans(&code);
+        let depths = line_depths(&code);
         SourceFile {
             rel: rel.to_string(),
             raw,
             code,
             test,
             fns,
+            impls,
+            depths,
         }
+    }
+
+    /// The innermost `fn` span containing 1-based `line`, if any.
+    pub fn innermost_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .min_by_key(|f| f.end - f.start)
+    }
+
+    /// The `impl` block containing 1-based `line`, if any.
+    pub fn impl_at(&self, line: usize) -> Option<&ImplSpan> {
+        self.impls
+            .iter()
+            .filter(|s| s.start <= line && line <= s.end)
+            .min_by_key(|s| s.end - s.start)
+    }
+
+    /// Every struct declared with a brace body, with its typed fields:
+    /// `(struct_name, field_name, type_text, 1-based line)`. Includes
+    /// private fields.
+    pub fn struct_fields_all(&self) -> Vec<(String, String, String, usize)> {
+        let mut out = Vec::new();
+        for (idx, line) in self.code.iter().enumerate() {
+            if !contains_word(line, "struct") {
+                continue;
+            }
+            let Some(pos) = line.find("struct") else {
+                continue;
+            };
+            let name: String = line[pos + 6..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            // Walk the brace body; bail on `;` before `{` (tuple struct).
+            let mut depth = 0usize;
+            let mut entered = false;
+            'walk: for (j, body_line) in self.code.iter().enumerate().skip(idx) {
+                if entered && depth == 1 {
+                    let trimmed = body_line.trim();
+                    let field = trimmed
+                        .strip_prefix("pub(crate) ")
+                        .or_else(|| trimmed.strip_prefix("pub "))
+                        .unwrap_or(trimmed);
+                    let ident: String = field
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    let rest = field[ident.len()..].trim_start();
+                    if !ident.is_empty() && rest.starts_with(':') {
+                        let ty = rest[1..].trim().trim_end_matches(',').trim();
+                        out.push((name.clone(), ident, ty.to_string(), j + 1));
+                    }
+                }
+                for ch in body_line.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if entered && depth == 0 {
+                                break 'walk;
+                            }
+                        }
+                        ';' if !entered => break 'walk,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Whether 1-based `line` is test code.
@@ -204,29 +337,76 @@ impl SourceFile {
 
     /// String literals (unescaped content) appearing on raw lines
     /// `start..=end` (1-based). Good enough for `match` arms mapping
-    /// variants to wire names; does not handle raw strings.
+    /// variants to wire names. Handles plain and raw (`r#"…"#`) strings
+    /// that open and close on one line, and stops at `//` comments.
     pub fn string_literals_in(&self, start: usize, end: usize) -> Vec<(String, usize)> {
         let mut out = Vec::new();
         for line_no in start..=end.min(self.raw.len()) {
             let line = &self.raw[line_no - 1];
-            let mut chars = line.chars().peekable();
-            while let Some(c) = chars.next() {
-                if c != '"' {
+            let b = line.as_bytes();
+            let mut i = 0;
+            while i < b.len() {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'/') {
+                    break;
+                }
+                if let Some((hashes, quote)) = raw_string_at(b, i) {
+                    let close = format!("\"{}", "#".repeat(hashes));
+                    let content_start = quote + 1;
+                    match line[content_start..].find(&close) {
+                        Some(rel) => {
+                            out.push((
+                                line[content_start..content_start + rel].to_string(),
+                                line_no,
+                            ));
+                            i = content_start + rel + close.len();
+                        }
+                        None => break,
+                    }
                     continue;
                 }
-                let mut lit = String::new();
-                loop {
-                    match chars.next() {
-                        None | Some('"') => break,
-                        Some('\\') => {
-                            if let Some(esc) = chars.next() {
-                                lit.push(esc);
-                            }
+                if b[i] == b'\'' {
+                    if b.get(i + 1) == Some(&b'\\') {
+                        let mut j = i + 3;
+                        while j < b.len() && b[j] != b'\'' {
+                            j += 1;
                         }
-                        Some(other) => lit.push(other),
+                        i = (j + 1).min(b.len());
+                        continue;
+                    }
+                    if let Some(n) = char_literal_len(b, i) {
+                        i += n;
+                        continue;
                     }
                 }
-                out.push((lit, line_no));
+                if b[i] == b'"' {
+                    let mut lit = String::new();
+                    let mut chars = line[i + 1..].chars();
+                    let mut consumed = i + 1;
+                    loop {
+                        match chars.next() {
+                            None => break,
+                            Some('"') => {
+                                consumed += 1;
+                                break;
+                            }
+                            Some('\\') => {
+                                consumed += 1;
+                                if let Some(esc) = chars.next() {
+                                    lit.push(esc);
+                                    consumed += esc.len_utf8();
+                                }
+                            }
+                            Some(other) => {
+                                lit.push(other);
+                                consumed += other.len_utf8();
+                            }
+                        }
+                    }
+                    out.push((lit, line_no));
+                    i = consumed;
+                    continue;
+                }
+                i += 1;
             }
         }
         out
@@ -375,9 +555,17 @@ fn blank(src: &str) -> String {
             }
         } else if c == b'\'' {
             if b.get(i + 1) == Some(&b'\\') {
-                // Escaped char literal: blank to the closing quote.
+                // Escaped char literal. Consume the backslash and the byte
+                // it escapes before scanning for the closing quote, so that
+                // `'\''` does not leave a stray tick in the code view.
                 out.push(b' ');
                 i += 1;
+                push_blank(&mut out, b[i]);
+                i += 1;
+                if i < b.len() {
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
                 while i < b.len() && b[i] != b'\'' {
                     push_blank(&mut out, b[i]);
                     i += 1;
@@ -504,14 +692,15 @@ fn test_mask(code: &[String]) -> Vec<bool> {
     mask
 }
 
-/// Finds every `fn name … { … }` span via brace matching on the code view.
+/// Finds every `fn name … { … }` span via brace matching on the code view,
+/// capturing the signature text between `fn` and the body brace.
 fn fn_spans(code: &[String]) -> Vec<FnSpan> {
     let mut spans = Vec::new();
     // Functions awaiting their body's opening brace, then open bodies as
-    // (name, start_line, depth_at_open).
-    let mut pending: Option<(String, usize)> = None;
+    // (name, start_line, sig, depth_at_open).
+    let mut pending: Option<(String, usize, String)> = None;
     let mut sig_depth = 0usize;
-    let mut open: Vec<(String, usize, usize)> = Vec::new();
+    let mut open: Vec<(String, usize, String, usize)> = Vec::new();
     let mut depth = 0usize;
     for (idx, line) in code.iter().enumerate() {
         for (at, ch) in line.char_indices() {
@@ -520,17 +709,18 @@ fn fn_spans(code: &[String]) -> Vec<FnSpan> {
                 ')' | ']' if pending.is_some() => sig_depth = sig_depth.saturating_sub(1),
                 '{' => {
                     depth += 1;
-                    if let Some((name, start)) = pending.take() {
-                        open.push((name, start, depth));
+                    if let Some((name, start, sig)) = pending.take() {
+                        open.push((name, start, sig, depth));
                     }
                 }
                 '}' => {
-                    if let Some(pos) = open.iter().rposition(|(_, _, d)| *d == depth) {
-                        let (name, start, _) = open.remove(pos);
+                    if let Some(pos) = open.iter().rposition(|(_, _, _, d)| *d == depth) {
+                        let (name, start, sig, _) = open.remove(pos);
                         spans.push(FnSpan {
                             name,
                             start,
                             end: idx + 1,
+                            sig,
                         });
                     }
                     depth = depth.saturating_sub(1);
@@ -539,11 +729,12 @@ fn fn_spans(code: &[String]) -> Vec<FnSpan> {
                     // Bodyless declaration (trait method, extern). A `;`
                     // inside the signature's parens or an array type does
                     // not end the item.
-                    if let Some((name, start)) = pending.take() {
+                    if let Some((name, start, sig)) = pending.take() {
                         spans.push(FnSpan {
                             name,
                             start,
                             end: start,
+                            sig,
                         });
                     }
                 }
@@ -563,7 +754,7 @@ fn fn_spans(code: &[String]) -> Vec<FnSpan> {
                                 .take_while(|c| c.is_alphanumeric() || *c == '_')
                                 .collect();
                             if !name.is_empty() {
-                                pending = Some((name, idx + 1));
+                                pending = Some((name, idx + 1, String::new()));
                                 sig_depth = 0;
                             }
                         }
@@ -571,10 +762,239 @@ fn fn_spans(code: &[String]) -> Vec<FnSpan> {
                 }
                 _ => {}
             }
+            if let Some((_, _, sig)) = pending.as_mut() {
+                sig.push(ch);
+            }
+        }
+        if let Some((_, _, sig)) = pending.as_mut() {
+            sig.push(' ');
         }
     }
     spans.sort_by_key(|s| (s.start, s.end));
     spans
+}
+
+/// Brace depth at the start of each line (code view).
+fn line_depths(code: &[String]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(code.len());
+    let mut depth = 0usize;
+    for line in code {
+        out.push(depth);
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Finds every `impl` block span via brace matching on the code view,
+/// parsing the header into a type name and optional trait name.
+fn impl_spans(code: &[String]) -> Vec<ImplSpan> {
+    let mut spans = Vec::new();
+    // An impl header being accumulated, then open bodies as
+    // (type_name, trait_name, start_line, depth_at_open).
+    let mut pending: Option<(String, usize)> = None;
+    let mut angle = 0usize;
+    let mut open: Vec<(String, Option<String>, usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut prev = ' ';
+    for (idx, line) in code.iter().enumerate() {
+        for (at, ch) in line.char_indices() {
+            if pending.is_some() {
+                if ch == '{' && angle == 0 {
+                    let (header, start) = pending.take().unwrap_or_default();
+                    depth += 1;
+                    if let Some((ty, tr)) = parse_impl_header(&header) {
+                        open.push((ty, tr, start, depth));
+                    }
+                } else if ch == ';' && angle == 0 {
+                    pending = None;
+                } else {
+                    if let Some((header, _)) = pending.as_mut() {
+                        match ch {
+                            '<' => angle += 1,
+                            '>' if prev != '-' => angle = angle.saturating_sub(1),
+                            _ => {}
+                        }
+                        header.push(ch);
+                    }
+                }
+                prev = ch;
+                continue;
+            }
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    if let Some(pos) = open.iter().rposition(|(_, _, _, d)| *d == depth) {
+                        let (ty, tr, start, _) = open.remove(pos);
+                        spans.push(ImplSpan {
+                            type_name: ty,
+                            trait_name: tr,
+                            start,
+                            end: idx + 1,
+                        });
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                'i' => {
+                    // A word-boundary `impl` at item position: the line up
+                    // to here is blank or ends an earlier item. This skips
+                    // `-> impl Trait` return types.
+                    let before = line[..at].trim_end();
+                    let item_pos = before.is_empty()
+                        || before.ends_with('}')
+                        || before.ends_with(';')
+                        || before.ends_with(']');
+                    if item_pos && line[at..].starts_with("impl") {
+                        let rest = &line[at + 4..];
+                        if rest.is_empty()
+                            || rest.starts_with(char::is_whitespace)
+                            || rest.starts_with('<')
+                        {
+                            pending = Some((String::new(), idx + 1));
+                            angle = 0;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            prev = ch;
+        }
+        prev = ' ';
+    }
+    spans.sort_by_key(|s| (s.start, s.end));
+    spans
+}
+
+/// Parses an accumulated impl header (`impl<T> Trait for Type<T> where …`
+/// without the leading `impl` or the body brace) into
+/// `(type_name, trait_name)`, both reduced to their last path segment.
+fn parse_impl_header(header: &str) -> Option<(String, Option<String>)> {
+    // The accumulator starts one char past the `i` of `impl`; drop the rest
+    // of the keyword, then strip leading generics.
+    let header = header.trim_start();
+    let mut rest = header.strip_prefix("mpl").unwrap_or(header).trim_start();
+    if let Some(stripped) = rest.strip_prefix('<') {
+        let mut angle = 1usize;
+        let mut prev = ' ';
+        let mut cut = stripped.len();
+        for (at, ch) in stripped.char_indices() {
+            match ch {
+                '<' => angle += 1,
+                '>' if prev != '-' => {
+                    angle -= 1;
+                    if angle == 0 {
+                        cut = at + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            prev = ch;
+        }
+        rest = stripped[cut.min(stripped.len())..].trim_start();
+    }
+    // Split at a word-boundary ` for ` outside angle brackets.
+    let (first, second) = split_impl_for(rest);
+    let first = strip_where(first);
+    match second {
+        Some(ty) => Some((last_segment(strip_where(ty))?, last_segment(first))),
+        None => Some((last_segment(first)?, None)),
+    }
+}
+
+/// Splits `Trait for Type` at the first word-boundary `for` outside angle
+/// brackets; returns `(head, Some(tail))` or `(whole, None)`.
+fn split_impl_for(s: &str) -> (&str, Option<&str>) {
+    let b = s.as_bytes();
+    let mut angle = 0usize;
+    let mut prev = b' ';
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'<' => angle += 1,
+            b'>' if prev != b'-' => angle = angle.saturating_sub(1),
+            b'f' if angle == 0
+                && s[i..].starts_with("for")
+                && !(prev.is_ascii_alphanumeric() || prev == b'_')
+                && !s[i + 3..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '<') =>
+            {
+                return (&s[..i], Some(&s[i + 3..]));
+            }
+            _ => {}
+        }
+        prev = b[i];
+        i += 1;
+    }
+    (s, None)
+}
+
+/// Drops a trailing `where …` clause.
+fn strip_where(s: &str) -> &str {
+    let mut from = 0;
+    while let Some(pos) = s[from..].find("where") {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !s[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !s[at + 5..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return &s[..at];
+        }
+        from = at + 5;
+    }
+    s
+}
+
+/// The last `::` path segment with generics, references, and lifetimes
+/// stripped: `fmt::Display` → `Display`, `Supervisor<T, F>` → `Supervisor`,
+/// `&'a mut Foo<T>` → `Foo`.
+fn last_segment(path: &str) -> Option<String> {
+    let mut s = path.trim();
+    loop {
+        let trimmed = s.trim_start_matches(['&', '*']).trim_start();
+        let trimmed = if let Some(rest) = trimmed.strip_prefix('\'') {
+            rest.trim_start_matches(|c: char| c.is_alphanumeric() || c == '_')
+                .trim_start()
+        } else {
+            trimmed
+        };
+        let trimmed = trimmed
+            .strip_prefix("mut ")
+            .or_else(|| trimmed.strip_prefix("dyn "))
+            .unwrap_or(trimmed)
+            .trim_start();
+        if trimmed == s {
+            break;
+        }
+        s = trimmed;
+    }
+    let no_generics = match s.find('<') {
+        Some(p) => &s[..p],
+        None => s,
+    };
+    let seg = no_generics.rsplit("::").next()?.trim();
+    let ident: String = seg
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
 }
 
 #[cfg(test)]
@@ -652,6 +1072,140 @@ mod tests {
         assert_eq!(
             f.string_literals_in(2, 2),
             vec![("wire_name".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn raw_strings_blank_correctly() {
+        // A raw string containing a quote must not swallow trailing code.
+        let out = blank("let c = r#\"has \" quote\"#; let live = x.unwrap();\n");
+        assert!(out.contains("let live = x.unwrap();"), "{out:?}");
+        assert!(!out.contains("quote"));
+        // A raw string containing a comment opener must not start a comment.
+        let out = blank("let c = r#\"start /* \"#; let live = 1; /* gone */ let more = 2;\n");
+        assert!(out.contains("let live = 1;"), "{out:?}");
+        assert!(out.contains("let more = 2;"), "{out:?}");
+        assert!(!out.contains("gone"));
+        // Multi-hash raw strings close only on a matching run of hashes.
+        let out = blank("let c = r##\"x \"# y\"##; let live = 4;\n");
+        assert!(out.contains("let live = 4;"), "{out:?}");
+        assert!(!out.contains('y'));
+        // Byte raw strings.
+        let out = blank("let c = br#\"bytes \" q\"#; live();\n");
+        assert!(out.contains("live();"), "{out:?}");
+        // Adjacent raw and plain strings.
+        let out = blank("f(r#\"payload\"#, \"b\", c.unwrap());\n");
+        assert!(out.contains("c.unwrap()"), "{out:?}");
+        assert!(!out.contains("payload"));
+    }
+
+    #[test]
+    fn multiline_raw_string_preserves_line_structure() {
+        let src = "let c = r#\"one\ntwo \" mid\nthree\"#;\nlet live = 8;\n";
+        let out = blank(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(out.contains("let live = 8;"));
+        assert!(!out.contains("mid"));
+    }
+
+    #[test]
+    fn nested_block_comments_blank_correctly() {
+        let out = blank("/* outer /* inner */ still comment */ let live = 3;\n");
+        assert!(out.contains("let live = 3;"), "{out:?}");
+        assert!(!out.contains("still"));
+        // A raw-string opener inside a comment stays a comment.
+        let out = blank("/* r#\" */ let live = 7; // tail\n");
+        assert!(out.contains("let live = 7;"), "{out:?}");
+        assert!(!out.contains("tail"));
+    }
+
+    #[test]
+    fn escaped_char_literals_blank_without_desync() {
+        // `'\''` must not leave a stray quote that desyncs later scans.
+        let out = blank("let c = '\\''; let live = x.unwrap();\n");
+        assert!(out.contains("let live = x.unwrap();"), "{out:?}");
+        assert!(!out.contains('\''), "stray quote in {out:?}");
+        let out = blank("let c = '\\\\'; let live = 1;\n");
+        assert!(out.contains("let live = 1;"), "{out:?}");
+        let out = blank("let c = '\\x41'; let d = '\\u{1F600}'; live();\n");
+        assert!(out.contains("live();"), "{out:?}");
+    }
+
+    #[test]
+    fn string_literals_include_raw_strings() {
+        let src = "fn name() { (\"plain\", r#\"raw \" lit\"#, r\"zero\") }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let lits: Vec<String> = f
+            .string_literals_in(1, 1)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(lits, vec!["plain", "raw \" lit", "zero"]);
+    }
+
+    #[test]
+    fn impl_spans_parse_inherent_trait_and_generic() {
+        let src = "\
+struct A;\n\
+impl A {\n    fn one(&self) {}\n}\n\
+impl fmt::Display for A {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n}\n\
+impl<T: Clone, F: FnMut() -> Vec<T>> Wrap<T, F> {\n    fn two(&mut self, x: T) -> T { x }\n}\n\
+fn free() -> impl Iterator<Item = u8> {\n    std::iter::empty()\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let impls: Vec<(String, Option<String>)> = f
+            .impls
+            .iter()
+            .map(|s| (s.type_name.clone(), s.trait_name.clone()))
+            .collect();
+        assert_eq!(
+            impls,
+            vec![
+                ("A".to_string(), None),
+                ("A".to_string(), Some("Display".to_string())),
+                ("Wrap".to_string(), None),
+            ]
+        );
+        assert_eq!(f.impl_at(3).map(|s| s.type_name.as_str()), Some("A"));
+        assert_eq!(
+            f.impl_at(6).and_then(|s| s.trait_name.as_deref()),
+            Some("Display")
+        );
+        assert_eq!(f.impl_at(12), None, "return-position impl is not a block");
+    }
+
+    #[test]
+    fn fn_signatures_capture_self() {
+        let src = "\
+fn free(x: u8) -> u8 { x }\n\
+impl A {\n\
+    fn method(&self, y: u8) {}\n\
+    fn owner(mut self) {}\n\
+    fn assoc(\n        config: u8,\n    ) -> A {\n        A\n    }\n\
+}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let by_name = |n: &'static str| f.fns_named(n).next().unwrap();
+        assert!(!by_name("free").has_self());
+        assert!(by_name("method").has_self());
+        assert!(by_name("owner").has_self());
+        assert!(!by_name("assoc").has_self());
+    }
+
+    #[test]
+    fn struct_fields_all_reads_types_and_private_fields() {
+        let src = "pub struct Cfg {\n    pub seq: u8,\n    epoch: u32,\n    items: Vec<usize>,\n}\npub struct Key(u32);\n";
+        let f = SourceFile::parse("x.rs", src);
+        let fields: Vec<(String, String, String)> = f
+            .struct_fields_all()
+            .into_iter()
+            .map(|(s, n, t, _)| (s, n, t))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("Cfg".into(), "seq".into(), "u8".into()),
+                ("Cfg".into(), "epoch".into(), "u32".into()),
+                ("Cfg".into(), "items".into(), "Vec<usize>".into()),
+            ]
         );
     }
 

@@ -1,0 +1,52 @@
+//! Call-graph fixture, crate alpha: the entry `Unit::step` dispatches
+//! through a `dyn Nic` receiver (both impls must join the closure), a
+//! `self` call that must resolve precisely to `Unit::finish`, and a
+//! receiver call on `finish` whose name is shadowed by an unrelated
+//! impl in crate beta.
+
+pub trait Nic {
+    fn poll(&mut self) -> u8;
+}
+
+pub struct FastNic;
+
+impl Nic for FastNic {
+    fn poll(&mut self) -> u8 {
+        fast_inner()
+    }
+}
+
+pub struct SlowNic;
+
+impl Nic for SlowNic {
+    fn poll(&mut self) -> u8 {
+        7
+    }
+}
+
+pub struct Unit {
+    acc: u8,
+}
+
+impl Unit {
+    pub fn step(&mut self, nic: &mut dyn Nic, ledger: &mut Ledger) -> u8 {
+        let v = nic.poll();
+        ledger.finish(v);
+        self.finish(v)
+    }
+
+    pub fn finish(&mut self, v: u8) -> u8 {
+        self.acc = beta::shared(v);
+        self.acc
+    }
+}
+
+fn fast_inner() -> u8 {
+    3
+}
+
+pub fn outside(u: &mut Unit, n: &mut dyn Nic, l: &mut Ledger) -> u8 {
+    // Calls the entry but is itself unreachable from it: the closure is
+    // callee-directed, so callers stay out.
+    u.step(n, l)
+}

@@ -1,0 +1,26 @@
+//! Call-graph fixture, crate beta: the cross-crate free-call target and
+//! an unrelated `finish` method that receiver-call resolution in alpha
+//! must pull in conservatively (name shadowing, no type inference).
+
+pub struct Ledger {
+    total: u64,
+}
+
+impl Ledger {
+    pub fn finish(&mut self, v: u8) -> u64 {
+        self.total = u64::from(v);
+        self.total
+    }
+}
+
+pub fn shared(v: u8) -> u8 {
+    lane_of(v)
+}
+
+fn lane_of(v: u8) -> u8 {
+    v & 1
+}
+
+pub fn unreached() -> u8 {
+    9
+}

@@ -1,0 +1,26 @@
+//! R6 fixture: a fixed-capacity ring pushed without a guard in `step`
+//! (must fire) and with a capacity check in `guarded` (must not).
+
+use std::collections::VecDeque;
+
+pub struct Ring {
+    buf: VecDeque<u8>,
+}
+
+impl Ring {
+    pub fn new() -> Ring {
+        Ring {
+            buf: VecDeque::with_capacity(8),
+        }
+    }
+
+    pub fn step(&mut self, v: u8) {
+        self.buf.push_back(v);
+    }
+
+    pub fn guarded(&mut self, v: u8) {
+        if self.buf.len() < 8 {
+            self.buf.push_back(v);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! R7 fixture: bare `+`/`+=` on narrow wire-seq fields (must fire), a
+//! 64-bit absolute counter and wrapping_/% lines (must not).
+
+pub struct Dialog {
+    seq: u8,
+    next_epoch: u16,
+    total: u64,
+}
+
+impl Dialog {
+    pub fn bump(&mut self) {
+        self.seq = self.seq + 1;
+        self.next_epoch += 1;
+        self.total += 1;
+    }
+
+    pub fn wrapped(&mut self) {
+        self.seq = self.seq.wrapping_add(1);
+        self.next_epoch = (self.next_epoch + 1) % 512;
+    }
+}

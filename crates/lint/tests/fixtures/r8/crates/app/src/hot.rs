@@ -1,0 +1,28 @@
+//! R8 fixture: a wildcard arm in a match over the protocol enum `Wire`
+//! (must fire) and over the out-of-scope enum `Local` (must not).
+
+pub enum Wire {
+    Data(u8),
+    Ack(u8),
+    Nack(u8),
+}
+
+pub fn classify(w: &Wire) -> u8 {
+    match w {
+        Wire::Data(v) => *v,
+        Wire::Ack(_) => 1,
+        _ => 0,
+    }
+}
+
+pub enum Local {
+    A,
+    B,
+}
+
+pub fn other(l: &Local) -> u8 {
+    match l {
+        Local::A => 0,
+        _ => 1,
+    }
+}

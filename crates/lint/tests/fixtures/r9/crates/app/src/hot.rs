@@ -1,0 +1,38 @@
+//! R9 fixture: a Mutex guard held across a step call in `drive` and a
+//! registry-before-trace lock-order inversion in `inverted` (both must
+//! fire); `clean` drops its guard in an inner scope before stepping.
+
+use std::sync::Mutex;
+
+pub struct App {
+    pub stats: Mutex<u64>,
+    pub registry_lock: Mutex<u64>,
+    pub trace_lock: Mutex<u64>,
+}
+
+pub struct Engine;
+
+impl Engine {
+    pub fn step(&mut self) {}
+}
+
+pub fn drive(app: &App, engine: &mut Engine) {
+    let stats = app.stats.lock().unwrap();
+    engine.step();
+    drop(stats);
+}
+
+pub fn inverted(app: &App) {
+    let r = app.registry_lock.lock().unwrap();
+    let t = app.trace_lock.lock().unwrap();
+    drop(t);
+    drop(r);
+}
+
+pub fn clean(app: &App, engine: &mut Engine) {
+    {
+        let stats = app.stats.lock().unwrap();
+        drop(stats);
+    }
+    engine.step();
+}

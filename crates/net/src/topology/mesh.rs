@@ -15,6 +15,10 @@ use nifdy_sim::NodeId;
 
 use super::{Candidate, Endpoint, FabricSpec, NodeAttach, RouteState, RouterSpec, Topology, VcSel};
 
+/// Most dimensions a [`Grid`] supports; lets coordinate vectors live on
+/// the stack during per-hop routing.
+const MAX_DIMS: usize = 4;
+
 /// A mesh or torus, generic over dimensionality and wraparound.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Grid {
@@ -94,8 +98,8 @@ impl Torus {
 impl Grid {
     fn new(dims: Vec<usize>, wrap: bool) -> Self {
         assert!(
-            !dims.is_empty() && dims.len() <= 4,
-            "1-4 dimensions supported"
+            !dims.is_empty() && dims.len() <= MAX_DIMS,
+            "1-{MAX_DIMS} dimensions supported"
         );
         assert!(
             dims.iter().all(|&d| d >= 2),
@@ -108,11 +112,14 @@ impl Grid {
         self.dims.iter().product()
     }
 
-    fn coords(&self, idx: usize) -> Vec<usize> {
-        let mut c = Vec::with_capacity(self.dims.len());
+    /// Coordinates of router `idx`, one per dimension; unused trailing
+    /// slots (beyond `dims.len()`, up to [`MAX_DIMS`]) stay zero. Returned
+    /// by value so the per-hop route computation never heap-allocates.
+    fn coords(&self, idx: usize) -> [usize; MAX_DIMS] {
+        let mut c = [0; MAX_DIMS];
         let mut rest = idx;
-        for &d in &self.dims {
-            c.push(rest % d);
+        for (slot, &d) in c.iter_mut().zip(&self.dims) {
+            *slot = rest % d;
             rest /= d;
         }
         c
@@ -120,8 +127,8 @@ impl Grid {
 
     fn index(&self, coords: &[usize]) -> usize {
         let mut idx = 0;
-        for (i, &c) in coords.iter().enumerate().rev() {
-            idx = idx * self.dims[i] + c;
+        for (&d, &c) in self.dims.iter().zip(coords).rev() {
+            idx = idx * d + c;
         }
         idx
     }

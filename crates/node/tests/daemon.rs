@@ -59,7 +59,7 @@ fn two_daemons_exchange_over_a_shared_carrier() {
     let expected = plan.expected_log();
     let hub = LoopbackHub::new(2, 1);
     let cfg = NodeConfig::default().with_shards(2);
-    let mut build = |carrier_id: usize, hosted: std::ops::Range<usize>| {
+    let build = |carrier_id: usize, hosted: std::ops::Range<usize>| {
         let mut d: NifdyNode<LoopbackTransport> = NifdyNode::new(cfg.clone());
         let c = d.add_carrier(hub.endpoint(NodeId::new(carrier_id)));
         for n in hosted.clone() {

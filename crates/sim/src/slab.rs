@@ -143,6 +143,9 @@ impl<T> Slab<T> {
             Entry::Occupied { generation, .. } if *generation == key.generation => {
                 let generation = *generation;
                 let old = std::mem::replace(entry, Entry::Vacant { generation });
+                // The slot being freed was occupied, so it is not on the
+                // free list yet: the push can never outgrow the arena.
+                debug_assert!(self.free.len() < self.entries.len());
                 self.free.push(key.index);
                 self.live -= 1;
                 match old {

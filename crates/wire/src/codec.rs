@@ -257,7 +257,7 @@ impl WirePacket {
     pub fn from_packet(pkt: &Packet) -> Self {
         let src = match pkt.wire {
             Wire::Data { bulk: Some(_), .. } => WireSource::Dialog,
-            _ => WireSource::Node(pkt.src),
+            Wire::Data { bulk: None, .. } | Wire::Ack(_) => WireSource::Node(pkt.src),
         };
         WirePacket {
             src,
@@ -415,7 +415,13 @@ pub fn encode(wp: &WirePacket) -> Vec<u8> {
         Wire::Ack(info) => {
             let src = match wp.src {
                 WireSource::Node(n) => n,
-                WireSource::Dialog => unreachable!("acks always carry their source"),
+                // Unreachable for any `WirePacket` built by `from_packet`;
+                // stay total and emit a self-addressed ack rather than tear
+                // the encoder down.
+                WireSource::Dialog => {
+                    debug_assert!(false, "acks always carry their source");
+                    wp.dst
+                }
             };
             buf.push(FLAG_ACK | lane_bit(wp.lane));
             buf.extend_from_slice(&node_bytes(wp.dst));
@@ -455,8 +461,11 @@ pub fn encode(wp: &WirePacket) -> Vec<u8> {
                 // §3: the {seq, dialog} pair occupies the source-id bytes.
                 (Some(BulkTag { dialog, seq }), _) => buf.extend_from_slice(&[seq, dialog]),
                 (None, WireSource::Node(n)) => buf.extend_from_slice(&node_bytes(n)),
+                // Unreachable for any `WirePacket` built by `from_packet`;
+                // stay total and fall back to the destination id.
                 (None, WireSource::Dialog) => {
-                    unreachable!("scalar frames always carry their source")
+                    debug_assert!(false, "scalar frames always carry their source");
+                    buf.extend_from_slice(&node_bytes(wp.dst));
                 }
             }
             buf.extend_from_slice(&wp.size_words.to_le_bytes());

@@ -539,7 +539,7 @@ impl<T: Transport, F: FnMut() -> WireEndpoint<T>> Supervisor<T, F> {
             return;
         }
         self.restart_at = None;
-        self.epoch += 1;
+        self.epoch = self.epoch.wrapping_add(1);
         self.restarts += 1;
         let ep = Self::incarnate(
             &mut self.factory,
